@@ -1,0 +1,145 @@
+//! Bounded FIFOs with occupancy statistics.
+//!
+//! SpAtten places 64-deep FIFOs on both sides of its crossbars (32 address
+//! FIFOs of 8 B, 32 data FIFOs of 16 B — Table I / §IV-A). The simulator
+//! uses this type wherever the hardware has an elastic buffer; the recorded
+//! high-water mark feeds the design-space exploration.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    max_occupancy: usize,
+    total_pushes: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            max_occupancy: 0,
+            total_pushes: 0,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether full (producer must stall).
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Pushes an item; returns it back if the FIFO is full (caller stalls).
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total_pushes += 1;
+        self.max_occupancy = self.max_occupancy.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pops the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Lifetime number of successful pushes.
+    pub fn total_pushes(&self) -> u64 {
+        self.total_pushes
+    }
+
+    /// Drains all items into a vector (simulation shortcut between coarse
+    /// pipeline phases).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_order() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn full_fifo_rejects_and_returns_item() {
+        let mut f = Fifo::new(2);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push('c'), Err('c'));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_high_water_mark() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        f.pop();
+        f.pop();
+        f.push(9).unwrap();
+        assert_eq!(f.max_occupancy(), 5);
+        assert_eq!(f.total_pushes(), 6);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.drain_all(), vec![1, 2]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

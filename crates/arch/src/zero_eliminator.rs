@@ -1,0 +1,171 @@
+//! The zero eliminator (paper Fig. 10).
+//!
+//! After the comparator arrays of the top-k engine null out elements on the
+//! wrong side of the pivot, the zero eliminator compacts the survivors while
+//! preserving order. In hardware it is a prefix-sum over "is zero" flags
+//! followed by a `log₂ n`-stage shifter: in stage `s`, an element shifts
+//! left by `2^s` iff bit `s` of its zero count is set.
+//!
+//! The functional model here executes those stages literally (not with a
+//! `retain`) so the structural claim — `log n` stages suffice — is what the
+//! tests verify.
+
+/// Zero eliminator over fixed-width vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroEliminator {
+    width: usize,
+}
+
+impl ZeroEliminator {
+    /// An eliminator for vectors of at most `width` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self { width }
+    }
+
+    /// Lane count.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shifter stages for `n` lanes: `⌈log₂ n⌉` (zero for n ≤ 1).
+    pub fn stages(n: usize) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        }
+    }
+
+    /// Pipeline latency in cycles for one vector (one cycle per stage, plus
+    /// one for the prefix sum).
+    pub fn latency_cycles(&self) -> u64 {
+        u64::from(Self::stages(self.width)) + 1
+    }
+
+    /// Compacts non-zero (`Some`) elements to the front, preserving order,
+    /// by executing the staged shifter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` exceeds the configured width.
+    pub fn eliminate<T: Copy>(&self, lanes: &[Option<T>]) -> Vec<T> {
+        assert!(lanes.len() <= self.width, "input wider than the eliminator");
+        let n = lanes.len();
+        // Prefix count of zeros before (and including) each position.
+        let mut zero_cnt = vec![0usize; n];
+        let mut running = 0usize;
+        for (i, lane) in lanes.iter().enumerate() {
+            if lane.is_none() {
+                running += 1;
+            }
+            zero_cnt[i] = running;
+        }
+
+        // Staged shifter: stage s moves a lane left by 2^s iff bit s of its
+        // zero count is set. Zero lanes are holes the shifts may overwrite.
+        let mut data: Vec<Option<T>> = lanes.to_vec();
+        let mut counts = zero_cnt;
+        for s in 0..Self::stages(n) {
+            let shift = 1usize << s;
+            let mut next: Vec<Option<T>> = vec![None; n];
+            let mut next_counts = vec![0usize; n];
+            for i in 0..n {
+                if data[i].is_none() {
+                    continue;
+                }
+                let (dst, remaining) = if counts[i] & shift != 0 {
+                    (i - shift, counts[i] - shift)
+                } else {
+                    (i, counts[i])
+                };
+                next[dst] = data[i];
+                next_counts[dst] = remaining;
+            }
+            data = next;
+            counts = next_counts;
+        }
+
+        let survivors = lanes.iter().filter(|l| l.is_some()).count();
+        data.into_iter().take(survivors).flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compacts_preserving_order() {
+        let ze = ZeroEliminator::new(8);
+        let lanes = [
+            Some('a'),
+            None,
+            Some('b'),
+            None,
+            Some('c'),
+            Some('d'),
+            None,
+            Some('e'),
+        ];
+        assert_eq!(ze.eliminate(&lanes), vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn paper_example_shift_pattern() {
+        // Fig. 10: a0b0cd0e → abcde.
+        let ze = ZeroEliminator::new(8);
+        let lanes = [
+            Some('a'),
+            None,
+            Some('b'),
+            None,
+            Some('c'),
+            Some('d'),
+            None,
+            Some('e'),
+        ];
+        let out = ze.eliminate(&lanes);
+        assert_eq!(out, vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn all_zero_and_all_nonzero() {
+        let ze = ZeroEliminator::new(4);
+        assert!(ze.eliminate::<u8>(&[None, None, None, None]).is_empty());
+        let full = [Some(1), Some(2), Some(3), Some(4)];
+        assert_eq!(ze.eliminate(&full), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stage_count_is_log2() {
+        assert_eq!(ZeroEliminator::stages(1), 0);
+        assert_eq!(ZeroEliminator::stages(2), 1);
+        assert_eq!(ZeroEliminator::stages(8), 3);
+        assert_eq!(ZeroEliminator::stages(9), 4);
+        assert_eq!(ZeroEliminator::stages(1024), 10);
+    }
+
+    #[test]
+    fn matches_naive_filter_on_many_patterns() {
+        let ze = ZeroEliminator::new(16);
+        for mask in 0u32..1 << 12 {
+            let lanes: Vec<Option<u32>> = (0..12)
+                .map(|i| (mask >> i & 1 == 1).then_some(i))
+                .collect();
+            let expect: Vec<u32> = lanes.iter().copied().flatten().collect();
+            assert_eq!(ze.eliminate(&lanes), expect, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn oversize_input_rejected() {
+        let ze = ZeroEliminator::new(2);
+        let _ = ze.eliminate(&[Some(1), Some(2), Some(3)]);
+    }
+}

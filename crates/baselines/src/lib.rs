@@ -1,0 +1,25 @@
+//! Baseline device and accelerator models the paper compares against.
+//!
+//! * [`device`] — analytic models of TITAN Xp, Xeon, Jetson Nano and
+//!   Raspberry Pi running attention through cuDNN/MKL-class libraries.
+//!   The *effective attention throughputs* are calibrated from the paper's
+//!   own measurements (Fig. 2 latency breakdowns, Fig. 18 roofline points:
+//!   TITAN Xp achieves only 0.02 TFLOPS on BERT attention and 0.01 TFLOPS
+//!   on GPT-2 generation despite a 12 TFLOPS peak, because of tiny matmuls
+//!   and the 73 % of time spent on data movement).
+//! * [`a3`] — the A3 accelerator (HPCA'20): sort-based key preprocessing +
+//!   local approximate score pruning; fetches everything from DRAM first,
+//!   so it only accelerates computation-bound models.
+//! * [`mnnfast`] — MNNFast (ISCA'19): local value pruning by threshold.
+//!
+//! All three accelerator models run at Table III's matched resources
+//! (128 multipliers, 64 GB/s, 1 GHz) for the head-to-head comparison with
+//! SpAtten-1/8.
+
+pub mod a3;
+pub mod device;
+pub mod mnnfast;
+
+pub use a3::A3Model;
+pub use device::{BaselineReport, DeviceModel};
+pub use mnnfast::MnnFastModel;

@@ -1,0 +1,23 @@
+//! Criterion benchmarks for the cycle-level accelerator simulator itself
+//! (simulation throughput, not modelled hardware speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatten_core::{Accelerator, SpAttenConfig};
+use spatten_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for id in ["bert-base-sst-2", "bert-base-squad-v1", "gpt2-small-wikitext2"] {
+        let w = Benchmark::by_id(id).expect("registry").workload();
+        group.bench_with_input(BenchmarkId::new("workload", id), &w, |b, w| {
+            let accel = Accelerator::new(SpAttenConfig::default());
+            b.iter(|| black_box(accel.run(black_box(w))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks for the functional attention substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spatten_nn::{Matrix, MultiHeadAttention};
+use spatten_quant::{softmax, BitwidthScheme, KMeansQuantizer, LinearQuantizer, SplitQuantized};
+use std::hint::black_box;
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mha_forward");
+    for &(len, hidden, heads) in &[(32usize, 64usize, 4usize), (128, 128, 8)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mha = MultiHeadAttention::new_seeded(hidden, heads, &mut rng);
+        let x = Matrix::randn(len, hidden, 1.0, &mut rng);
+        let ids: Vec<usize> = (0..len).collect();
+        let mask = vec![true; heads];
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("L{len}_H{hidden}")),
+            &x,
+            |b, x| {
+                b.iter(|| black_box(mha.forward(x, x, &ids, &ids, false, &mask)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    for n in [64usize, 1024] {
+        let scores: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("row", n), &scores, |b, s| {
+            b.iter(|| black_box(softmax(black_box(s))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.11).cos()).collect();
+    c.bench_function("split_quantize_4096", |b| {
+        b.iter(|| {
+            black_box(SplitQuantized::from_f32(
+                black_box(&data),
+                BitwidthScheme::Msb8Lsb4,
+            ))
+        });
+    });
+
+    // §III-D: linear symmetric is "much faster than K-Means" — measure it.
+    let mut group = c.benchmark_group("quantizer_fit_4096");
+    group.bench_function("linear_symmetric", |b| {
+        b.iter(|| black_box(LinearQuantizer::fit(black_box(&data), 4)));
+    });
+    group.bench_function("kmeans_16_levels", |b| {
+        b.iter(|| black_box(KMeansQuantizer::fit(black_box(&data), 16, 10)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_attention_forward,
+    bench_softmax,
+    bench_quantization
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the top-k engine (paper §IV-B claims:
+//! O(n) expected time, 1.4× throughput over a full Batcher sort at n=1024,
+//! 3× end-to-end gain over a serial engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spatten_arch::{BatcherSorter, TopkEngine};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 2654435761) % 10007) as f32).collect()
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_select");
+    for n in [64usize, 256, 1024, 4096] {
+        let vals = inputs(n);
+        group.bench_with_input(BenchmarkId::new("quickselect", n), &vals, |b, vals| {
+            let mut eng = TopkEngine::new(16, 1);
+            b.iter(|| black_box(eng.select(black_box(vals), vals.len() / 2)));
+        });
+        group.bench_with_input(BenchmarkId::new("sort_reference", n), &vals, |b, vals| {
+            b.iter(|| {
+                let mut v = vals.clone();
+                v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                v.truncate(vals.len() / 2);
+                black_box(v);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_model_cycles");
+    let vals = inputs(1024);
+    for p in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("parallelism", p), &p, |b, &p| {
+            let mut eng = TopkEngine::new(p, 1);
+            b.iter(|| black_box(eng.select(black_box(&vals), 512)));
+        });
+    }
+    group.finish();
+
+    // Print the modelled-cycle comparison the paper makes (§IV-B).
+    let mut eng = TopkEngine::new(16, 1);
+    let r = eng.select(&vals, 512);
+    let sorter = BatcherSorter::new(16);
+    println!(
+        "modelled cycles @n=1024: quick-select {} vs Batcher full sort {} ({:.2}x)",
+        r.cycles,
+        sorter.sort_cycles(1024),
+        sorter.sort_cycles(1024) as f64 / r.cycles as f64
+    );
+}
+
+criterion_group!(benches, bench_select, bench_parallelism);
+criterion_main!(benches);

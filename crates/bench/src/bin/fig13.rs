@@ -1,0 +1,42 @@
+//! Figure 13 + Table II: on-chip area and power breakdowns.
+//!
+//! Area comes from the calibrated synthesis model; power is *measured* by
+//! running the full 30-benchmark suite through the simulator, converting
+//! event counts to energy, and dividing by runtime.
+
+use spatten_bench::{print_header, run_spatten};
+use spatten_energy::{AreaModel, EnergyModel, EventCounts};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    // --- Area (Fig. 13a). ---
+    let area = AreaModel::spatten();
+    print_header(
+        "Figure 13a: area breakdown (paper total: 18.71 mm², TSMC 40 nm)",
+        &format!("{:<16} {:>10} {:>8}", "module", "mm²", "share"),
+    );
+    for (name, mm2, pct) in &area.report().rows {
+        println!("{name:<16} {mm2:>10.3} {pct:>7.1}%");
+    }
+    println!("total            {:>10.3}", area.total_mm2());
+
+    // --- Power (Fig. 13b / Table II), measured over the whole suite. ---
+    let model = EnergyModel::default();
+    let mut counts = EventCounts::new();
+    let mut cycles = 0u64;
+    for bench in Benchmark::all() {
+        let r = run_spatten(&bench);
+        counts += r.counts;
+        cycles += r.total_cycles;
+    }
+    let power = model.power(&counts, cycles, 1.0);
+    print_header(
+        "Table II: power breakdown (paper: logic 1.36 W, SRAM 1.24 W, DRAM 5.71 W, total 8.30 W)",
+        &format!("{:<22} {:>10} {:>10}", "component", "watts", "paper W"),
+    );
+    println!("{:<22} {:>10.2} {:>10.2}", "computation logic", power.compute_w, 1.36);
+    println!("{:<22} {:>10.2} {:>10.2}", "SRAM + FIFO", power.sram_w, 1.24);
+    println!("{:<22} {:>10.2} {:>10.2}", "DRAM", power.dram_w, 5.71);
+    println!("{:<22} {:>10.2} {:>10}", "leakage", power.leakage_w, "-");
+    println!("{:<22} {:>10.2} {:>10.2}", "total", power.total_w(), 8.30);
+}

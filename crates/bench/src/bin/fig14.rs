@@ -1,0 +1,59 @@
+//! Figure 14: speedup and energy efficiency of SpAtten over TITAN Xp,
+//! Xeon, Jetson Nano and Raspberry Pi on all 30 benchmarks.
+//!
+//! Paper geomeans: 162× / 347× / 1095× / 5071× speedup and
+//! 1193× / 4059× / 406× / 1910× energy savings.
+
+use spatten_baselines::DeviceModel;
+use spatten_bench::{fmt_x, geomean, print_header, run_spatten};
+use spatten_energy::EnergyModel;
+use spatten_workloads::Benchmark;
+
+fn main() {
+    let devices = DeviceModel::all();
+    let energy_model = EnergyModel::default();
+
+    print_header(
+        "Figure 14: SpAtten speedup over baselines (attention layers)",
+        &format!(
+            "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "benchmark", "SpAtten ms", "vs GPU", "vs Xeon", "vs Nano", "vs Pi"
+        ),
+    );
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); devices.len()];
+    let mut energy_ratios: Vec<Vec<f64>> = vec![Vec::new(); devices.len()];
+
+    for bench in Benchmark::all() {
+        let report = run_spatten(&bench);
+        let spatten_s = report.seconds();
+        let spatten_j = report.energy(&energy_model).total_j()
+            + energy_model.params().leakage_w * spatten_s;
+        let w = bench.workload();
+
+        let mut row = format!("{:<26} {:>10.3}", bench.id, spatten_s * 1e3);
+        for (i, dev) in devices.iter().enumerate() {
+            let base = dev.run(&w);
+            let speedup = base.latency_s / spatten_s;
+            let energy = base.energy_j / spatten_j;
+            speedups[i].push(speedup);
+            energy_ratios[i].push(energy);
+            row += &format!(" {:>10}", fmt_x(speedup));
+        }
+        println!("{row}");
+    }
+
+    println!("\n{:<14} {:>14} {:>20} {:>22}", "device", "geomean speedup", "paper speedup", "geomean energy ratio");
+    let paper_speedups = [162.0, 347.0, 1095.0, 5071.0];
+    let paper_energy = [1193.0, 4059.0, 406.0, 1910.0];
+    for (i, dev) in devices.iter().enumerate() {
+        println!(
+            "{:<14} {:>15} {:>15} {:>15}   (paper energy {:.0}x)",
+            dev.name,
+            fmt_x(geomean(&speedups[i])),
+            fmt_x(paper_speedups[i]),
+            fmt_x(geomean(&energy_ratios[i])),
+            paper_energy[i],
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 15: end-to-end speedup of SpAtten-e2e over TITAN Xp and Xeon on
+//! the eight GPT-2 benchmarks, with FC weights at 8 and 12 bits.
+//!
+//! Paper geomeans: 8-bit 35× / 122×; 12-bit 24× / 83×.
+
+use spatten_baselines::DeviceModel;
+use spatten_bench::{fmt_x, geomean, print_header};
+use spatten_core::{SpAttenConfig, SpAttenE2e};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    let gpu = DeviceModel::titan_xp();
+    let cpu = DeviceModel::xeon();
+
+    print_header(
+        "Figure 15: SpAtten-e2e end-to-end speedup (GPT-2 generation)",
+        &format!(
+            "{:<26} {:>12} {:>12} {:>12} {:>12}",
+            "benchmark", "8b vs GPU", "8b vs CPU", "12b vs GPU", "12b vs CPU"
+        ),
+    );
+
+    let mut g8 = Vec::new();
+    let mut c8 = Vec::new();
+    let mut g12 = Vec::new();
+    let mut c12 = Vec::new();
+    for bench in Benchmark::gpt2_suite() {
+        let w = bench.workload();
+        let (gattn, gfc) = gpu.end_to_end_split(&w);
+        let (cattn, cfc) = cpu.end_to_end_split(&w);
+        let gpu_s = gattn + gfc;
+        let cpu_s = cattn + cfc;
+        let e8 = SpAttenE2e::new(SpAttenConfig::default(), 8).run(&w).seconds();
+        let e12 = SpAttenE2e::new(SpAttenConfig::default(), 12).run(&w).seconds();
+        g8.push(gpu_s / e8);
+        c8.push(cpu_s / e8);
+        g12.push(gpu_s / e12);
+        c12.push(cpu_s / e12);
+        println!(
+            "{:<26} {:>12} {:>12} {:>12} {:>12}",
+            bench.id,
+            fmt_x(gpu_s / e8),
+            fmt_x(cpu_s / e8),
+            fmt_x(gpu_s / e12),
+            fmt_x(cpu_s / e12)
+        );
+    }
+    println!(
+        "\ngeomean: 8-bit {} vs GPU (paper 35x), {} vs CPU (paper 122x)",
+        fmt_x(geomean(&g8)),
+        fmt_x(geomean(&c8))
+    );
+    println!(
+        "         12-bit {} vs GPU (paper 24x), {} vs CPU (paper 83x)",
+        fmt_x(geomean(&g12)),
+        fmt_x(geomean(&c12))
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 19: design-space exploration.
+//!
+//! (a) top-k engine parallelism sweep — performance saturates once the
+//!     engine matches the Q·K score rate (paper: ~16 comparators).
+//! (b) K/V SRAM size sweep — flat beyond 196 KB because the pipeline is
+//!     fully pipelined and 196 KB already holds a 1024-token context.
+
+use spatten_bench::print_header;
+use spatten_core::{Accelerator, SpAttenConfig};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    let w = Benchmark::gpt2_small_wikitext2().workload();
+
+    print_header(
+        "Figure 19a: top-k engine parallelism sweep (GPT-2-Small, wikitext-2)",
+        &format!("{:<14} {:>14} {:>12}", "parallelism", "GFLOP/s", "rel. perf"),
+    );
+    let mut base = None;
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = SpAttenConfig {
+            topk_parallelism: p,
+            ..SpAttenConfig::default()
+        };
+        let r = Accelerator::new(cfg).run(&w);
+        let gflops = r.flops as f64 / r.seconds() / 1e9;
+        let b = *base.get_or_insert(gflops);
+        println!("{p:<14} {gflops:>14.0} {:>11.2}x", gflops / b);
+    }
+    println!("paper: 168 → 299 → 485 → 653 → 776 → 771 GFLOP/s (saturates at 16)");
+
+    print_header(
+        "Figure 19b: K/V SRAM size sweep",
+        &format!("{:<14} {:>14} {:>12}", "KB", "GFLOP/s", "rel. perf"),
+    );
+    let mut base = None;
+    for kb in [98u64, 196, 392, 784] {
+        let cfg = SpAttenConfig {
+            kv_sram_bytes: kb * 1024,
+            ..SpAttenConfig::default()
+        };
+        let r = Accelerator::new(cfg).run(&w);
+        let gflops = r.flops as f64 / r.seconds() / 1e9;
+        let b = *base.get_or_insert(gflops);
+        println!("{kb:<14} {gflops:>14.0} {:>11.2}x", gflops / b);
+    }
+    println!("paper: flat 776 / 785 / 775 GFLOP/s at 196/392/784 KB — bigger buys nothing");
+}

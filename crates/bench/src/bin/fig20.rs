@@ -1,0 +1,45 @@
+//! Figure 20: speedup breakdown over TITAN Xp on the GPT-2 benchmarks.
+//!
+//! The paper's ladder: specialized datapath 22.1× → +token pruning 1.1× →
+//! +head pruning 1.1× → +high-parallelism top-k engine 3× → +static
+//! quantization 1.6× → +progressive quantization 1.7× (total ≈ 209×).
+
+use spatten_baselines::DeviceModel;
+use spatten_bench::{fmt_x, geomean, print_header};
+use spatten_core::ablation::{ladder, run_rung};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    let gpu = DeviceModel::titan_xp();
+
+    print_header(
+        "Figure 20: cumulative speedup over TITAN Xp (geomean of 8 GPT-2 benchmarks)",
+        &format!(
+            "{:<30} {:>12} {:>12} {:>10}",
+            "configuration", "cumulative", "step gain", "paper cum"
+        ),
+    );
+
+    println!("note: the serial-engine rungs can even *lose* speedup — cascade");
+    println!("pruning makes top-k the bottleneck until the parallel engine lands");
+    println!("(the paper reports the same effect as gains capped at 1.1x).");
+    let mut prev = 1.0f64;
+    for rung in ladder() {
+        let mut speedups = Vec::new();
+        for bench in Benchmark::gpt2_suite() {
+            let w = bench.workload();
+            let r = run_rung(&rung, &w);
+            let base = gpu.attention_latency(&w);
+            speedups.push(base / r.seconds());
+        }
+        let cum = geomean(&speedups);
+        println!(
+            "{:<30} {:>12} {:>11.2}x {:>9.0}x",
+            rung.name,
+            fmt_x(cum),
+            cum / prev,
+            rung.paper_cumulative
+        );
+        prev = cum;
+    }
+}

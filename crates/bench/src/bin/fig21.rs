@@ -1,0 +1,106 @@
+//! Figure 21: accuracy vs. token/head pruning ratio trade-off curves.
+//!
+//! Trains a tiny transformer from scratch on the planted-keyword task
+//! (the documented substitution for GPT-2/PTB and BERT/CoLA), then sweeps
+//! the token and head pruning ratios. Expected shape (paper): flat
+//! accuracy up to several-× token pruning — small ratios may even help —
+//! then a cliff; head pruning tolerates ~1.2× before degrading.
+
+use spatten_bench::print_header;
+use spatten_core::CascadePruner;
+use spatten_nn::train::{evaluate, SyntheticTask, Trainer};
+use spatten_nn::{Model, ModelConfig, ModelKind, NoPruning};
+use spatten_workloads::PruningSpec;
+
+fn main() {
+    // Train.
+    let cfg = ModelConfig {
+        kind: ModelKind::Bert,
+        layers: 4,
+        heads: 4,
+        hidden: 48,
+        ffn: 96,
+        vocab: 48,
+    };
+    // Majority-vote task: 4 label-class keywords vs 3 distractors among 17
+    // fillers. Keeping fewer than ~7 tokens starts losing votes — the
+    // accuracy cliff of Fig. 21 appears around 24/7 ≈ 3.4×.
+    let task = SyntheticTask {
+        vocab: cfg.vocab,
+        n_classes: 2,
+        keywords_per_class: 4,
+        seq_len: 24,
+        keywords_per_example: 4,
+        distractors_per_example: 3,
+    };
+    let mut model = Model::new_classifier(cfg, 64, task.n_classes, 42);
+    let train_set = task.sample_many(512, 1001);
+    let test_set = task.sample_many(256, 2002);
+    let mut trainer = Trainer::new(2e-3);
+    println!("training tiny transformer on the planted-keyword task…");
+    for epoch in 0..10 {
+        let mut last = 0.0;
+        for chunk in train_set.chunks(32) {
+            last = trainer.train_batch(&mut model, chunk);
+        }
+        println!("  epoch {epoch}: loss {last:.4}");
+    }
+    let dense_acc = evaluate(&model, &test_set, || NoPruning);
+    println!("dense accuracy: {:.1}%", dense_acc * 100.0);
+
+    // Token-pruning sweep (head pruning off), as in Fig. 21 left.
+    print_header(
+        "Figure 21 (left): token pruning ratio vs accuracy loss",
+        &format!("{:<14} {:>12} {:>14}", "ratio", "accuracy", "loss vs dense"),
+    );
+    for keep in [1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.12] {
+        let acc = evaluate(&model, &test_set, || {
+            PrunerFor::new(PruningSpec::with_keeps(keep, 1.0), cfg)
+        });
+        println!(
+            "{:<13.1}x {:>11.1}% {:>+13.1}%",
+            1.0 / keep,
+            acc * 100.0,
+            (acc - dense_acc) * 100.0
+        );
+    }
+    println!("paper (GPT-2/PTB): flat to ~4x, −1.3% at 4.4x, −40% at 8.3x");
+
+    // Head-pruning sweep (token pruning off), Fig. 21 right.
+    print_header(
+        "Figure 21 (right): head pruning ratio vs accuracy loss",
+        &format!("{:<14} {:>12} {:>14}", "ratio", "accuracy", "loss vs dense"),
+    );
+    for keep in [1.0, 0.75, 0.5, 0.25] {
+        let acc = evaluate(&model, &test_set, || {
+            PrunerFor::new(PruningSpec::with_keeps(1.0, keep), cfg)
+        });
+        println!(
+            "{:<13.2}x {:>11.1}% {:>+13.1}%",
+            1.0 / keep,
+            acc * 100.0,
+            (acc - dense_acc) * 100.0
+        );
+    }
+    println!("paper (BERT/CoLA): ~flat to 1.2x, −16% at 2x");
+}
+
+/// Helper wrapping a fresh pruner per example.
+struct PrunerFor(CascadePruner);
+
+impl PrunerFor {
+    fn new(spec: PruningSpec, cfg: ModelConfig) -> Self {
+        // Token count is fixed per task; 24 here.
+        Self(CascadePruner::new(spec, cfg.layers, 24, cfg.heads))
+    }
+}
+
+impl spatten_nn::AttentionObserver for PrunerFor {
+    fn after_layer(
+        &mut self,
+        record: &spatten_nn::LayerRecord,
+        active: &mut spatten_nn::ActiveSet,
+    ) {
+        self.0.after_layer(record, active);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figures 5, 22 & 23: cascade token pruning visualized on sentences.
+//!
+//! Runs the Fig. 22 sentences through a small model with cascade pruning
+//! and prints the progressively shortened sentence per layer plus the
+//! cumulative importance scores — content words should outlive fillers.
+
+use spatten_bench::print_header;
+use spatten_core::PruningTrace;
+use spatten_nn::{Model, ModelConfig, ModelKind};
+use spatten_workloads::{ExampleSentence, PruningSpec, Vocabulary};
+
+fn main() {
+    let examples = ExampleSentence::fig22();
+    let mut vocab = Vocabulary::new();
+    // Intern all words first so the model vocabulary covers everything.
+    let tokenized: Vec<Vec<usize>> = examples.iter().map(|e| vocab.tokenize(e.text)).collect();
+
+    let cfg = ModelConfig {
+        kind: ModelKind::Bert,
+        layers: 6,
+        heads: 4,
+        hidden: 48,
+        ffn: 96,
+        vocab: vocab.len().max(64),
+    };
+    let model = Model::new_classifier(cfg, 128, 2, 99);
+
+    for (example, tokens) in examples.iter().zip(&tokenized) {
+        print_header(
+            &format!("Fig. 22 — {} ({})", example.task, example.outcome),
+            "layer | surviving sentence",
+        );
+        let words: Vec<&str> = example.words();
+        let trace = PruningTrace::capture(
+            &model,
+            tokens,
+            PruningSpec::with_keeps(0.45, 1.0),
+            Some(&words),
+        );
+        for layer in 0..trace.survivors_per_layer.len() {
+            println!("  L{layer}  | {}", trace.render_layer(layer));
+        }
+
+        // Fig. 23-style: top cumulative importance scores.
+        let mut ranked: Vec<_> = trace.tokens.iter().collect();
+        ranked.sort_by(|a, b| b.importance.partial_cmp(&a.importance).unwrap());
+        let top: Vec<String> = ranked
+            .iter()
+            .take(6)
+            .map(|t| {
+                format!(
+                    "{}({:.1})",
+                    t.word.clone().unwrap_or_default(),
+                    t.importance
+                )
+            })
+            .collect();
+        println!("  most attended: {}", top.join(" "));
+    }
+
+    println!("\nNote: the model here is seeded, not pretrained — the mechanism");
+    println!("(importance accumulation → cascade survival) is what is demonstrated;");
+    println!("with a trained model the survivors align with content words (fig21");
+    println!("shows the trained-accuracy counterpart).");
+}

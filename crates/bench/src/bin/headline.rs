@@ -1,0 +1,60 @@
+//! §V-B headline numbers: DRAM access reduction (paper: 10.0×), computation
+//! reduction (2.1×), achieved throughput (1.61 TFLOPS on BERT,
+//! 0.43 TFLOPS on GPT-2), token+local-V pruning (1.9× overall / 3.8× on
+//! GPT-2), head pruning (1.1×), LSB fetch fraction (5.9 %).
+
+use spatten_bench::{geomean, print_header, run_spatten};
+use spatten_workloads::{Benchmark, TaskKind};
+
+fn main() {
+    print_header(
+        "Headline (paper §V-B)",
+        &format!(
+            "{:<26} {:>9} {:>9} {:>10} {:>9} {:>8}",
+            "benchmark", "TFLOPS", "DRAM red", "compute red", "LSB frac", "ms"
+        ),
+    );
+
+    let mut bert_tflops = Vec::new();
+    let mut gpt2_tflops = Vec::new();
+    let mut dram_reductions = Vec::new();
+    let mut compute_reductions = Vec::new();
+
+    for bench in Benchmark::all() {
+        let r = run_spatten(&bench);
+        println!(
+            "{:<26} {:>9.3} {:>8.1}x {:>9.2}x {:>9.3} {:>8.3}",
+            bench.id,
+            r.tflops(),
+            r.dram_reduction(),
+            r.computation_reduction(),
+            r.lsb_fraction,
+            r.seconds() * 1e3
+        );
+        if bench.kind == TaskKind::Discriminative {
+            bert_tflops.push(r.tflops());
+        } else {
+            gpt2_tflops.push(r.tflops());
+        }
+        dram_reductions.push(r.dram_reduction());
+        compute_reductions.push(r.computation_reduction());
+    }
+
+    println!("\nsummary                          measured    paper");
+    println!(
+        "BERT TFLOPS (geomean)            {:>8.2}    1.61",
+        geomean(&bert_tflops)
+    );
+    println!(
+        "GPT-2 TFLOPS (geomean)           {:>8.2}    0.43",
+        geomean(&gpt2_tflops)
+    );
+    println!(
+        "DRAM reduction (geomean)         {:>7.1}x    10.0x",
+        geomean(&dram_reductions)
+    );
+    println!(
+        "computation reduction (geomean)  {:>7.1}x    2.1x",
+        geomean(&compute_reductions)
+    );
+}

@@ -1,0 +1,43 @@
+//! Table I: the architectural setup of SpAtten.
+
+use spatten_bench::print_header;
+use spatten_core::SpAttenConfig;
+
+fn main() {
+    let c = SpAttenConfig::default();
+    print_header("Table I: SpAtten architectural setup", "parameter | value");
+    println!(
+        "Q-K-V fetcher      | 32×16 address crossbar, 16×32 data crossbar, 64-deep FIFOs"
+    );
+    println!(
+        "Q × K              | 196KB Key SRAM; {}×12-bit multipliers; adder tree ≤ {} items/cycle",
+        c.multipliers_per_array,
+        c.multipliers_per_array / 64
+    );
+    println!(
+        "Softmax            | FIFO depth 128; parallelism {}",
+        c.softmax_parallelism
+    );
+    println!(
+        "Attention Prob × V | {}KB Value SRAM; {}×12-bit multipliers",
+        c.kv_sram_bytes / 1024,
+        c.multipliers_per_array
+    );
+    println!(
+        "top-k engine       | {} comparators per array; quick-select + zero eliminators",
+        c.topk_parallelism
+    );
+    println!(
+        "HBM                | {} channels × {} B/cycle @ {} GHz = {:.0} GB/s",
+        c.hbm.channels,
+        c.hbm.bytes_per_cycle,
+        c.clock_ghz,
+        c.peak_bandwidth() / 1e9
+    );
+    println!(
+        "compute roof       | {:.3} TFLOPS ({} total multipliers @ {} GHz)",
+        c.peak_flops() / 1e12,
+        2 * c.multipliers_per_array,
+        c.clock_ghz
+    );
+}

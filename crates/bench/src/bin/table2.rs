@@ -1,0 +1,33 @@
+//! Table II: power breakdown of SpAtten (logic / SRAM / DRAM / total).
+//!
+//! Measured by running the full 30-benchmark suite and converting event
+//! counts to power; see also `fig13` for the module-level view.
+
+use spatten_bench::{print_header, run_spatten};
+use spatten_energy::{EnergyModel, EventCounts};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    let model = EnergyModel::default();
+    let mut counts = EventCounts::new();
+    let mut cycles = 0u64;
+    for bench in Benchmark::all() {
+        let r = run_spatten(&bench);
+        counts += r.counts;
+        cycles += r.total_cycles;
+    }
+    let p = model.power(&counts, cycles, 1.0);
+
+    print_header(
+        "Table II: power breakdown over the 30-benchmark suite",
+        &format!("{:<22} {:>10} {:>10}", "component", "measured W", "paper W"),
+    );
+    println!("{:<22} {:>10.2} {:>10.2}", "computation logic", p.compute_w, 1.36);
+    println!("{:<22} {:>10.2} {:>10.2}", "SRAM", p.sram_w, 1.24);
+    println!("{:<22} {:>10.2} {:>10.2}", "DRAM", p.dram_w, 5.71);
+    println!("{:<22} {:>10.2} {:>10.2}", "total (+leakage)", p.total_w(), 8.30);
+    println!(
+        "\nDRAM share: measured {:.0}% (paper 69%)",
+        100.0 * p.dram_w / p.total_w()
+    );
+}

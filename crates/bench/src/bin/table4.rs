@@ -1,0 +1,84 @@
+//! Table IV: FC vs attention GFLOPs and latency on GPT-2-Medium, GPU vs
+//! SpAtten-e2e.
+//!
+//! Paper: GPU — FC 19.3 GFLOPs (85.6 %) / 388.3 ms (51.4 %), attention
+//! 3.3 GFLOPs / 366.7 ms. SpAtten-e2e — FC 19.3 GFLOPs (95.5 %) /
+//! 25.75 ms (92.4 %), attention 0.9 GFLOPs / 2.13 ms (7.6 %).
+
+use spatten_baselines::DeviceModel;
+use spatten_bench::print_header;
+use spatten_core::{SpAttenConfig, SpAttenE2e};
+use spatten_workloads::Benchmark;
+
+fn main() {
+    // Average over the four GPT-2-Medium benchmarks, as in the paper.
+    let benches: Vec<_> = Benchmark::gpt2_suite()
+        .into_iter()
+        .filter(|b| b.id.contains("medium"))
+        .collect();
+    let gpu = DeviceModel::titan_xp();
+    let e2e = SpAttenE2e::new(SpAttenConfig::default(), 12);
+
+    let mut gpu_attn_s = 0.0;
+    let mut gpu_fc_s = 0.0;
+    let mut sp_attn_s = 0.0;
+    let mut sp_fc_s = 0.0;
+    let mut fc_gflops = 0.0;
+    let mut attn_dense_gflops = 0.0;
+    let mut attn_pruned_gflops = 0.0;
+    for b in &benches {
+        let w = b.workload();
+        let (a, f) = gpu.end_to_end_split(&w);
+        gpu_attn_s += a;
+        gpu_fc_s += f;
+        let r = e2e.run(&w);
+        sp_fc_s += r.fc_cycles as f64 / 1e9;
+        sp_attn_s += r.attention.total_cycles as f64 / 1e9;
+        fc_gflops += r.fc_flops as f64 / 1e9;
+        attn_dense_gflops += DeviceModel::attention_flops(&w) as f64 / 1e9;
+        attn_pruned_gflops += r.attention.flops as f64 / 1e9;
+    }
+    let n = benches.len() as f64;
+    for v in [
+        &mut gpu_attn_s,
+        &mut gpu_fc_s,
+        &mut sp_attn_s,
+        &mut sp_fc_s,
+        &mut fc_gflops,
+        &mut attn_dense_gflops,
+        &mut attn_pruned_gflops,
+    ] {
+        *v /= n;
+    }
+
+    print_header(
+        "Table IV: FC & attention FLOPs/latency on GPT-2-Medium (avg of 4 benchmarks)",
+        &format!(
+            "{:<14} {:>12} {:>12} {:>14} {:>14}",
+            "platform", "FC GFLOPs", "Attn GFLOPs", "FC ms (%)", "Attn ms (%)"
+        ),
+    );
+    let pct = |x: f64, y: f64| 100.0 * x / (x + y);
+    println!(
+        "{:<14} {:>12.1} {:>12.1} {:>8.1} ({:>4.1}%) {:>8.1} ({:>4.1}%)",
+        "GPU",
+        fc_gflops,
+        attn_dense_gflops,
+        gpu_fc_s * 1e3,
+        pct(gpu_fc_s, gpu_attn_s),
+        gpu_attn_s * 1e3,
+        pct(gpu_attn_s, gpu_fc_s),
+    );
+    println!(
+        "{:<14} {:>12.1} {:>12.1} {:>8.2} ({:>4.1}%) {:>8.2} ({:>4.1}%)",
+        "SpAtten-e2e",
+        fc_gflops,
+        attn_pruned_gflops,
+        sp_fc_s * 1e3,
+        pct(sp_fc_s, sp_attn_s),
+        sp_attn_s * 1e3,
+        pct(sp_attn_s, sp_fc_s),
+    );
+    println!("\npaper: GPU FC 19.3 (85.6%) / 388.3 ms (51.4%), attn 3.3 / 366.7 ms");
+    println!("       SpAtten-e2e FC 19.3 (95.5%) / 25.75 ms (92.4%), attn 0.9 / 2.13 ms (7.6%)");
+}

@@ -1,0 +1,219 @@
+//! Token pruning generalized to Memory-Augmented Networks.
+//!
+//! §VI-C: "Our token pruning idea can also be generalized to
+//! Memory-Augmented Networks to remove unimportant memory vectors and
+//! improve efficiency." This module implements that extension: a memory
+//! bank read by attention accumulates per-slot importance (the column sums
+//! of read probabilities — exactly Algorithm 2 applied to memory slots) and
+//! prunes cold slots with the same top-k engine, shrinking every
+//! subsequent read.
+
+use spatten_arch::TopkEngine;
+use spatten_nn::Matrix;
+use spatten_quant::softmax;
+
+/// An attention-read memory bank with cumulative slot importance.
+#[derive(Debug, Clone)]
+pub struct MemoryBank {
+    slots: Matrix,
+    slot_ids: Vec<usize>,
+    importance: Vec<f64>, // indexed by original slot id
+    engine: TopkEngine,
+    reads: u64,
+}
+
+impl MemoryBank {
+    /// A bank of `n` seeded random memory vectors of width `d`.
+    pub fn new_seeded(n: usize, d: usize, seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::from_slots(Matrix::randn(n, d, 1.0, &mut rng))
+    }
+
+    /// A bank over explicit memory vectors.
+    pub fn from_slots(slots: Matrix) -> Self {
+        let n = slots.rows();
+        Self {
+            slots,
+            slot_ids: (0..n).collect(),
+            importance: vec![0.0; n],
+            engine: TopkEngine::new(16, 0xA11CE),
+            reads: 0,
+        }
+    }
+
+    /// Live slot count.
+    pub fn len(&self) -> usize {
+        self.slots.rows()
+    }
+
+    /// Whether every slot has been pruned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.rows() == 0
+    }
+
+    /// Memory width.
+    pub fn dim(&self) -> usize {
+        self.slots.cols()
+    }
+
+    /// Reads performed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Cumulative importance of the original slot ids.
+    pub fn importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Attention read: softmax(`query · slotsᵀ / √d`) · slots, accumulating
+    /// each live slot's read probability into its importance score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width mismatches or the bank is empty.
+    pub fn read(&mut self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim(), "query width mismatch");
+        assert!(!self.is_empty(), "reading an empty memory bank");
+        self.reads += 1;
+        let inv_sqrt_d = 1.0 / (self.dim() as f32).sqrt();
+        let scores: Vec<f32> = (0..self.slots.rows())
+            .map(|r| {
+                self.slots
+                    .row(r)
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+                    * inv_sqrt_d
+            })
+            .collect();
+        let probs = softmax(&scores);
+        let mut out = vec![0.0f32; self.dim()];
+        for (r, &p) in probs.iter().enumerate() {
+            self.importance[self.slot_ids[r]] += f64::from(p);
+            for (o, &v) in out.iter_mut().zip(self.slots.row(r)) {
+                *o += p * v;
+            }
+        }
+        out
+    }
+
+    /// Prunes to the `k` most-important live slots (cascade: pruned slots
+    /// never return). Returns the original ids of the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn prune_to(&mut self, k: usize) -> Vec<usize> {
+        assert!(k >= 1, "must keep at least one slot");
+        if k >= self.len() {
+            return self.slot_ids.clone();
+        }
+        let scores: Vec<f32> = self
+            .slot_ids
+            .iter()
+            .map(|&id| self.importance[id] as f32)
+            .collect();
+        let result = self.engine.select(&scores, k);
+        let keep_rows: Vec<usize> = result.indices;
+        self.slots = self.slots.select_rows(&keep_rows);
+        self.slot_ids = keep_rows.iter().map(|&r| self.slot_ids[r]).collect();
+        self.slot_ids.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> MemoryBank {
+        MemoryBank::new_seeded(32, 16, 7)
+    }
+
+    #[test]
+    fn read_is_a_convex_combination() {
+        let mut b = bank();
+        let q = vec![0.5f32; 16];
+        let out = b.read(&q);
+        assert_eq!(out.len(), 16);
+        // Output magnitude bounded by the largest slot magnitude.
+        let max_norm = (0..32)
+            .map(|r| b.slots.row(r).iter().map(|v| v * v).sum::<f32>().sqrt())
+            .fold(0.0f32, f32::max);
+        let out_norm = out.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(out_norm <= max_norm + 1e-4);
+    }
+
+    #[test]
+    fn importance_accumulates_over_reads() {
+        let mut b = bank();
+        let q = vec![0.3f32; 16];
+        b.read(&q);
+        let sum1: f64 = b.importance().iter().sum();
+        b.read(&q);
+        let sum2: f64 = b.importance().iter().sum();
+        // Each read deposits total probability mass 1.
+        assert!((sum1 - 1.0).abs() < 1e-4);
+        assert!((sum2 - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pruning_keeps_the_most_read_slots() {
+        let mut b = bank();
+        // Query aligned with slot 3's direction → slot 3 dominates reads.
+        let target: Vec<f32> = b.slots.row(3).to_vec();
+        for _ in 0..8 {
+            b.read(&target);
+        }
+        let survivors = b.prune_to(4);
+        assert_eq!(survivors.len(), 4);
+        assert!(survivors.contains(&3), "hot slot must survive: {survivors:?}");
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn pruned_bank_approximates_full_bank_for_hot_queries() {
+        let mut full = bank();
+        let mut pruned = bank();
+        let target: Vec<f32> = full.slots.row(5).to_vec();
+        for _ in 0..6 {
+            full.read(&target);
+            pruned.read(&target);
+        }
+        pruned.prune_to(8);
+        let a = full.read(&target);
+        let b2 = pruned.read(&target);
+        let dot: f32 = a.iter().zip(&b2).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let nb: f32 = b2.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let cosine = dot / (na * nb);
+        assert!(cosine > 0.9, "cosine {cosine}");
+    }
+
+    #[test]
+    fn cascade_pruning_is_monotone() {
+        let mut b = bank();
+        let q = vec![0.1f32; 16];
+        b.read(&q);
+        let first = b.prune_to(16);
+        b.read(&q);
+        let second = b.prune_to(8);
+        // Survivors of the second pruning are a subset of the first.
+        assert!(second.iter().all(|id| first.contains(id)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory bank")]
+    fn reading_after_total_pruning_panics() {
+        let mut b = MemoryBank::new_seeded(2, 4, 1);
+        b.read(&[1.0; 4]);
+        b.prune_to(1);
+        b.prune_to(1);
+        // Force-empty is impossible through the API; emulate by reading a
+        // zero-slot bank built directly.
+        let mut empty = MemoryBank::from_slots(Matrix::zeros(0, 4));
+        empty.read(&[1.0; 4]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Energy, area and power accounting for the SpAtten reproduction.
+//!
+//! The paper estimates power/area with Cadence Genus (logic, TSMC 40 nm),
+//! CACTI (SRAM/FIFO) and Ramulator + energy numbers from O'Connor et al.
+//! (DRAM); floating-point units come from Salehi et al. (45 nm, used as an
+//! upper bound for 40 nm). None of those tools are available here, so this
+//! crate carries **documented per-event constants** of the same technology
+//! class and converts the simulator's event counts into energy, power and
+//! area reports.
+//!
+//! Headline calibration targets from the paper:
+//!
+//! * Table II: computation logic 1.36 W, SRAM 1.24 W, DRAM 5.71 W, total
+//!   8.30 W.
+//! * Fig. 13: area 18.71 mm² dominated by the Q·K and prob·V arrays
+//!   (≈ 38 % each); top-k engines only 2.7 % of area and 1 % of power.
+
+pub mod area;
+pub mod counters;
+pub mod model;
+
+pub use area::{AreaModel, AreaReport};
+pub use counters::EventCounts;
+pub use model::{EnergyBreakdown, EnergyModel, EnergyParams, PowerReport};

@@ -1,0 +1,313 @@
+//! The whole HBM stack: request queues over all channels.
+
+use crate::address::AddressMap;
+use crate::channel::Channel;
+use serde::{Deserialize, Serialize};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// DRAM → chip.
+    Read,
+    /// Chip → DRAM.
+    Write,
+}
+
+/// One memory request (a contiguous byte range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Start byte address.
+    pub addr: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+}
+
+/// HBM stack configuration (Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Bytes per cycle per channel (128-bit channel @ accelerator clock).
+    pub bytes_per_cycle: u64,
+    /// Channel interleave granularity in bytes.
+    pub interleave_bytes: u64,
+    /// DRAM row (page) size in bytes.
+    pub row_bytes: u64,
+    /// Activate+precharge penalty in accelerator cycles.
+    pub activation_cycles: u64,
+    /// Clock frequency in GHz (for bandwidth conversion).
+    pub clock_ghz: f64,
+}
+
+impl HbmConfig {
+    /// Peak bandwidth in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.channels as f64 * self.bytes_per_cycle as f64 * self.clock_ghz
+    }
+}
+
+impl Default for HbmConfig {
+    /// HBM2 as in Table I: 16 channels × 128 bit @ 2 GHz = 32 GB/s each,
+    /// 512 GB/s total.
+    fn default() -> Self {
+        Self {
+            channels: 16,
+            bytes_per_cycle: 16,
+            interleave_bytes: 32,
+            row_bytes: 1024,
+            activation_cycles: 28, // tRAS+tRP class penalty at 2 GHz
+            clock_ghz: 2.0,
+        }
+    }
+}
+
+/// Result of draining one batch of requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainStats {
+    /// Cycles until the slowest channel finished (the batch's latency when
+    /// perfectly overlapped with compute).
+    pub cycles: u64,
+    /// Sum of per-channel busy cycles (for utilization accounting).
+    pub total_channel_busy: u64,
+    /// Row activations in this batch.
+    pub activations: u64,
+    /// Bytes read in this batch.
+    pub read_bytes: u64,
+    /// Bytes written in this batch.
+    pub write_bytes: u64,
+}
+
+/// The HBM stack: per-channel queues + lifetime counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hbm {
+    config: HbmConfig,
+    map: AddressMap,
+    channels: Vec<Channel>,
+    pending: Vec<Vec<(u64, u64, bool)>>, // per channel: (row, bytes, is_write)
+    lifetime_activations: u64,
+    lifetime_read_bytes: u64,
+    lifetime_write_bytes: u64,
+}
+
+impl Hbm {
+    /// A fresh stack.
+    pub fn new(config: HbmConfig) -> Self {
+        let map = AddressMap::new(config.channels, config.interleave_bytes, config.row_bytes);
+        Self {
+            config,
+            map,
+            channels: (0..config.channels).map(|_| Channel::new()).collect(),
+            pending: vec![Vec::new(); config.channels],
+            lifetime_activations: 0,
+            lifetime_read_bytes: 0,
+            lifetime_write_bytes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HbmConfig {
+        self.config
+    }
+
+    /// The address map.
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// Queues a request, splitting it into per-channel interleave blocks.
+    pub fn enqueue(&mut self, req: Request) {
+        let is_write = req.kind == RequestKind::Write;
+        let mut addr = req.addr;
+        let mut remaining = req.bytes;
+        while remaining > 0 {
+            let within = addr % self.config.interleave_bytes;
+            let chunk = (self.config.interleave_bytes - within).min(remaining);
+            let d = self.map.decode(addr);
+            self.pending[d.channel].push((d.row, chunk, is_write));
+            addr += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    /// Drains all queued requests, returning the batch statistics.
+    ///
+    /// The batch latency is the busy time of the slowest channel — the
+    /// datapath overlaps DRAM access with compute, so this is the number the
+    /// pipeline model needs.
+    pub fn drain(&mut self) -> DrainStats {
+        let mut stats = DrainStats {
+            cycles: 0,
+            total_channel_busy: 0,
+            activations: 0,
+            read_bytes: 0,
+            write_bytes: 0,
+        };
+        for (ch, queue) in self.channels.iter_mut().zip(&mut self.pending) {
+            ch.start_window();
+            let act_before = ch.activations();
+            let rd_before = ch.read_bytes();
+            let wr_before = ch.write_bytes();
+            for &(row, bytes, is_write) in queue.iter() {
+                ch.access(
+                    row,
+                    bytes,
+                    is_write,
+                    self.config.bytes_per_cycle,
+                    self.config.activation_cycles,
+                );
+            }
+            queue.clear();
+            stats.cycles = stats.cycles.max(ch.busy_cycles());
+            stats.total_channel_busy += ch.busy_cycles();
+            stats.activations += ch.activations() - act_before;
+            stats.read_bytes += ch.read_bytes() - rd_before;
+            stats.write_bytes += ch.write_bytes() - wr_before;
+        }
+        self.lifetime_activations += stats.activations;
+        self.lifetime_read_bytes += stats.read_bytes;
+        self.lifetime_write_bytes += stats.write_bytes;
+        stats
+    }
+
+    /// Convenience: enqueue one contiguous read at `addr` and drain.
+    pub fn read(&mut self, addr: u64, bytes: u64) -> DrainStats {
+        self.enqueue(Request {
+            addr,
+            bytes,
+            kind: RequestKind::Read,
+        });
+        self.drain()
+    }
+
+    /// Lifetime row activations.
+    pub fn lifetime_activations(&self) -> u64 {
+        self.lifetime_activations
+    }
+
+    /// Lifetime bytes read.
+    pub fn lifetime_read_bytes(&self) -> u64 {
+        self.lifetime_read_bytes
+    }
+
+    /// Lifetime bytes written.
+    pub fn lifetime_write_bytes(&self) -> u64 {
+        self.lifetime_write_bytes
+    }
+
+    /// Ideal (fully interleaved, row-hit) cycles to move `bytes`.
+    pub fn ideal_cycles(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.config.bytes_per_cycle * self.config.channels as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hbm() -> Hbm {
+        Hbm::new(HbmConfig::default())
+    }
+
+    #[test]
+    fn sequential_stream_saturates_all_channels() {
+        let mut h = hbm();
+        // 64 KiB sequential: perfectly interleaved over 16 channels.
+        let stats = h.read(0, 65536);
+        let ideal = h.ideal_cycles(65536);
+        // Each channel streams 4 KiB = 4 rows, so 4 activations on top of
+        // pure transfer time.
+        let cfg = HbmConfig::default();
+        let rows_per_channel = 65536 / cfg.channels as u64 / cfg.row_bytes;
+        assert_eq!(
+            stats.cycles,
+            ideal + rows_per_channel * cfg.activation_cycles,
+            "cycles {} vs ideal {}",
+            stats.cycles,
+            ideal
+        );
+        assert_eq!(stats.read_bytes, 65536);
+    }
+
+    #[test]
+    fn single_channel_hotspot_is_16x_slower() {
+        let cfg = HbmConfig::default();
+        let mut h = Hbm::new(cfg);
+        // Only touch channel 0 blocks: addresses k * (interleave*channels).
+        let stride = cfg.interleave_bytes * cfg.channels as u64;
+        for k in 0..512u64 {
+            h.enqueue(Request {
+                addr: k * stride,
+                bytes: cfg.interleave_bytes,
+                kind: RequestKind::Read,
+            });
+        }
+        let hot = h.drain();
+        let mut h2 = Hbm::new(cfg);
+        let seq = h2.read(0, 512 * cfg.interleave_bytes);
+        assert!(
+            hot.cycles > seq.cycles * 8,
+            "hotspot {} vs sequential {}",
+            hot.cycles,
+            seq.cycles
+        );
+    }
+
+    #[test]
+    fn random_rows_cost_activations() {
+        let cfg = HbmConfig::default();
+        let mut h = Hbm::new(cfg);
+        // Touch one block in each of 64 different rows of channel 0.
+        let row_stride = cfg.row_bytes * cfg.channels as u64;
+        for k in 0..64u64 {
+            h.enqueue(Request {
+                addr: k * row_stride,
+                bytes: 32,
+                kind: RequestKind::Read,
+            });
+        }
+        let stats = h.drain();
+        assert_eq!(stats.activations, 64);
+        assert!(stats.cycles >= 64 * cfg.activation_cycles);
+    }
+
+    #[test]
+    fn writes_are_counted_separately() {
+        let mut h = hbm();
+        h.enqueue(Request {
+            addr: 0,
+            bytes: 4096,
+            kind: RequestKind::Write,
+        });
+        let stats = h.drain();
+        assert_eq!(stats.write_bytes, 4096);
+        assert_eq!(stats.read_bytes, 0);
+        assert_eq!(h.lifetime_write_bytes(), 4096);
+    }
+
+    #[test]
+    fn drain_is_idempotent_when_empty() {
+        let mut h = hbm();
+        let first = h.read(0, 1024);
+        let empty = h.drain();
+        assert!(first.cycles > 0);
+        assert_eq!(empty.cycles, 0);
+        assert_eq!(empty.read_bytes, 0);
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_table1() {
+        let cfg = HbmConfig::default();
+        assert!((cfg.peak_bandwidth_gbps() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_counters_accumulate() {
+        let mut h = hbm();
+        h.read(0, 1000);
+        h.read(100_000, 2000);
+        assert_eq!(h.lifetime_read_bytes(), 3000);
+        assert!(h.lifetime_activations() >= 2);
+    }
+}

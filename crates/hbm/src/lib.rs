@@ -1,0 +1,22 @@
+//! HBM2 DRAM model for the SpAtten reproduction.
+//!
+//! The paper attaches SpAtten to HBM2 with 16 channels of 32 GB/s each
+//! (Table I), modelled with Ramulator. This crate is the Ramulator
+//! substitute: a channel/row-level model that captures the two properties
+//! SpAtten's evaluation depends on —
+//!
+//! 1. the **bandwidth ceiling** (512 GB/s total; 16 bytes/cycle/channel at
+//!    2 GHz) that makes GPT-2 generation memory-bounded, and
+//! 2. **per-event energy** (row activations vs. column reads) that makes
+//!    DRAM ≈ 70 % of total power (Table II).
+//!
+//! The model is deterministic: requests are queued per channel and drained
+//! in order with an open-page row-buffer policy.
+
+pub mod address;
+pub mod channel;
+pub mod device;
+
+pub use address::{AddressMap, DecodedAddress};
+pub use channel::{Channel, RowBufferOutcome};
+pub use device::{DrainStats, Hbm, HbmConfig, Request, RequestKind};

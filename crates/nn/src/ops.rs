@@ -1,0 +1,182 @@
+//! Elementwise and row-wise neural-network operations.
+
+use crate::matrix::Matrix;
+
+/// Row-wise softmax, optionally with a causal mask: row `r` may only attend
+/// to columns `0..=r + offset` (offset is the number of cached context
+/// tokens during generation).
+pub fn softmax_rows(scores: &mut Matrix, causal: bool, offset: usize) {
+    let cols = scores.cols();
+    for r in 0..scores.rows() {
+        let limit = if causal { (r + offset + 1).min(cols) } else { cols };
+        let row = scores.row_mut(r);
+        for v in row.iter_mut().skip(limit) {
+            *v = f32::NEG_INFINITY;
+        }
+        let max = row[..limit]
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            if v.is_finite() {
+                *v = (*v - max).exp();
+                sum += *v;
+            } else {
+                *v = 0.0;
+            }
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Layer normalization over each row: `γ ⊙ (x − μ)/σ + β`.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from the column count.
+pub fn layer_norm(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let n = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let orow = out.row_mut(r);
+        for (i, &v) in row.iter().enumerate() {
+            orow[i] = gamma[i] * (v - mean) * inv_std + beta[i];
+        }
+    }
+    out
+}
+
+/// GELU activation (tanh approximation, as used by BERT/GPT-2).
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] (tanh approximation), for backprop.
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Applies [`gelu`] elementwise.
+pub fn gelu_matrix(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = gelu(*v);
+    }
+    out
+}
+
+/// Argmax of a slice. Returns 0 for an empty slice.
+pub fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Cross-entropy loss of a logit row against a target class, together with
+/// the gradient on the logits (softmax − one-hot).
+pub fn cross_entropy_with_grad(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    let probs = spatten_quant::softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_normalizes_each_row() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        softmax_rows(&mut m, false, 0);
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!((m.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_positions() {
+        let mut m = Matrix::from_vec(3, 3, vec![1.0; 9]);
+        softmax_rows(&mut m, true, 0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-6);
+        let s: f32 = m.row(2).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn causal_mask_with_offset_allows_cached_context() {
+        // One query with 3 cached tokens: may attend to all 4 positions.
+        let mut m = Matrix::from_vec(1, 4, vec![0.0; 4]);
+        softmax_rows(&mut m, true, 3);
+        for c in 0..4 {
+            assert!((m.get(0, c) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_standardizes_rows() {
+        let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let y = layer_norm(&x, &g, &b, 1e-5);
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        assert!(gelu(10.0) > 9.99);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_grad(x) - fd).abs() < 1e-3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let (loss, grad) = cross_entropy_with_grad(&[1.0, -1.0, 0.5], 2);
+        assert!(loss > 0.0);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        assert!(grad[2] < 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

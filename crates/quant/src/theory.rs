@@ -1,0 +1,128 @@
+//! Closed-form softmax quantization-error analysis (paper Eq. (1)–(2)).
+//!
+//! Quantizing Q and K perturbs each attention *score* by some Δs. The paper
+//! shows the induced total variation on the attention *probabilities* is
+//!
+//! ```text
+//! error = |Δs₀·p₀·(1−p₀)| + Σ_{i≠0} |−Δs₀·p₀·p_i| = 2·Δs₀·p₀·(1−p₀) < Δs₀/2
+//! ```
+//!
+//! so the softmax *shrinks* quantization error, and shrinks it most when the
+//! distribution is dominated (p₀ near 0 or 1). This is the theoretical basis
+//! of progressive quantization: peaked distributions tolerate MSB-only
+//! inputs; flat distributions need the LSBs.
+
+/// Entry `∂p_i/∂s_j` of the softmax Jacobian given the output distribution.
+///
+/// `p[i]·(1 − p[i])` on the diagonal, `−p[i]·p[j]` off it.
+///
+/// # Panics
+///
+/// Panics if `i` or `j` are out of bounds.
+pub fn softmax_jacobian_entry(probs: &[f32], i: usize, j: usize) -> f32 {
+    let pi = probs[i];
+    let pj = probs[j];
+    if i == j {
+        pi * (1.0 - pi)
+    } else {
+        -pi * pj
+    }
+}
+
+/// The paper's first-order bound on the total absolute probability error
+/// caused by perturbing score `j` by `delta_s`:
+/// `2·|Δs|·p_j·(1−p_j)`.
+pub fn softmax_error_bound(probs: &[f32], j: usize, delta_s: f32) -> f32 {
+    let p = probs[j];
+    2.0 * delta_s.abs() * p * (1.0 - p)
+}
+
+/// First-order predicted total absolute error summed over all outputs, for a
+/// perturbation vector `delta_s` applied to all scores.
+pub fn predicted_total_error(probs: &[f32], delta_s: &[f32]) -> f32 {
+    assert_eq!(probs.len(), delta_s.len());
+    let mut total = 0.0f32;
+    for i in 0..probs.len() {
+        let mut dp = 0.0f32;
+        for (j, &ds) in delta_s.iter().enumerate() {
+            dp += softmax_jacobian_entry(probs, i, j) * ds;
+        }
+        total += dp.abs();
+    }
+    total
+}
+
+/// Measured total absolute probability error between the softmax of `scores`
+/// and the softmax of `scores + delta_s`.
+pub fn measured_total_error(scores: &[f32], delta_s: &[f32]) -> f32 {
+    assert_eq!(scores.len(), delta_s.len());
+    let base = crate::softmax(scores);
+    let perturbed: Vec<f32> = scores.iter().zip(delta_s).map(|(s, d)| s + d).collect();
+    let shifted = crate::softmax(&perturbed);
+    base.iter()
+        .zip(&shifted)
+        .map(|(a, b)| (a - b).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::softmax;
+
+    #[test]
+    fn jacobian_rows_sum_to_zero() {
+        // Σ_j ∂p_i/∂s_j = 0 because probabilities always sum to 1.
+        let probs = softmax(&[0.3, -1.0, 2.0, 0.0]);
+        for i in 0..probs.len() {
+            let row_sum: f32 = (0..probs.len())
+                .map(|j| softmax_jacobian_entry(&probs, i, j))
+                .sum();
+            assert!(row_sum.abs() < 1e-6, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn bound_is_maximal_at_half() {
+        let peaked = softmax(&[10.0, 0.0, 0.0]);
+        let flat = softmax(&[0.0, 0.0]);
+        // flat two-way distribution has p = 0.5 → bound Δs/2 (the maximum)
+        let b_flat = softmax_error_bound(&flat, 0, 1.0);
+        let b_peak = softmax_error_bound(&peaked, 0, 1.0);
+        assert!((b_flat - 0.5).abs() < 1e-6);
+        assert!(b_peak < b_flat);
+    }
+
+    #[test]
+    fn bound_never_exceeds_half_delta() {
+        for s in [-3.0f32, -1.0, 0.0, 0.5, 2.0, 8.0] {
+            let probs = softmax(&[s, 0.0, 1.0, -1.0]);
+            for j in 0..probs.len() {
+                assert!(softmax_error_bound(&probs, j, 1.0) <= 0.5 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn first_order_prediction_tracks_measurement_for_small_perturbations() {
+        let scores = [0.2f32, 1.1, -0.7, 0.0, 0.4];
+        let probs = softmax(&scores);
+        let delta = [0.01f32, -0.005, 0.0, 0.008, -0.002];
+        let predicted = predicted_total_error(&probs, &delta);
+        let measured = measured_total_error(&scores, &delta);
+        assert!(
+            (predicted - measured).abs() < 0.05 * measured.max(1e-4) + 1e-4,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn peaked_distributions_suffer_less_measured_error() {
+        // The Fig. 7 phenomenon in closed form: the same score perturbation
+        // causes less probability movement when one token dominates.
+        let delta = [0.3f32, -0.3, 0.3, -0.3];
+        let peaked = measured_total_error(&[8.0, 0.0, 0.0, 0.0], &delta);
+        let flat = measured_total_error(&[0.0, 0.0, 0.0, 0.0], &delta);
+        assert!(peaked < flat, "peaked {peaked} flat {flat}");
+    }
+}

@@ -1,0 +1,249 @@
+//! The 30-benchmark registry (paper §V-A).
+//!
+//! Sequence lengths are the per-task dev-set averages the paper uses as
+//! input lengths; pruning ratios follow the paper's reported averages
+//! (tokens+local-V 1.9× over all models, 3.8× on GPT-2; heads 1.1×), with
+//! longer-input tasks pruned harder ("the pruning ratio can be larger when
+//! the input sentence of a task is longer"). BERT uses static quantization,
+//! GPT-2 progressive 6+4 / 8+4 with threshold 0.1 (§III-D, §V-A).
+
+use crate::spec::{PruningSpec, QuantPolicy, Workload};
+use serde::{Deserialize, Serialize};
+use spatten_nn::ModelConfig;
+use spatten_quant::BitwidthScheme;
+
+/// Discriminative (BERT) vs. generative (GPT-2) benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Single summarization pass over the whole input.
+    Discriminative,
+    /// Summarization over the context, then token-by-token generation.
+    Generative,
+}
+
+/// One of the paper's 30 benchmarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Identifier, e.g. `bert-base-sst-2`.
+    pub id: String,
+    /// Model shape.
+    pub model: ModelConfig,
+    /// Task type.
+    pub kind: TaskKind,
+    /// Input length (dev-set average for BERT; initial context for GPT-2).
+    pub seq_len: usize,
+    /// Generated tokens (GPT-2 benchmarks: 32).
+    pub gen_steps: usize,
+    /// Pruning parameters.
+    pub pruning: PruningSpec,
+    /// Quantization policy.
+    pub quant: QuantPolicy,
+}
+
+impl Benchmark {
+    fn bert(model: ModelConfig, size: &str, task: &str, seq_len: usize) -> Self {
+        // Longer inputs are more redundant → keep fewer tokens.
+        let token_keep = match seq_len {
+            0..=20 => 0.85,
+            21..=40 => 0.70,
+            41..=80 => 0.60,
+            _ => 0.50,
+        };
+        Self {
+            id: format!("bert-{size}-{task}"),
+            model,
+            kind: TaskKind::Discriminative,
+            seq_len,
+            gen_steps: 0,
+            // §III-D: BERT uses static quantization; 8+4 is one of the two
+            // common settings, and only the 8-bit MSB plane is fetched.
+            pruning: PruningSpec::with_keeps(token_keep, 0.9),
+            quant: QuantPolicy::static_msb(BitwidthScheme::Msb8Lsb4),
+        }
+    }
+
+    fn gpt2(model: ModelConfig, size: &str, dataset: &str, scheme: BitwidthScheme) -> Self {
+        // The paper reports 3.8× token reduction as the *overall* average
+        // on GPT-2, including the protected front 15 % of layers that keep
+        // everything. Solving 0.15·1 + 0.85·keep = 1/3.8 gives the average
+        // keep ratio of the pruned layers.
+        let keep = (1.0 / 3.8 - 0.15) / 0.85;
+        Self {
+            id: format!("gpt2-{size}-{dataset}"),
+            model,
+            kind: TaskKind::Generative,
+            seq_len: 992,
+            gen_steps: 32,
+            pruning: PruningSpec::with_keeps(keep, 0.9),
+            quant: QuantPolicy::progressive(scheme),
+        }
+    }
+
+    /// All 30 benchmarks in the paper's Fig. 14 order (22 BERT then 8
+    /// GPT-2).
+    pub fn all() -> Vec<Benchmark> {
+        let mut v = Vec::with_capacity(30);
+        // (task, dev-set average length)
+        let bert_tasks: [(&str, usize); 11] = [
+            ("squad-v1", 180),
+            ("squad-v2", 180),
+            ("cola", 11),
+            ("mnli-m", 39),
+            ("mnli-mm", 39),
+            ("mrpc", 53),
+            ("qnli", 50),
+            ("qqp", 30),
+            ("rte", 64),
+            ("sst-2", 25),
+            ("sts-b", 30),
+        ];
+        for &(task, len) in &bert_tasks {
+            v.push(Self::bert(ModelConfig::bert_base(), "base", task, len));
+        }
+        for &(task, len) in &bert_tasks {
+            v.push(Self::bert(ModelConfig::bert_large(), "large", task, len));
+        }
+        let datasets = ["wikitext2", "wikitext103", "ptb", "1bw"];
+        for ds in datasets {
+            v.push(Self::gpt2(
+                ModelConfig::gpt2_small(),
+                "small",
+                ds,
+                BitwidthScheme::Msb6Lsb4,
+            ));
+        }
+        for ds in datasets {
+            v.push(Self::gpt2(
+                ModelConfig::gpt2_medium(),
+                "medium",
+                ds,
+                BitwidthScheme::Msb8Lsb4,
+            ));
+        }
+        v
+    }
+
+    /// The 22 BERT benchmarks.
+    pub fn bert_suite() -> Vec<Benchmark> {
+        Self::all()
+            .into_iter()
+            .filter(|b| b.kind == TaskKind::Discriminative)
+            .collect()
+    }
+
+    /// The 8 GPT-2 benchmarks.
+    pub fn gpt2_suite() -> Vec<Benchmark> {
+        Self::all()
+            .into_iter()
+            .filter(|b| b.kind == TaskKind::Generative)
+            .collect()
+    }
+
+    /// Look up one benchmark by id.
+    pub fn by_id(id: &str) -> Option<Benchmark> {
+        Self::all().into_iter().find(|b| b.id == id)
+    }
+
+    /// BERT-Base on SST-2 (the paper's running example, Fig. 1).
+    pub fn bert_base_sst2() -> Benchmark {
+        Self::by_id("bert-base-sst-2").expect("registry always contains sst-2")
+    }
+
+    /// GPT-2-Small language modeling on WikiText-2.
+    pub fn gpt2_small_wikitext2() -> Benchmark {
+        Self::by_id("gpt2-small-wikitext2").expect("registry always contains wikitext2")
+    }
+
+    /// The runnable workload description for this benchmark.
+    pub fn workload(&self) -> Workload {
+        Workload {
+            name: self.id.clone(),
+            model: self.model,
+            seq_len: self.seq_len,
+            gen_steps: self.gen_steps,
+            pruning: self.pruning,
+            quant: self.quant,
+            seed: fxhash(&self.id),
+        }
+    }
+}
+
+/// Tiny deterministic string hash for per-benchmark seeds.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_30_benchmarks() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 30);
+        assert_eq!(Benchmark::bert_suite().len(), 22);
+        assert_eq!(Benchmark::gpt2_suite().len(), 8);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = Benchmark::all();
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    fn gpt2_benchmarks_are_generative_with_992_plus_32() {
+        for b in Benchmark::gpt2_suite() {
+            assert_eq!(b.kind, TaskKind::Generative);
+            assert_eq!(b.seq_len, 992);
+            assert_eq!(b.gen_steps, 32);
+            assert!(b.quant.progressive);
+        }
+    }
+
+    #[test]
+    fn bert_benchmarks_use_static_quantization() {
+        for b in Benchmark::bert_suite() {
+            assert!(!b.quant.progressive, "{} must be static", b.id);
+            assert_eq!(b.gen_steps, 0);
+        }
+    }
+
+    #[test]
+    fn longer_tasks_prune_more_tokens() {
+        let cola = Benchmark::by_id("bert-base-cola").unwrap();
+        let squad = Benchmark::by_id("bert-base-squad-v1").unwrap();
+        assert!(squad.pruning.token_avg_keep < cola.pruning.token_avg_keep);
+    }
+
+    #[test]
+    fn gpt2_overall_token_reduction_is_3_8x() {
+        // Averaged over all layers (protected front layers keep 100 %),
+        // the token reduction must come out at the paper's 3.8×.
+        let b = Benchmark::gpt2_small_wikitext2();
+        let layers = b.model.layers;
+        let avg: f64 = (0..layers)
+            .map(|l| b.pruning.token_keep_at(l, layers))
+            .sum::<f64>()
+            / layers as f64;
+        let ratio = 1.0 / avg;
+        assert!((ratio - 3.8).abs() < 0.3, "overall reduction {ratio}");
+    }
+
+    #[test]
+    fn workload_seeds_are_deterministic_and_distinct() {
+        let a = Benchmark::bert_base_sst2().workload();
+        let b = Benchmark::bert_base_sst2().workload();
+        let c = Benchmark::gpt2_small_wikitext2().workload();
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+    }
+}

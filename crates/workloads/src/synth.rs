@@ -1,0 +1,123 @@
+//! Synthetic token streams and attention-probability generators.
+//!
+//! Dataset text is substituted with Zipf-distributed token streams (natural
+//! language token frequencies are famously Zipfian) and attention rows are
+//! synthesized with a controllable peakedness so the progressive-
+//! quantization experiments can sweep the dominant-vs-flat axis of Fig. 7.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(s≈1) token stream over `vocab` ids.
+///
+/// Token `t` has probability ∝ 1/(t+1); low ids are frequent "function
+/// words", high ids rare "content words".
+///
+/// # Panics
+///
+/// Panics if `vocab` is zero.
+pub fn zipf_tokens(len: usize, vocab: usize, seed: u64) -> Vec<usize> {
+    assert!(vocab > 0, "vocabulary must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Precompute the CDF once.
+    let weights: Vec<f64> = (0..vocab).map(|t| 1.0 / (t as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(vocab);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u).min(vocab - 1)
+        })
+        .collect()
+}
+
+/// A synthetic attention-probability row of length `len`.
+///
+/// `peakedness` controls the score spread before the softmax: 0 gives a
+/// near-uniform row; large values concentrate the mass on few tokens.
+/// Returned rows are valid distributions (non-negative, sum to 1).
+///
+/// # Panics
+///
+/// Panics if `len` is zero or `peakedness` is negative/NaN.
+pub fn synthetic_probs(len: usize, peakedness: f32, seed: u64) -> Vec<f32> {
+    assert!(len > 0, "row must be non-empty");
+    assert!(
+        peakedness >= 0.0 && peakedness.is_finite(),
+        "peakedness must be a non-negative finite number"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scores: Vec<f32> = (0..len)
+        .map(|_| rng.gen_range(-1.0f32..1.0) * peakedness)
+        .collect();
+    spatten_quant::softmax(&scores)
+}
+
+/// Synthetic raw attention scores for one query (pre-softmax), with a few
+/// planted "important" keys: key `i` in `important` gets a boosted score.
+/// Used to drive the accelerator's functional path deterministically.
+pub fn synthetic_scores(len: usize, important: &[usize], boost: f32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores: Vec<f32> = (0..len).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    for &i in important {
+        if i < len {
+            scores[i] += boost;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_in_range() {
+        let a = zipf_tokens(500, 100, 7);
+        let b = zipf_tokens(500, 100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t < 100));
+    }
+
+    #[test]
+    fn zipf_low_ids_dominate() {
+        let toks = zipf_tokens(20_000, 1000, 1);
+        let low = toks.iter().filter(|&&t| t < 10).count();
+        let high = toks.iter().filter(|&&t| t >= 500).count();
+        assert!(
+            low > high * 3,
+            "Zipf head should dominate: low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn probs_are_distributions() {
+        for peak in [0.0f32, 1.0, 8.0] {
+            let p = synthetic_probs(64, peak, 3);
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn peakedness_controls_max_probability() {
+        let flat = synthetic_probs(64, 0.1, 5);
+        let sharp = synthetic_probs(64, 10.0, 5);
+        let max = |v: &[f32]| v.iter().copied().fold(0.0f32, f32::max);
+        assert!(max(&sharp) > 3.0 * max(&flat));
+    }
+
+    #[test]
+    fn planted_keys_have_high_scores() {
+        let s = synthetic_scores(32, &[3, 17], 4.0, 9);
+        let mean: f32 = s.iter().sum::<f32>() / 32.0;
+        assert!(s[3] > mean + 2.0);
+        assert!(s[17] > mean + 2.0);
+    }
+}

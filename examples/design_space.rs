@@ -1,0 +1,59 @@
+//! Design-space exploration on the public API: sweep the top-k engine
+//! parallelism and the multiplier-array size, and watch the bottleneck
+//! move (Fig. 19 / §V-C).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use spatten::core::{Accelerator, SpAttenConfig};
+use spatten::workloads::Benchmark;
+
+fn main() {
+    let bench = Benchmark::by_id("bert-base-squad-v1").expect("registry");
+    let workload = bench.workload();
+
+    println!("top-k parallelism sweep on {} (compute-bound):", bench.id);
+    println!("{:<12} {:>12} {:>16}", "comparators", "latency µs", "bottleneck");
+    for parallelism in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = SpAttenConfig {
+            topk_parallelism: parallelism,
+            ..SpAttenConfig::default()
+        };
+        let r = Accelerator::new(cfg).run(&workload);
+        let m = r.modules;
+        let bottleneck = [
+            ("Q·K", m.qk),
+            ("softmax", m.softmax),
+            ("top-k", m.topk),
+            ("prob·V", m.pv),
+            ("DRAM", m.dram),
+        ]
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(n, _)| n)
+        .unwrap_or("-");
+        println!(
+            "{:<12} {:>12.1} {:>16}",
+            parallelism,
+            r.seconds() * 1e6,
+            bottleneck
+        );
+    }
+
+    println!("\nmultiplier-array sweep (per array):");
+    println!("{:<12} {:>12} {:>14}", "multipliers", "latency µs", "TFLOPS");
+    for mults in [64usize, 128, 256, 512, 1024] {
+        let cfg = SpAttenConfig {
+            multipliers_per_array: mults,
+            ..SpAttenConfig::default()
+        };
+        let r = Accelerator::new(cfg).run(&workload);
+        println!(
+            "{:<12} {:>12.1} {:>14.3}",
+            mults,
+            r.seconds() * 1e6,
+            r.tflops()
+        );
+    }
+}

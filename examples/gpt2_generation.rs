@@ -1,0 +1,55 @@
+//! The generation stage: a functional GPT-2-style model generating tokens
+//! with cascade pruning evicting KV-cache entries, plus the cycle-level
+//! simulation of the full-size GPT-2-Small workload with progressive
+//! quantization.
+//!
+//! ```sh
+//! cargo run --release --example gpt2_generation
+//! ```
+
+use spatten::core::{Accelerator, CascadePruner, SpAttenConfig};
+use spatten::nn::{Model, ModelConfig, ModelKind};
+use spatten::workloads::{Benchmark, PruningSpec};
+
+fn main() {
+    // --- Functional path: a tiny GPT-2 generating with pruning. ---
+    let config = ModelConfig {
+        kind: ModelKind::Gpt2,
+        layers: 3,
+        heads: 4,
+        hidden: 48,
+        ffn: 96,
+        vocab: 96,
+    };
+    let model = Model::new_lm(config, 128, 21);
+    let prompt: Vec<usize> = (1..20).map(|i| (i * 7) % 96).collect();
+
+    let mut pruner = CascadePruner::new(
+        PruningSpec::with_keeps(0.5, 1.0),
+        config.layers,
+        prompt.len(),
+        config.heads,
+    );
+    // Never prune the newest tokens the LM head reads.
+    pruner.protect_token(prompt.len() - 1);
+
+    let out = model.generate(&prompt, 8, &mut pruner);
+    println!("prompt ({} tokens) → generated: {:?}", prompt.len(), out.generated);
+    println!(
+        "tokens still in the KV caches: {} of {}",
+        out.active.active_token_count(),
+        out.active.token_capacity()
+    );
+
+    // --- Performance path: GPT-2-Small on the cycle-level model. ---
+    let bench = Benchmark::gpt2_small_wikitext2();
+    let report = Accelerator::new(SpAttenConfig::default()).run(&bench.workload());
+    println!("\ncycle-level simulation of {}:", bench.id);
+    println!("  latency for 32 generated tokens: {:.3} ms", report.seconds() * 1e3);
+    println!("  achieved: {:.2} TFLOPS (memory-bound regime)", report.tflops());
+    println!("  DRAM traffic: {} MB ({:.1}x below dense fp32)",
+        report.dram_bytes / 1_000_000, report.dram_reduction());
+    println!("  queries that refetched LSBs: {:.1}% (paper: 5.9%)",
+        report.lsb_fraction * 100.0);
+    println!("  module busy cycles: {:?}", report.modules);
+}

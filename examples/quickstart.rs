@@ -1,0 +1,37 @@
+//! Quickstart: run one benchmark through the SpAtten accelerator model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spatten::core::{Accelerator, SpAttenConfig};
+use spatten::energy::EnergyModel;
+use spatten::workloads::Benchmark;
+
+fn main() {
+    // Pick the paper's running example: BERT-Base on SST-2 (Fig. 1).
+    let bench = Benchmark::bert_base_sst2();
+    println!("benchmark: {} (seq len {})", bench.id, bench.seq_len);
+
+    // Default configuration = Table I: 2×512 multipliers, 16-comparator
+    // top-k engine, 196 KB K/V SRAMs, 16-channel HBM2 at 512 GB/s, 1 GHz.
+    let accel = Accelerator::new(SpAttenConfig::default());
+    let report = accel.run(&bench.workload());
+
+    println!("cycles:          {}", report.total_cycles);
+    println!("latency:         {:.3} µs", report.seconds() * 1e6);
+    println!("throughput:      {:.3} TFLOPS", report.tflops());
+    println!("DRAM traffic:    {} KB", report.dram_bytes / 1024);
+    println!("DRAM reduction:  {:.1}x vs dense fp32", report.dram_reduction());
+    println!("compute saved:   {:.2}x", report.computation_reduction());
+
+    println!("\nper-layer survivors (cascade pruning):");
+    for &(layer, tokens, heads) in &report.survivors {
+        println!("  layer {layer:2}: {tokens:3} tokens, {heads:2} heads");
+    }
+
+    let energy = report.energy(&EnergyModel::default());
+    println!("\nenergy: {:.3} µJ (DRAM {:.0}%)",
+        energy.total_j() * 1e6,
+        100.0 * energy.dram_pj / energy.total_pj());
+}

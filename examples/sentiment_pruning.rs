@@ -1,0 +1,58 @@
+//! Cascade token pruning visualized on the paper's Fig. 1 sentence:
+//! "As a visual treat, the film is almost perfect."
+//!
+//! ```sh
+//! cargo run --release --example sentiment_pruning
+//! ```
+
+use spatten::core::PruningTrace;
+use spatten::nn::{Model, ModelConfig, ModelKind};
+use spatten::workloads::{ExampleSentence, PruningSpec, Vocabulary};
+
+fn main() {
+    let example = ExampleSentence::fig1();
+    println!("{} — {}", example.task, example.outcome);
+    println!("input: {:?}\n", example.text);
+
+    let mut vocab = Vocabulary::new();
+    let tokens = vocab.tokenize(example.text);
+    let words: Vec<&str> = example.words();
+
+    let config = ModelConfig {
+        kind: ModelKind::Bert,
+        layers: 3,
+        heads: 4,
+        hidden: 48,
+        ffn: 96,
+        vocab: vocab.len().max(32),
+    };
+    let model = Model::new_classifier(config, 64, 2, 7);
+
+    // Fig. 1 prunes 11 tokens → 6 → 2 across three layer groups; use an
+    // aggressive schedule to show the same funnel.
+    let spec = PruningSpec::with_keeps(0.4, 0.8);
+    let trace = PruningTrace::capture(&model, &tokens, spec, Some(&words));
+
+    for layer in 0..trace.survivors_per_layer.len() {
+        println!("after layer {layer}: {}", trace.render_layer(layer));
+    }
+
+    println!("\ntoken fates (importance = cumulative attention received):");
+    for fate in &trace.tokens {
+        let status = match fate.pruned_after_layer {
+            Some(l) => format!("pruned@L{l}"),
+            None => "kept".to_owned(),
+        };
+        println!(
+            "  {:>10} {:<10} importance {:.2}",
+            fate.word.clone().unwrap_or_default(),
+            status,
+            fate.importance
+        );
+    }
+    println!(
+        "\nsurviving heads: {:?} of {}",
+        trace.final_heads,
+        config.heads
+    );
+}

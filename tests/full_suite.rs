@@ -1,0 +1,128 @@
+//! Integration: every registry benchmark through the full accelerator
+//! stack, checking cross-crate invariants.
+
+use spatten::baselines::DeviceModel;
+use spatten::core::{Accelerator, SpAttenConfig};
+use spatten::energy::EnergyModel;
+use spatten::workloads::{Benchmark, TaskKind};
+
+#[test]
+fn all_30_benchmarks_run_and_report_sane_numbers() {
+    let accel = Accelerator::new(SpAttenConfig::default());
+    let benchmarks = Benchmark::all();
+    assert_eq!(benchmarks.len(), 30);
+    for bench in &benchmarks {
+        let r = accel.run(&bench.workload());
+        assert!(r.total_cycles > 0, "{}: zero cycles", bench.id);
+        assert!(r.dram_bytes > 0, "{}: no DRAM traffic", bench.id);
+        assert!(
+            r.dram_bytes < r.dense_dram_bytes,
+            "{}: pruning must reduce traffic",
+            bench.id
+        );
+        assert!(
+            r.flops <= r.dense_flops,
+            "{}: pruned FLOPs exceed dense",
+            bench.id
+        );
+        assert!(
+            r.tflops() < 2.1,
+            "{}: throughput above the compute roof",
+            bench.id
+        );
+        let power = r.power(&EnergyModel::default());
+        assert!(
+            power.total_w() > 0.3 && power.total_w() < 60.0,
+            "{}: implausible power {}",
+            bench.id,
+            power.total_w()
+        );
+    }
+}
+
+#[test]
+fn spatten_beats_every_baseline_device_on_every_benchmark() {
+    let accel = Accelerator::new(SpAttenConfig::default());
+    for bench in Benchmark::all() {
+        let w = bench.workload();
+        let ours = accel.run(&w).seconds();
+        for dev in DeviceModel::all() {
+            let theirs = dev.attention_latency(&w);
+            assert!(
+                theirs / ours > 5.0,
+                "{} on {}: only {:.1}x",
+                bench.id,
+                dev.name,
+                theirs / ours
+            );
+        }
+    }
+}
+
+#[test]
+fn generative_benchmarks_are_memory_bound_discriminative_are_not() {
+    let accel = Accelerator::new(SpAttenConfig::default());
+    for bench in Benchmark::all() {
+        let r = accel.run(&bench.workload());
+        let compute_max = r.modules.qk.max(r.modules.softmax).max(r.modules.pv);
+        match bench.kind {
+            TaskKind::Generative => assert!(
+                r.modules.dram > compute_max,
+                "{} should be memory-bound",
+                bench.id
+            ),
+            TaskKind::Discriminative => assert!(
+                r.modules.dram < r.modules.qk.max(r.modules.softmax).max(r.modules.topk),
+                "{} should be compute-bound",
+                bench.id
+            ),
+        }
+    }
+}
+
+#[test]
+fn reports_are_fully_deterministic() {
+    let accel = Accelerator::new(SpAttenConfig::default());
+    for bench in [Benchmark::bert_base_sst2(), Benchmark::gpt2_small_wikitext2()] {
+        let a = accel.run(&bench.workload());
+        let b = accel.run(&bench.workload());
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.dram_bytes, b.dram_bytes);
+        assert_eq!(a.counts, b.counts);
+    }
+}
+
+#[test]
+fn ablation_ladder_is_cumulative() {
+    // Each added technique must help on GPT-2 once the parallel top-k
+    // engine is in place (the serial-engine dip is expected and tested in
+    // the core crate).
+    let w = Benchmark::gpt2_small_wikitext2().workload();
+
+    let mut dense = SpAttenConfig::default().datapath_only();
+    dense.topk_parallelism = 16;
+    let mut with_token = dense;
+    with_token.token_pruning = true;
+    with_token.local_value_pruning = true;
+    let mut with_heads = with_token;
+    with_heads.head_pruning = true;
+
+    let t_dense = Accelerator::new(dense).run(&w).total_cycles;
+    let t_token = Accelerator::new(with_token).run(&w).total_cycles;
+    let t_heads = Accelerator::new(with_heads).run(&w).total_cycles;
+    assert!(t_token < t_dense, "token pruning must help: {t_token} vs {t_dense}");
+    assert!(t_heads <= t_token, "head pruning must not hurt: {t_heads} vs {t_token}");
+}
+
+#[test]
+fn eighth_scale_is_slower_than_full_scale() {
+    let w = Benchmark::by_id("bert-base-squad-v1").unwrap().workload();
+    let full = Accelerator::new(SpAttenConfig::default()).run(&w);
+    let eighth = Accelerator::new(SpAttenConfig::eighth()).run(&w);
+    assert!(
+        eighth.total_cycles > 3 * full.total_cycles,
+        "1/8-scale should be several times slower: {} vs {}",
+        eighth.total_cycles,
+        full.total_cycles
+    );
+}

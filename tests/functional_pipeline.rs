@@ -1,0 +1,107 @@
+//! Integration: the functional model path — real forward passes with the
+//! cascade pruner, quantized inputs, and interpretability traces.
+
+use spatten::core::{CascadePruner, PruningTrace};
+use spatten::nn::{Model, ModelConfig, ModelKind, NoPruning};
+use spatten::quant::{BitwidthScheme, SplitQuantized};
+use spatten::workloads::{PruningSpec, Vocabulary};
+
+fn small_model() -> (Model, ModelConfig) {
+    let cfg = ModelConfig {
+        kind: ModelKind::Bert,
+        layers: 4,
+        heads: 4,
+        hidden: 32,
+        ffn: 64,
+        vocab: 64,
+    };
+    (Model::new_classifier(cfg, 64, 2, 13), cfg)
+}
+
+#[test]
+fn pruned_inference_stays_close_to_dense_at_mild_ratios() {
+    let (model, cfg) = small_model();
+    let tokens: Vec<usize> = (0..20).map(|i| (i * 11) % 64).collect();
+    let dense = model.forward(&tokens, &mut NoPruning);
+    let mut pruner = CascadePruner::new(PruningSpec::with_keeps(0.85, 1.0), cfg.layers, 20, 4);
+    let pruned = model.forward(&tokens, &mut pruner);
+
+    // Same argmax class for a mild schedule (the Fig. 21 flat region).
+    let argmax = |v: &[f32]| {
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    assert_eq!(argmax(&dense.logits), argmax(&pruned.logits));
+}
+
+#[test]
+fn quantized_embeddings_preserve_model_decisions() {
+    // Round-trip the embedding activations through the 8+4 bit-plane
+    // storage and verify the forward pass is unchanged at argmax level.
+    let (model, _) = small_model();
+    let tokens: Vec<usize> = (0..12).map(|i| (i * 5) % 64).collect();
+    let x = model.embed_tokens(&tokens);
+    let sq = SplitQuantized::from_f32(x.data(), BitwidthScheme::Msb8Lsb4);
+    let full = sq.dequantize_full();
+    let err: f32 = x
+        .data()
+        .iter()
+        .zip(&full)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max);
+    assert!(err < sq.quantizer().scale(), "max error {err}");
+}
+
+#[test]
+fn trace_and_pruner_agree_on_survivors() {
+    let (model, cfg) = small_model();
+    let tokens: Vec<usize> = (0..16).map(|i| (i * 3) % 64).collect();
+    let spec = PruningSpec::with_keeps(0.5, 1.0);
+    let trace = PruningTrace::capture(&model, &tokens, spec, None);
+    let mut pruner = CascadePruner::new(spec, cfg.layers, 16, 4);
+    let out = model.forward(&tokens, &mut pruner);
+    let trace_survivors: Vec<usize> = trace
+        .final_survivors()
+        .iter()
+        .map(|t| t.position)
+        .collect();
+    assert_eq!(trace_survivors, out.survivors);
+}
+
+#[test]
+fn vocabulary_roundtrips_fig22_sentences() {
+    let mut vocab = Vocabulary::new();
+    for ex in spatten::workloads::ExampleSentence::fig22() {
+        let ids = vocab.tokenize(ex.text);
+        assert_eq!(ids.len(), ex.words().len());
+        for (id, word) in ids.iter().zip(ex.words()) {
+            assert_eq!(vocab.word(*id).unwrap(), word.to_lowercase());
+        }
+    }
+}
+
+#[test]
+fn generation_with_pruner_protects_the_query_token() {
+    let cfg = ModelConfig {
+        kind: ModelKind::Gpt2,
+        layers: 3,
+        heads: 2,
+        hidden: 32,
+        ffn: 64,
+        vocab: 64,
+    };
+    let model = Model::new_lm(cfg, 64, 3);
+    let prompt: Vec<usize> = (0..12).map(|i| (i * 7) % 64).collect();
+    let mut pruner = CascadePruner::new(PruningSpec::with_keeps(0.4, 1.0), cfg.layers, 12, 2);
+    pruner.protect_token(11);
+    let out = model.generate(&prompt, 4, &mut pruner);
+    assert_eq!(out.generated.len(), 4);
+    assert!(out.active.is_token_active(11), "protected token pruned");
+    assert!(
+        out.active.active_token_count() < out.active.token_capacity(),
+        "pruning should have removed something"
+    );
+}

@@ -1,0 +1,87 @@
+//! Cross-crate property tests on the public API.
+
+use proptest::prelude::*;
+use spatten::core::{Accelerator, CascadePruner, SpAttenConfig};
+use spatten::nn::{Model, ModelConfig, ModelKind};
+use spatten::workloads::{Benchmark, PruningSpec, QuantPolicy, Workload};
+
+fn small_workload(seq_len: usize, layers: usize, keep: f64) -> Workload {
+    Workload {
+        name: format!("prop-{seq_len}-{layers}"),
+        model: ModelConfig {
+            kind: ModelKind::Bert,
+            layers,
+            heads: 4,
+            hidden: 256,
+            ffn: 1024,
+            vocab: 1000,
+        },
+        seq_len,
+        gen_steps: 0,
+        pruning: PruningSpec::with_keeps(keep, 0.9),
+        quant: QuantPolicy::full_precision(),
+        seed: 9,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cycles_grow_with_sequence_length(
+        base in 16usize..64,
+        extra in 8usize..64,
+        layers in 2usize..6,
+    ) {
+        let accel = Accelerator::new(SpAttenConfig::default());
+        let small = accel.run(&small_workload(base, layers, 0.7));
+        let large = accel.run(&small_workload(base + extra, layers, 0.7));
+        prop_assert!(large.total_cycles > small.total_cycles);
+        prop_assert!(large.dram_bytes > small.dram_bytes);
+    }
+
+    #[test]
+    fn deeper_pruning_never_increases_traffic(
+        seq in 32usize..128,
+        keep_hi in 0.6f64..0.95,
+        keep_lo in 0.2f64..0.55,
+    ) {
+        let accel = Accelerator::new(SpAttenConfig::default());
+        let mild = accel.run(&small_workload(seq, 4, keep_hi));
+        let deep = accel.run(&small_workload(seq, 4, keep_lo));
+        prop_assert!(deep.dram_bytes <= mild.dram_bytes);
+        prop_assert!(deep.flops <= mild.flops);
+    }
+
+    #[test]
+    fn pruned_forward_survivors_match_schedule(
+        n_tokens in 8usize..24,
+        keep in 0.3f64..0.9,
+    ) {
+        let cfg = ModelConfig::tiny(ModelKind::Bert);
+        let model = Model::new_classifier(cfg, 64, 2, 5);
+        let tokens: Vec<usize> = (0..n_tokens).map(|i| (i * 7) % cfg.vocab).collect();
+        let mut pruner = CascadePruner::new(
+            PruningSpec::with_keeps(keep, 1.0),
+            cfg.layers,
+            n_tokens,
+            cfg.heads,
+        );
+        let out = model.forward(&tokens, &mut pruner);
+        // Survivors are a subset of the input positions, sorted, nonempty.
+        prop_assert!(!out.survivors.is_empty());
+        prop_assert!(out.survivors.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.survivors.iter().all(|&i| i < n_tokens));
+        // Never more survivors than the schedule's loosest layer allows.
+        prop_assert!(out.survivors.len() <= n_tokens);
+    }
+}
+
+#[test]
+fn every_registry_workload_is_deterministic_across_accelerator_instances() {
+    for bench in Benchmark::all().into_iter().take(6) {
+        let a = Accelerator::new(SpAttenConfig::default()).run(&bench.workload());
+        let b = Accelerator::new(SpAttenConfig::default()).run(&bench.workload());
+        assert_eq!(a.total_cycles, b.total_cycles, "{}", bench.id);
+    }
+}
