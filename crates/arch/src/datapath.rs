@@ -167,7 +167,10 @@ pub fn spatten_critical_path(
         BufferedStage::new(StageTiming::new("fetch", 1, 4), 64),
         BufferedStage::new(StageTiming::new("qk", qk_ii, 3), 64),
         BufferedStage::new(StageTiming::new("softmax", sm_ii, 12), 128),
-        BufferedStage::new(StageTiming::new("topk_local_v", topk_interval.max(1), 8), 64),
+        BufferedStage::new(
+            StageTiming::new("topk_local_v", topk_interval.max(1), 8),
+            64,
+        ),
         BufferedStage::new(StageTiming::new("pv", qk_ii, 3), 64),
     ])
 }
@@ -198,10 +201,7 @@ mod tests {
             // The analytic model counts `fill + II·(n−1) + 1`; the event
             // model counts issue+II+latency per stage. They agree up to a
             // constant offset ≤ the per-stage II sum.
-            let slack = timings()
-                .iter()
-                .map(|t| t.initiation_interval)
-                .sum::<u64>();
+            let slack = timings().iter().map(|t| t.initiation_interval).sum::<u64>();
             assert!(
                 event.abs_diff(analytic) <= slack,
                 "items {items}: event {event} vs analytic {analytic}"
@@ -247,7 +247,11 @@ mod tests {
         let pipe = EventDrivenPipeline::new(stages);
         let a = pipe.simulate(1000).total_cycles;
         let b = pipe.simulate(2000).total_cycles;
-        assert_eq!(b - a, 1000 * 3, "steady-state delta must be II_max per item");
+        assert_eq!(
+            b - a,
+            1000 * 3,
+            "steady-state delta must be II_max per item"
+        );
     }
 
     #[test]
@@ -272,9 +276,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero buffer")]
     fn zero_capacity_rejected() {
-        let _ = EventDrivenPipeline::new(vec![BufferedStage::new(
-            StageTiming::new("x", 1, 0),
-            0,
-        )]);
+        let _ = EventDrivenPipeline::new(vec![BufferedStage::new(StageTiming::new("x", 1, 0), 0)]);
     }
 }

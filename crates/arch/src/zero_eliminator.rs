@@ -154,9 +154,8 @@ mod tests {
     fn matches_naive_filter_on_many_patterns() {
         let ze = ZeroEliminator::new(16);
         for mask in 0u32..1 << 12 {
-            let lanes: Vec<Option<u32>> = (0..12)
-                .map(|i| (mask >> i & 1 == 1).then_some(i))
-                .collect();
+            let lanes: Vec<Option<u32>> =
+                (0..12).map(|i| (mask >> i & 1 == 1).then_some(i)).collect();
             let expect: Vec<u32> = lanes.iter().copied().flatten().collect();
             assert_eq!(ze.eliminate(&lanes), expect, "mask {mask:b}");
         }

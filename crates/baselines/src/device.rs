@@ -129,8 +129,7 @@ impl DeviceModel {
         } else {
             let mut total = 0u64;
             for s in 0..w.gen_steps {
-                total +=
-                    (m.layers as u64) * m.attention_core_flops(1, w.seq_len + s + 1, m.heads);
+                total += (m.layers as u64) * m.attention_core_flops(1, w.seq_len + s + 1, m.heads);
             }
             total
         }
@@ -193,7 +192,9 @@ mod tests {
     #[test]
     fn attention_is_half_of_gpt2_end_to_end_on_gpu() {
         // Fig. 2: attention ≈ 50 % of end-to-end GPT-2 latency on TITAN Xp.
-        let w = Benchmark::by_id("gpt2-medium-wikitext2").unwrap().workload();
+        let w = Benchmark::by_id("gpt2-medium-wikitext2")
+            .unwrap()
+            .workload();
         let gpu = DeviceModel::titan_xp();
         let (attn, fc) = gpu.end_to_end_split(&w);
         let share = attn / (attn + fc);
@@ -203,10 +204,15 @@ mod tests {
     #[test]
     fn table4_gpu_fc_and_attention_latency_shape() {
         // Table IV (GPT-2-Medium, GPU): FC 388 ms, attention 367 ms.
-        let w = Benchmark::by_id("gpt2-medium-wikitext2").unwrap().workload();
+        let w = Benchmark::by_id("gpt2-medium-wikitext2")
+            .unwrap()
+            .workload();
         let gpu = DeviceModel::titan_xp();
         let (attn, fc) = gpu.end_to_end_split(&w);
-        assert!((0.15..0.8).contains(&attn), "attention {attn} s (paper 0.367)");
+        assert!(
+            (0.15..0.8).contains(&attn),
+            "attention {attn} s (paper 0.367)"
+        );
         assert!((0.15..0.8).contains(&fc), "FC {fc} s (paper 0.388)");
     }
 

@@ -75,8 +75,7 @@ impl MnnFastModel {
     pub fn effective_gops(&self, w: &Workload) -> Option<f64> {
         let latency = self.attention_latency(w)?;
         let m = w.model;
-        let dense_ops =
-            (m.layers as u64) * m.attention_core_flops(w.seq_len, w.seq_len, m.heads);
+        let dense_ops = (m.layers as u64) * m.attention_core_flops(w.seq_len, w.seq_len, m.heads);
         Some(dense_ops as f64 / latency / 1e9)
     }
 

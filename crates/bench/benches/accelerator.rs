@@ -9,7 +9,11 @@ use std::hint::black_box;
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");
     group.sample_size(10);
-    for id in ["bert-base-sst-2", "bert-base-squad-v1", "gpt2-small-wikitext2"] {
+    for id in [
+        "bert-base-sst-2",
+        "bert-base-squad-v1",
+        "gpt2-small-wikitext2",
+    ] {
         let w = Benchmark::by_id(id).expect("registry").workload();
         group.bench_with_input(BenchmarkId::new("workload", id), &w, |b, w| {
             let accel = Accelerator::new(SpAttenConfig::default());

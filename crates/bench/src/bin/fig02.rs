@@ -21,7 +21,11 @@ fn main() {
             "device", "attention s", "FC s", "attention %", "paper %"
         ),
     );
-    let paper_share = [("TITAN Xp", 50.0), ("Xeon E5-2640", 61.0), ("Jetson Nano", 49.0)];
+    let paper_share = [
+        ("TITAN Xp", 50.0),
+        ("Xeon E5-2640", 61.0),
+        ("Jetson Nano", 49.0),
+    ];
     for dev in [
         DeviceModel::titan_xp(),
         DeviceModel::xeon(),

@@ -45,7 +45,10 @@ fn main() {
 
     print_header(
         "Figure 7: int4 softmax error vs max attention probability",
-        &format!("{:<22} {:>8} {:>16}", "max-prob bucket", "rows", "mean |Δprob|"),
+        &format!(
+            "{:<22} {:>8} {:>16}",
+            "max-prob bucket", "rows", "mean |Δprob|"
+        ),
     );
     let edges = [0.0f32, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.01];
     let mut last_mean = f32::INFINITY;

@@ -34,8 +34,14 @@ fn main() {
         "Table II: power breakdown (paper: logic 1.36 W, SRAM 1.24 W, DRAM 5.71 W, total 8.30 W)",
         &format!("{:<22} {:>10} {:>10}", "component", "watts", "paper W"),
     );
-    println!("{:<22} {:>10.2} {:>10.2}", "computation logic", power.compute_w, 1.36);
-    println!("{:<22} {:>10.2} {:>10.2}", "SRAM + FIFO", power.sram_w, 1.24);
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "computation logic", power.compute_w, 1.36
+    );
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "SRAM + FIFO", power.sram_w, 1.24
+    );
     println!("{:<22} {:>10.2} {:>10.2}", "DRAM", power.dram_w, 5.71);
     println!("{:<22} {:>10.2} {:>10}", "leakage", power.leakage_w, "-");
     println!("{:<22} {:>10.2} {:>10.2}", "total", power.total_w(), 8.30);

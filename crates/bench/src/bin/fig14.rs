@@ -27,8 +27,8 @@ fn main() {
     for bench in Benchmark::all() {
         let report = run_spatten(&bench);
         let spatten_s = report.seconds();
-        let spatten_j = report.energy(&energy_model).total_j()
-            + energy_model.params().leakage_w * spatten_s;
+        let spatten_j =
+            report.energy(&energy_model).total_j() + energy_model.params().leakage_w * spatten_s;
         let w = bench.workload();
 
         let mut row = format!("{:<26} {:>10.3}", bench.id, spatten_s * 1e3);
@@ -43,7 +43,10 @@ fn main() {
         println!("{row}");
     }
 
-    println!("\n{:<14} {:>14} {:>20} {:>22}", "device", "geomean speedup", "paper speedup", "geomean energy ratio");
+    println!(
+        "\n{:<14} {:>14} {:>20} {:>22}",
+        "device", "geomean speedup", "paper speedup", "geomean energy ratio"
+    );
     let paper_speedups = [162.0, 347.0, 1095.0, 5071.0];
     let paper_energy = [1193.0, 4059.0, 406.0, 1910.0];
     for (i, dev) in devices.iter().enumerate() {

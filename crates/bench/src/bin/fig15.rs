@@ -30,8 +30,12 @@ fn main() {
         let (cattn, cfc) = cpu.end_to_end_split(&w);
         let gpu_s = gattn + gfc;
         let cpu_s = cattn + cfc;
-        let e8 = SpAttenE2e::new(SpAttenConfig::default(), 8).run(&w).seconds();
-        let e12 = SpAttenE2e::new(SpAttenConfig::default(), 12).run(&w).seconds();
+        let e8 = SpAttenE2e::new(SpAttenConfig::default(), 8)
+            .run(&w)
+            .seconds();
+        let e12 = SpAttenE2e::new(SpAttenConfig::default(), 12)
+            .run(&w)
+            .seconds();
         g8.push(gpu_s / e8);
         c8.push(cpu_s / e8);
         g12.push(gpu_s / e12);

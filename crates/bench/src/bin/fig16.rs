@@ -61,7 +61,10 @@ impl Candidate {
             quant: QuantPolicy::progressive(spatten_quant::BitwidthScheme::Msb8Lsb4),
             seed: 7,
         };
-        SpAttenE2e::new(SpAttenConfig::default(), 8).run(&w).seconds() * 1e3
+        SpAttenE2e::new(SpAttenConfig::default(), 8)
+            .run(&w)
+            .seconds()
+            * 1e3
     }
 }
 
@@ -81,8 +84,16 @@ fn main() {
     // Transformer): Base is 512/2048/6, Big is 1024/4096/6 — Big sits
     // *outside* the co-design search space.
     let vanilla: Vec<Candidate> = vec![
-        Candidate { embed: 512, ffn: 2048, layers: 6 }, // Transformer-Base
-        Candidate { embed: 1024, ffn: 4096, layers: 6 }, // Transformer-Big
+        Candidate {
+            embed: 512,
+            ffn: 2048,
+            layers: 6,
+        }, // Transformer-Base
+        Candidate {
+            embed: 1024,
+            ffn: 4096,
+            layers: 6,
+        }, // Transformer-Big
     ];
 
     // Pareto frontier of the search space under SpAtten-e2e latency.
@@ -110,13 +121,25 @@ fn main() {
     for (c, lat, q) in frontier.iter().rev().take(7).rev() {
         println!(
             "{:<10} {:>6} {:>6} {:>8} {:>12.2} {:>10.1} {:>10.1}",
-            "co-design", c.embed, c.ffn, c.layers, lat, q, c.params_m()
+            "co-design",
+            c.embed,
+            c.ffn,
+            c.layers,
+            lat,
+            q,
+            c.params_m()
         );
     }
     for v in &vanilla {
         println!(
             "{:<10} {:>6} {:>6} {:>8} {:>12.2} {:>10.1} {:>10.1}",
-            "vanilla", v.embed, v.ffn, v.layers, v.latency_ms(), v.quality(), v.params_m()
+            "vanilla",
+            v.embed,
+            v.ffn,
+            v.layers,
+            v.latency_ms(),
+            v.quality(),
+            v.params_m()
         );
     }
 
@@ -149,7 +172,13 @@ fn main() {
         "Figure 17: co-designed models trade FC FLOPs for attention FLOPs",
         &format!("{:<22} {:>14} {:>14}", "model", "FC GFLOPs", "Attn GFLOPs"),
     );
-    for (label, c) in [("vanilla base", &vanilla[0]), ("co-designed", best.map(|(c, _, _)| c).unwrap_or(&vanilla[0]))] {
+    for (label, c) in [
+        ("vanilla base", &vanilla[0]),
+        (
+            "co-designed",
+            best.map(|(c, _, _)| c).unwrap_or(&vanilla[0]),
+        ),
+    ] {
         let cfg = c.config();
         let fc = cfg.block_fc_params() as f64 * cfg.layers as f64 * 2.0 * 30.0 / 1e9;
         let attn = (cfg.layers as u64 * cfg.attention_core_flops(30, 30, cfg.heads)) as f64 / 1e9;

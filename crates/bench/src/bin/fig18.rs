@@ -19,7 +19,12 @@ fn main() {
         ),
     );
 
-    for id in ["bert-base-sst-2", "bert-base-squad-v1", "gpt2-small-wikitext2", "gpt2-medium-1bw"] {
+    for id in [
+        "bert-base-sst-2",
+        "bert-base-squad-v1",
+        "gpt2-small-wikitext2",
+        "gpt2-medium-1bw",
+    ] {
         let bench = Benchmark::by_id(id).expect("registry");
         let report = run_spatten(&bench);
         let p = RooflinePoint::from_report(&cfg, &report);
@@ -29,7 +34,11 @@ fn main() {
             p.intensity,
             p.achieved_tflops,
             p.roof_tflops,
-            if p.is_memory_bound(&cfg) { "memory" } else { "compute" }
+            if p.is_memory_bound(&cfg) {
+                "memory"
+            } else {
+                "compute"
+            }
         );
     }
 

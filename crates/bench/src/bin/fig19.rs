@@ -14,7 +14,10 @@ fn main() {
 
     print_header(
         "Figure 19a: top-k engine parallelism sweep (GPT-2-Small, wikitext-2)",
-        &format!("{:<14} {:>14} {:>12}", "parallelism", "GFLOP/s", "rel. perf"),
+        &format!(
+            "{:<14} {:>14} {:>12}",
+            "parallelism", "GFLOP/s", "rel. perf"
+        ),
     );
     let mut base = None;
     for p in [1usize, 2, 4, 8, 16, 32] {

@@ -6,9 +6,7 @@ use spatten_core::SpAttenConfig;
 fn main() {
     let c = SpAttenConfig::default();
     print_header("Table I: SpAtten architectural setup", "parameter | value");
-    println!(
-        "Q-K-V fetcher      | 32×16 address crossbar, 16×32 data crossbar, 64-deep FIFOs"
-    );
+    println!("Q-K-V fetcher      | 32×16 address crossbar, 16×32 data crossbar, 64-deep FIFOs");
     println!(
         "Q × K              | 196KB Key SRAM; {}×12-bit multipliers; adder tree ≤ {} items/cycle",
         c.multipliers_per_array,

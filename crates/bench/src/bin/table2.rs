@@ -22,10 +22,18 @@ fn main() {
         "Table II: power breakdown over the 30-benchmark suite",
         &format!("{:<22} {:>10} {:>10}", "component", "measured W", "paper W"),
     );
-    println!("{:<22} {:>10.2} {:>10.2}", "computation logic", p.compute_w, 1.36);
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "computation logic", p.compute_w, 1.36
+    );
     println!("{:<22} {:>10.2} {:>10.2}", "SRAM", p.sram_w, 1.24);
     println!("{:<22} {:>10.2} {:>10.2}", "DRAM", p.dram_w, 5.71);
-    println!("{:<22} {:>10.2} {:>10.2}", "total (+leakage)", p.total_w(), 8.30);
+    println!(
+        "{:<22} {:>10.2} {:>10.2}",
+        "total (+leakage)",
+        p.total_w(),
+        8.30
+    );
     println!(
         "\nDRAM share: measured {:.0}% (paper 69%)",
         100.0 * p.dram_w / p.total_w()

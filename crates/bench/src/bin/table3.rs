@@ -30,8 +30,7 @@ fn main() {
     for bench in Benchmark::bert_suite() {
         let w = bench.workload();
         let m = w.model;
-        let dense_ops =
-            (m.layers as u64) * m.attention_core_flops(w.seq_len, w.seq_len, m.heads);
+        let dense_ops = (m.layers as u64) * m.attention_core_flops(w.seq_len, w.seq_len, m.heads);
         let dense_ops = dense_ops as f64;
 
         let r = spatten.run(&w);

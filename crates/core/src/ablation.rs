@@ -98,7 +98,9 @@ mod tests {
     fn ladder_has_six_rungs_in_paper_order() {
         let l = ladder();
         assert_eq!(l.len(), 6);
-        assert!(l.windows(2).all(|w| w[0].paper_cumulative <= w[1].paper_cumulative));
+        assert!(l
+            .windows(2)
+            .all(|w| w[0].paper_cumulative <= w[1].paper_cumulative));
         assert!(!l[0].config.token_pruning);
         assert!(l[1].config.token_pruning && !l[1].config.head_pruning);
         assert_eq!(l[3].config.topk_parallelism, 16);
@@ -126,10 +128,7 @@ mod tests {
         let serial = run_rung(&l[2], &w).total_cycles as f64;
         let parallel = run_rung(&l[3], &w).total_cycles as f64;
         let gain = serial / parallel;
-        assert!(
-            (2.0..5.0).contains(&gain),
-            "engine gain {gain} (paper: 3x)"
-        );
+        assert!((2.0..5.0).contains(&gain), "engine gain {gain} (paper: 3x)");
     }
 
     #[test]
@@ -140,6 +139,9 @@ mod tests {
         let static8 = run_rung(&l[4], &w).dram_bytes;
         let progressive = run_rung(&l[5], &w).dram_bytes;
         assert!(static8 < full, "8-bit must move less than 12-bit");
-        assert!(progressive < static8, "6+4 progressive must move less than 8-bit");
+        assert!(
+            progressive < static8,
+            "6+4 progressive must move less than 8-bit"
+        );
     }
 }

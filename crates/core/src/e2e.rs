@@ -9,7 +9,7 @@
 //! regime Table IV reports (FC ≈ 92 % of SpAtten-e2e latency).
 
 use crate::accelerator::{Accelerator, SpAttenConfig};
-use crate::perf::RunReport;
+use crate::perf::{RunReport, StepCost};
 use serde::{Deserialize, Serialize};
 use spatten_workloads::Workload;
 
@@ -81,65 +81,110 @@ impl SpAttenE2e {
         self.accel.config()
     }
 
-    /// Runs a workload end to end.
-    pub fn run(&self, w: &Workload) -> E2eReport {
-        let attention = self.accel.run(w);
+    /// FC (QKV/out projection + FFN) cost of the summarization pass over
+    /// `w.seq_len` tokens: weights fetched once per layer, reused across
+    /// tokens. The serving layer adds this to the attention prefill cost
+    /// for end-to-end per-job accounting.
+    pub fn fc_prefill_cost(&self, w: &Workload) -> StepCost {
+        self.fc_prefill(w).step
+    }
+
+    /// FC cost of generating one token: a matrix-vector product per layer
+    /// (weights refetched every step — the memory-bound regime of Table IV)
+    /// plus the LM head.
+    pub fn fc_decode_cost(&self, w: &Workload) -> StepCost {
+        self.fc_decode(w).step
+    }
+
+    /// One FC unit: `macs` multiply-accumulates against `params` weight
+    /// parameters streamed from DRAM at this accelerator's bandwidth.
+    fn fc_unit(&self, macs: u64, params: u64) -> FcCost {
         let cfg = self.accel.config();
-        let model = w.model;
         let bits = u64::from(self.fc_weight_bits);
         let total_mults = 2 * cfg.multipliers_per_array as u64; // both arrays reused
         let bw_per_cycle = cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle;
+        let weight_bytes = (params * bits).div_ceil(8);
+        let compute = macs.div_ceil(total_mults);
+        let dram = weight_bytes.div_ceil(bw_per_cycle);
+        FcCost {
+            step: StepCost {
+                compute_cycles: compute,
+                dram_cycles: dram,
+                weight_dram_cycles: dram,
+                serial_cycles: compute.max(dram),
+            },
+            bytes: weight_bytes,
+            flops: 2 * macs,
+        }
+    }
 
-        let mut fc_cycles = 0u64;
-        let mut fc_bytes = 0u64;
-        let mut fc_flops = 0u64;
+    /// All FC work of one summarization pass (every layer's block FCs).
+    fn fc_prefill(&self, w: &Workload) -> FcCost {
+        let model = w.model;
+        let mut total = FcCost::default();
+        for _ in 0..model.layers {
+            total.add(self.fc_unit(
+                w.seq_len as u64 * model.block_fc_params(),
+                model.block_fc_params(),
+            ));
+        }
+        total
+    }
 
-        let block_params = model.block_fc_params();
+    /// All FC work of one generated token (matrix-vector block FCs in every
+    /// layer, plus the LM head).
+    fn fc_decode(&self, w: &Workload) -> FcCost {
+        let model = w.model;
+        let mut total = FcCost::default();
+        for _ in 0..model.layers {
+            total.add(self.fc_unit(model.block_fc_params(), model.block_fc_params()));
+        }
         let lm_params = (model.hidden as u64) * (model.vocab as u64);
+        total.add(self.fc_unit(lm_params, lm_params));
+        total
+    }
+
+    /// Runs a workload end to end.
+    pub fn run(&self, w: &Workload) -> E2eReport {
+        let attention = self.accel.run(w);
+        let mut fc = FcCost::default();
 
         // Summarization FCs: weights fetched once per layer, reused across
         // all tokens. Only measured for discriminative tasks — generative
         // benchmarks report the generation stage, as in the paper (§V-A).
         if w.gen_steps == 0 {
-            let tokens = w.seq_len as u64;
-            let macs_per_layer = tokens * block_params;
-            let weight_bytes = (block_params * bits).div_ceil(8);
-            for _ in 0..model.layers {
-                let compute = macs_per_layer.div_ceil(total_mults);
-                let dram = weight_bytes.div_ceil(bw_per_cycle);
-                fc_cycles += compute.max(dram);
-                fc_bytes += weight_bytes;
-                fc_flops += 2 * macs_per_layer;
-            }
+            fc.add(self.fc_prefill(w));
         }
 
         // Generation: matrix-vector FCs; weights refetched every step.
         for _ in 0..w.gen_steps {
-            for _ in 0..model.layers {
-                let macs = block_params;
-                let weight_bytes = (block_params * bits).div_ceil(8);
-                let compute = macs.div_ceil(total_mults);
-                let dram = weight_bytes.div_ceil(bw_per_cycle);
-                fc_cycles += compute.max(dram);
-                fc_bytes += weight_bytes;
-                fc_flops += 2 * macs;
-            }
-            // LM head once per generated token.
-            let lm_bytes = (lm_params * bits).div_ceil(8);
-            let compute = lm_params.div_ceil(total_mults);
-            let dram = lm_bytes.div_ceil(bw_per_cycle);
-            fc_cycles += compute.max(dram);
-            fc_bytes += lm_bytes;
-            fc_flops += 2 * lm_params;
+            fc.add(self.fc_decode(w));
         }
 
         E2eReport {
             attention,
-            fc_cycles,
-            fc_bytes,
-            fc_flops,
+            fc_cycles: fc.step.serial_cycles,
+            fc_bytes: fc.bytes,
+            fc_flops: fc.flops,
             fc_weight_bits: self.fc_weight_bits,
         }
+    }
+}
+
+/// FC cost with the byte/FLOP accounting `E2eReport` needs on top of the
+/// serving layer's [`StepCost`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FcCost {
+    step: StepCost,
+    bytes: u64,
+    flops: u64,
+}
+
+impl FcCost {
+    fn add(&mut self, other: FcCost) {
+        self.step.add(other.step);
+        self.bytes += other.bytes;
+        self.flops += other.flops;
     }
 }
 
@@ -179,7 +224,10 @@ mod tests {
         let r8 = e2e(8).run(&w);
         let r12 = e2e(12).run(&w);
         let ratio = r12.total_cycles() as f64 / r8.total_cycles() as f64;
-        assert!((1.15..1.6).contains(&ratio), "8-bit vs 12-bit ratio {ratio}");
+        assert!(
+            (1.15..1.6).contains(&ratio),
+            "8-bit vs 12-bit ratio {ratio}"
+        );
     }
 
     #[test]

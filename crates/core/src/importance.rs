@@ -78,7 +78,12 @@ mod tests {
     use super::*;
     use spatten_nn::Matrix;
 
-    fn record(layer: usize, probs: Vec<Matrix>, key_ids: Vec<usize>, sums: Vec<f32>) -> LayerRecord {
+    fn record(
+        layer: usize,
+        probs: Vec<Matrix>,
+        key_ids: Vec<usize>,
+        sums: Vec<f32>,
+    ) -> LayerRecord {
         let head_ids = (0..probs.len()).collect();
         LayerRecord {
             layer,

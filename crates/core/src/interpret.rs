@@ -155,8 +155,7 @@ mod tests {
         let m = model();
         let words = ["the", "film", "is", "almost", "perfect", "."];
         let tokens: Vec<usize> = (0..6).collect();
-        let trace =
-            PruningTrace::capture(&m, &tokens, PruningSpec::dense(), Some(&words));
+        let trace = PruningTrace::capture(&m, &tokens, PruningSpec::dense(), Some(&words));
         let rendered = trace.render_layer(3);
         assert_eq!(rendered, "the film is almost perfect .");
     }

@@ -44,7 +44,9 @@ pub use e2e::{E2eReport, SpAttenE2e};
 pub use importance::ImportanceAccumulator;
 pub use interpret::{PruningTrace, TokenFate};
 pub use memaug::MemoryBank;
-pub use perf::{ModuleCycles, RunReport};
+pub use perf::{
+    decode_step_cost, prefill_cost, surviving_tokens, ModuleCycles, RunReport, StepCost,
+};
 pub use progressive::ProgressiveController;
 pub use pruner::CascadePruner;
 pub use roofline::RooflinePoint;

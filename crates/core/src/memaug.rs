@@ -169,7 +169,10 @@ mod tests {
         }
         let survivors = b.prune_to(4);
         assert_eq!(survivors.len(), 4);
-        assert!(survivors.contains(&3), "hot slot must survive: {survivors:?}");
+        assert!(
+            survivors.contains(&3),
+            "hot slot must survive: {survivors:?}"
+        );
         assert_eq!(b.len(), 4);
     }
 

@@ -34,6 +34,42 @@ use spatten_workloads::{synth, Workload};
 /// of the synthetic score streams.
 const FLAT_QUERY_FRACTION: f64 = 0.059;
 
+/// Compute/DRAM cost split of one serving-granularity unit of work — a
+/// whole summarization (prefill) pass or a single generated token.
+///
+/// This is the incremental cost query the serving layer (`spatten-serve`)
+/// builds on: a fleet scheduler needs per-token costs, not just whole-run
+/// totals, and it needs the compute/memory split separately so it can model
+/// HBM-bandwidth-aware co-scheduling (one job's multiplier-array work
+/// overlapping another job's KV streaming).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepCost {
+    /// Busy cycles of the bottleneck compute module, summed over layers.
+    pub compute_cycles: u64,
+    /// Slowest-channel DRAM busy cycles, summed over layers.
+    pub dram_cycles: u64,
+    /// The portion of `dram_cycles` that streams *model weights* (FC/FFN
+    /// planes) rather than per-request KV state. Weights are identical for
+    /// every request of the same model, so a batching scheduler fetches
+    /// them once per iteration and shares them across the whole batch —
+    /// the fundamental throughput lever of batched decode. Always
+    /// `<= dram_cycles`; zero for attention-only costs.
+    pub weight_dram_cycles: u64,
+    /// End-to-end cycles exactly as [`simulate`] would charge: per layer,
+    /// `max(compute, dram)` plus the pipeline-fill constant.
+    pub serial_cycles: u64,
+}
+
+impl StepCost {
+    /// Accumulates another step into this one (layer-by-layer addition).
+    pub fn add(&mut self, other: StepCost) {
+        self.compute_cycles += other.compute_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.weight_dram_cycles += other.weight_dram_cycles;
+        self.serial_cycles += other.serial_cycles;
+    }
+}
+
 /// Busy-cycle totals per module (for bottleneck and breakdown reports).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModuleCycles {
@@ -228,14 +264,16 @@ impl<'a> Sim<'a> {
     /// Simulates one attention layer: `l0` queries against `l1` keys with
     /// `heads` active heads. `kv_in_sram` distinguishes summarization
     /// (K/V prefetched and reused) from generation (K/V streamed from DRAM
-    /// every iteration). Returns the layer's cycle count.
+    /// every iteration). Returns the layer's compute-bottleneck and DRAM
+    /// busy cycles; pipelined modules overlap, so the layer's serial time
+    /// is `max(compute, dram) + LAYER_FILL_CYCLES`.
     fn attention_layer(
         &mut self,
         l0: usize,
         l1: usize,
         heads: usize,
         kv_in_sram: bool,
-    ) -> u64 {
+    ) -> (u64, u64) {
         let d = self.w.model.head_dim();
         let trees = self.trees();
         let sm_par = self.cfg.softmax_parallelism as u64;
@@ -377,12 +415,13 @@ impl<'a> Sim<'a> {
         self.modules.pv += tally.pv;
         self.modules.dram += dram_cycles;
 
-        let compute = tally
-            .qk
-            .max(tally.softmax)
-            .max(tally.topk)
-            .max(tally.pv);
-        compute.max(dram_cycles) + LAYER_FILL_CYCLES
+        let compute = tally.qk.max(tally.softmax).max(tally.topk).max(tally.pv);
+        (compute, dram_cycles)
+    }
+
+    /// Serial cycles of one layer given its compute/DRAM split.
+    fn layer_serial(compute: u64, dram: u64) -> u64 {
+        compute.max(dram) + LAYER_FILL_CYCLES
     }
 
     /// The original-token span that `kept` survivors are scattered over.
@@ -408,7 +447,8 @@ impl<'a> Sim<'a> {
                 let kept = self.tokens_kept(layer, self.w.seq_len).min(len);
                 // Cascade: the layer computes on the *incoming* token set,
                 // the pruning decision takes effect for the next layer.
-                self.total_cycles += self.attention_layer(len, len, heads, true);
+                let (compute, dram) = self.attention_layer(len, len, heads, true);
+                self.total_cycles += Self::layer_serial(compute, dram);
                 self.survivors.push((layer, kept, heads));
                 len = kept;
             }
@@ -429,7 +469,8 @@ impl<'a> Sim<'a> {
             for layer in 0..layers {
                 let heads = self.heads_kept(layer);
                 let kept = self.tokens_kept(layer, ctx);
-                self.total_cycles += self.attention_layer(1, kept, heads, false);
+                let (compute, dram) = self.attention_layer(1, kept, heads, false);
+                self.total_cycles += Self::layer_serial(compute, dram);
             }
         }
 
@@ -475,6 +516,71 @@ impl<'a> Sim<'a> {
 pub fn simulate(cfg: &SpAttenConfig, workload: &Workload) -> RunReport {
     let _ = MultArray::new(cfg.multipliers_per_array); // validate config
     Sim::new(cfg, workload).run()
+}
+
+/// Cost of the summarization (prefill) pass over `w.seq_len` tokens,
+/// independent of `w.gen_steps`.
+///
+/// For discriminative workloads this is the whole job; for generative ones
+/// it is the context pass a serving system must execute before the first
+/// token can be emitted (the paper's own latency protocol excludes it, but
+/// a fleet simulator cannot). Deterministic for a fixed `(cfg, w)`.
+pub fn prefill_cost(cfg: &SpAttenConfig, w: &Workload) -> StepCost {
+    let _ = MultArray::new(cfg.multipliers_per_array); // validate config
+                                                       // Normalize away the generation stage so the advertised independence
+                                                       // from `gen_steps` actually holds (`Sim::original_span` would
+                                                       // otherwise scatter prefill reads over the final context).
+    let w = Workload {
+        gen_steps: 0,
+        ..w.clone()
+    };
+    let w = &w;
+    let mut sim = Sim::new(cfg, w);
+    let mut total = StepCost::default();
+    let mut len = w.seq_len;
+    for layer in 0..w.model.layers {
+        let heads = sim.heads_kept(layer);
+        let kept = sim.tokens_kept(layer, w.seq_len).min(len);
+        let (compute, dram) = sim.attention_layer(len, len, heads, true);
+        total.add(StepCost {
+            compute_cycles: compute,
+            dram_cycles: dram,
+            weight_dram_cycles: 0,
+            serial_cycles: Sim::layer_serial(compute, dram),
+        });
+        len = kept;
+    }
+    total
+}
+
+/// Cost of generating *one* token with a KV context of `context` tokens
+/// (pre-pruning), walking all layers with the workload's pruning schedule —
+/// the incremental query a continuous-batching scheduler issues per
+/// iteration. Deterministic for a fixed `(cfg, w, context)`.
+pub fn decode_step_cost(cfg: &SpAttenConfig, w: &Workload, context: usize) -> StepCost {
+    let _ = MultArray::new(cfg.multipliers_per_array); // validate config
+    let mut sim = Sim::new(cfg, w);
+    let mut total = StepCost::default();
+    for layer in 0..w.model.layers {
+        let heads = sim.heads_kept(layer);
+        let kept = sim.tokens_kept(layer, context.max(1));
+        let (compute, dram) = sim.attention_layer(1, kept, heads, false);
+        total.add(StepCost {
+            compute_cycles: compute,
+            dram_cycles: dram,
+            weight_dram_cycles: 0,
+            serial_cycles: Sim::layer_serial(compute, dram),
+        });
+    }
+    total
+}
+
+/// Tokens surviving cascade pruning at `layer` out of an incoming set of
+/// `len`, under `cfg`'s pruning switches and `w`'s keep schedule. Layer
+/// `w.model.layers - 1` is the deepest (smallest) survivor set — the KV
+/// working set a serving scheduler packs into SRAM.
+pub fn surviving_tokens(cfg: &SpAttenConfig, w: &Workload, layer: usize, len: usize) -> usize {
+    Sim::new(cfg, w).tokens_kept(layer, len)
 }
 
 #[cfg(test)]

@@ -64,8 +64,8 @@ impl CascadePruner {
         // Keep counts are relative to the *original* sequence length, as in
         // the paper (ratios compound across layers only through the
         // schedule, not multiplicatively).
-        let target = ((self.original_len.max(active.token_capacity()) as f64) * keep_frac)
-            .round() as usize;
+        let target =
+            ((self.original_len.max(active.token_capacity()) as f64) * keep_frac).round() as usize;
         let target = target.clamp(self.protected.len().max(1), ids.len());
         if target >= ids.len() {
             return;

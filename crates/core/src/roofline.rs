@@ -70,16 +70,22 @@ mod tests {
     fn bert_point_is_compute_bound_gpt2_memory_bound() {
         let cfg = SpAttenConfig::default();
         let accel = Accelerator::new(cfg);
-        let bert = RooflinePoint::from_report(
-            &cfg,
-            &accel.run(&Benchmark::bert_base_sst2().workload()),
-        );
+        let bert =
+            RooflinePoint::from_report(&cfg, &accel.run(&Benchmark::bert_base_sst2().workload()));
         let gpt2 = RooflinePoint::from_report(
             &cfg,
             &accel.run(&Benchmark::gpt2_small_wikitext2().workload()),
         );
-        assert!(!bert.is_memory_bound(&cfg), "BERT intensity {}", bert.intensity);
-        assert!(gpt2.is_memory_bound(&cfg), "GPT-2 intensity {}", gpt2.intensity);
+        assert!(
+            !bert.is_memory_bound(&cfg),
+            "BERT intensity {}",
+            bert.intensity
+        );
+        assert!(
+            gpt2.is_memory_bound(&cfg),
+            "GPT-2 intensity {}",
+            gpt2.intensity
+        );
     }
 
     #[test]

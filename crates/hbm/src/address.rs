@@ -34,7 +34,10 @@ impl AddressMap {
     /// `interleave_bytes`.
     pub fn new(channels: usize, interleave_bytes: u64, row_bytes: u64) -> Self {
         assert!(channels > 0, "need at least one channel");
-        assert!(interleave_bytes > 0, "interleave granularity must be positive");
+        assert!(
+            interleave_bytes > 0,
+            "interleave granularity must be positive"
+        );
         assert!(
             row_bytes > 0 && row_bytes.is_multiple_of(interleave_bytes),
             "row size must be a positive multiple of the interleave granularity"

@@ -70,13 +70,13 @@ pub fn beam_search(
 
     // --- Shared prompt pass (fills the shared caches). ---
     let mut active = ActiveSet::new(prompt.len(), config.heads);
-    let mut caches: Vec<KvCache> = (0..layers)
-        .map(|_| KvCache::new(config.hidden))
-        .collect();
+    let mut caches: Vec<KvCache> = (0..layers).map(|_| KvCache::new(config.hidden)).collect();
     let mut ids: Vec<usize> = (0..prompt.len()).collect();
     let mut x = model.embed_tokens(prompt);
     for (layer, block) in model.blocks().iter().enumerate() {
-        let head_active: Vec<bool> = (0..config.heads).map(|h| active.is_head_active(h)).collect();
+        let head_active: Vec<bool> = (0..config.heads)
+            .map(|h| active.is_head_active(h))
+            .collect();
         let (y, rec) = block.forward_cached(&x, &ids, &mut caches[layer], &head_active);
         x = y;
         let record = LayerRecord {
@@ -106,11 +106,7 @@ pub fn beam_search(
         caches: Vec<KvCache>,
         last_hidden: crate::matrix::Matrix,
     }
-    let last = crate::matrix::Matrix::from_vec(
-        1,
-        config.hidden,
-        x.row(x.rows() - 1).to_vec(),
-    );
+    let last = crate::matrix::Matrix::from_vec(1, config.hidden, x.row(x.rows() - 1).to_vec());
     let mut states = vec![BeamState {
         beam: Beam {
             tokens: Vec::new(),
@@ -131,7 +127,11 @@ pub fn beam_search(
             let logits = state.last_hidden.matmul_nt(model.embedding());
             let lp = log_softmax(logits.row(0));
             let mut order: Vec<usize> = (0..lp.len()).collect();
-            order.sort_by(|&i, &j| lp[j].partial_cmp(&lp[i]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&i, &j| {
+                lp[j]
+                    .partial_cmp(&lp[i])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             for &t in order.iter().take(width) {
                 candidates.push((b, t, state.beam.log_prob + lp[t]));
             }
@@ -149,8 +149,9 @@ pub fn beam_search(
             let row: Vec<f32> = e.iter().zip(p).map(|(a, b)| a + b).collect();
             let mut xr = crate::matrix::Matrix::from_vec(1, config.hidden, row);
             for (layer, block) in model.blocks().iter().enumerate() {
-                let head_active: Vec<bool> =
-                    (0..config.heads).map(|h| active.is_head_active(h)).collect();
+                let head_active: Vec<bool> = (0..config.heads)
+                    .map(|h| active.is_head_active(h))
+                    .collect();
                 // Shared pruning: evict tokens pruned by *any* beam's stats.
                 caches[layer].retain(|id| active.is_token_active(id) || id == token_id);
                 let (y, rec) = block.forward_step(&xr, token_id, &mut caches[layer], &head_active);
@@ -178,7 +179,11 @@ pub fn beam_search(
     }
 
     let mut beams: Vec<Beam> = states.into_iter().map(|s| s.beam).collect();
-    beams.sort_by(|a, b| b.log_prob.partial_cmp(&a.log_prob).unwrap_or(std::cmp::Ordering::Equal));
+    beams.sort_by(|a, b| {
+        b.log_prob
+            .partial_cmp(&a.log_prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     BeamSearchOutput {
         beams,
         active_tokens: active.active_token_count(),

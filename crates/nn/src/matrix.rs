@@ -393,7 +393,12 @@ mod tests {
         let b = Matrix::randn(32, 32, 0.5, &mut rng2);
         assert_eq!(a, b);
         let mean: f32 = a.data().iter().sum::<f32>() / 1024.0;
-        let var: f32 = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 1024.0;
+        let var: f32 = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 1024.0;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -61,7 +61,12 @@ impl Model {
     }
 
     /// Builds a seeded classifier with `n_classes` output classes.
-    pub fn new_classifier(config: ModelConfig, max_len: usize, n_classes: usize, seed: u64) -> Self {
+    pub fn new_classifier(
+        config: ModelConfig,
+        max_len: usize,
+        n_classes: usize,
+        seed: u64,
+    ) -> Self {
         Self::build(config, max_len, Some(n_classes), seed)
     }
 
@@ -71,10 +76,17 @@ impl Model {
         let embed = Matrix::randn(config.vocab, config.hidden, std, &mut rng);
         let pos = Matrix::randn(max_len, config.hidden, std, &mut rng);
         let blocks = (0..config.layers)
-            .map(|_| TransformerBlock::new_seeded(config.hidden, config.heads, config.ffn, &mut rng))
+            .map(|_| {
+                TransformerBlock::new_seeded(config.hidden, config.heads, config.ffn, &mut rng)
+            })
             .collect();
         let classifier = n_classes.map(|n| {
-            Matrix::randn(config.hidden, n, 1.0 / (config.hidden as f32).sqrt(), &mut rng)
+            Matrix::randn(
+                config.hidden,
+                n,
+                1.0 / (config.hidden as f32).sqrt(),
+                &mut rng,
+            )
         });
         let n_cls = classifier.as_ref().map(|c| c.cols()).unwrap_or(0);
         Self {
@@ -269,7 +281,11 @@ impl Model {
         steps: usize,
         observer: &mut dyn AttentionObserver,
     ) -> GenerationOutput {
-        assert_eq!(self.config.kind, ModelKind::Gpt2, "generation needs GPT-2 kind");
+        assert_eq!(
+            self.config.kind,
+            ModelKind::Gpt2,
+            "generation needs GPT-2 kind"
+        );
         assert!(self.classifier.is_none(), "generation needs an LM model");
         assert!(
             prompt.len() + steps <= self.max_len,
@@ -311,11 +327,7 @@ impl Model {
                 ids = keep.iter().map(|&r| ids[r]).collect();
             }
         }
-        let mut last_hidden = Matrix::from_vec(
-            1,
-            self.config.hidden,
-            x.row(x.rows() - 1).to_vec(),
-        );
+        let mut last_hidden = Matrix::from_vec(1, self.config.hidden, x.row(x.rows() - 1).to_vec());
 
         // --- Generation loop. ---
         let mut generated = Vec::with_capacity(steps);

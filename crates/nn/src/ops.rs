@@ -8,7 +8,11 @@ use crate::matrix::Matrix;
 pub fn softmax_rows(scores: &mut Matrix, causal: bool, offset: usize) {
     let cols = scores.cols();
     for r in 0..scores.rows() {
-        let limit = if causal { (r + offset + 1).min(cols) } else { cols };
+        let limit = if causal {
+            (r + offset + 1).min(cols)
+        } else {
+            cols
+        };
         let row = scores.row_mut(r);
         for v in row.iter_mut().skip(limit) {
             *v = f32::NEG_INFINITY;

@@ -97,7 +97,11 @@ impl SyntheticTask {
         for i in 0..planted.min(self.seq_len) {
             let pick = rng.gen_range(i..positions.len());
             positions.swap(i, pick);
-            let class = if i < self.keywords_per_example { label } else { other };
+            let class = if i < self.keywords_per_example {
+                label
+            } else {
+                other
+            };
             let kw = class * self.keywords_per_class + rng.gen_range(0..self.keywords_per_class);
             tokens[positions[i]] = kw;
         }
@@ -298,7 +302,9 @@ fn classifier_logits(model: &Model, pooled: &[f32]) -> Vec<f32> {
 }
 
 fn model_classifier_ref(model: &Model) -> (&Matrix, &Vec<f32>) {
-    model.classifier_ref().expect("trainer needs a classifier model")
+    model
+        .classifier_ref()
+        .expect("trainer needs a classifier model")
 }
 
 /// Softmax-row backward: `ds = p ⊙ (dp − (dp·p))` per row.

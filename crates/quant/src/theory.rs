@@ -59,10 +59,7 @@ pub fn measured_total_error(scores: &[f32], delta_s: &[f32]) -> f32 {
     let base = crate::softmax(scores);
     let perturbed: Vec<f32> = scores.iter().zip(delta_s).map(|(s, d)| s + d).collect();
     let shifted = crate::softmax(&perturbed);
-    base.iter()
-        .zip(&shifted)
-        .map(|(a, b)| (a - b).abs())
-        .sum()
+    base.iter().zip(&shifted).map(|(a, b)| (a - b).abs()).sum()
 }
 
 #[cfg(test)]

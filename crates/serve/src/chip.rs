@@ -1,0 +1,277 @@
+//! One simulated SpAtten accelerator inside the fleet.
+//!
+//! A chip executes *rounds*. Under run-to-completion policies a round is an
+//! entire job. Under continuous batching a round is one iteration: every
+//! resident job advances by one unit (its prefill pass if it hasn't run
+//! yet, otherwise one decode token), and the iteration's length is set by
+//! HBM-bandwidth-aware co-scheduling:
+//!
+//! ```text
+//! iteration_cycles = max( Σ compute_i , Σ dram_i ) + round_overhead
+//! ```
+//!
+//! Each resource serializes within itself (one multiplier-array complex,
+//! one HBM stack per chip), but one job's compute overlaps another job's
+//! KV/weight streaming. On top of that, *model weights are shared*: every
+//! resident job of the same model reads the same FC/FFN planes, so the
+//! iteration streams them once per model, not once per job
+//! ([`spatten_core::StepCost::weight_dram_cycles`]) — the batched-matvec →
+//! matmul effect that makes batched decode profitable at all. Per-request
+//! KV traffic stays private and still serializes across the batch.
+
+use crate::cost::CostModel;
+use crate::request::{Completion, Job};
+use spatten_core::StepCost;
+use spatten_nn::ModelConfig;
+use std::collections::HashMap;
+
+/// A job resident on a chip.
+#[derive(Debug, Clone)]
+struct Active {
+    job: Job,
+    footprint: u64,
+    start_cycles: u64,
+    first_token_cycles: Option<u64>,
+    /// Serial prefill cycles completed so far (chunked prefill: the pass
+    /// advances one quantum per iteration so resident decode jobs never
+    /// stall behind a whole multi-millisecond prefill).
+    prefill_progress: u64,
+    /// Whether the prefill pass has fully executed.
+    prefilled: bool,
+    /// Decode steps completed so far.
+    steps_done: usize,
+}
+
+/// One accelerator's event-loop state.
+#[derive(Debug)]
+pub struct Chip {
+    /// Chip index within the fleet.
+    pub id: usize,
+    active: Vec<Active>,
+    kv_in_use: u64,
+    /// Completions produced by the in-flight round (drained when it ends).
+    finished: Vec<Completion>,
+    /// Whether a round is currently executing.
+    in_flight: bool,
+    /// Cycles this chip spent executing rounds.
+    pub busy_cycles: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Σ (batch size × round cycles), for mean-occupancy reporting.
+    pub occupancy_area: u128,
+    /// High-water mark of KV SRAM bytes in use.
+    pub max_kv_in_use: u64,
+}
+
+impl Chip {
+    /// An idle chip.
+    pub fn new(id: usize) -> Self {
+        Self {
+            id,
+            active: Vec::new(),
+            kv_in_use: 0,
+            finished: Vec::new(),
+            in_flight: false,
+            busy_cycles: 0,
+            rounds: 0,
+            occupancy_area: 0,
+            max_kv_in_use: 0,
+        }
+    }
+
+    /// Jobs currently resident.
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// KV SRAM bytes currently reserved.
+    pub fn kv_in_use(&self) -> u64 {
+        self.kv_in_use
+    }
+
+    /// Whether a round is executing right now.
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Admits a job into the resident set at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a round is in flight (admission happens only
+    /// at round boundaries).
+    pub fn admit(&mut self, cost: &mut CostModel, job: Job, now: u64) {
+        assert!(!self.in_flight, "admission mid-round");
+        let footprint = cost.kv_footprint_bytes(&job.workload);
+        self.kv_in_use += footprint;
+        self.max_kv_in_use = self.max_kv_in_use.max(self.kv_in_use);
+        self.active.push(Active {
+            job,
+            footprint,
+            start_cycles: now,
+            first_token_cycles: None,
+            prefill_progress: 0,
+            prefilled: false,
+            steps_done: 0,
+        });
+    }
+
+    /// Starts the next round at time `now`. Returns the round length in
+    /// cycles, or `None` if the chip has no resident jobs. Completions are
+    /// buffered and must be drained with [`Chip::end_round`] when the round
+    /// ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round is already in flight.
+    pub fn start_round(
+        &mut self,
+        cost: &mut CostModel,
+        batching: bool,
+        prefill_chunk_cycles: u64,
+        now: u64,
+    ) -> Option<u64> {
+        assert!(!self.in_flight, "round already in flight");
+        if self.active.is_empty() {
+            return None;
+        }
+        // Capture the batch size before the round body retires finished
+        // jobs, or occupancy would undercount every completing round.
+        let batch = self.active.len();
+        let cycles = if batching {
+            self.start_iteration(cost, prefill_chunk_cycles, now)
+        } else {
+            self.start_whole_job(cost, now)
+        };
+        self.in_flight = true;
+        self.busy_cycles += cycles;
+        self.rounds += 1;
+        self.occupancy_area += batch as u128 * u128::from(cycles);
+        Some(cycles)
+    }
+
+    /// Ends the in-flight round, releasing the completions it produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is in flight.
+    pub fn end_round(&mut self) -> Vec<Completion> {
+        assert!(self.in_flight, "no round in flight");
+        self.in_flight = false;
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Run-to-completion round: exactly the whole job at the head of the
+    /// resident set (run-to-completion chips hold at most one job).
+    fn start_whole_job(&mut self, cost: &mut CostModel, now: u64) -> u64 {
+        debug_assert_eq!(self.active.len(), 1, "run-to-completion holds one job");
+        let mut a = self.active.pop().expect("resident job");
+        let w = &a.job.workload;
+        let total = cost.job_serial_cycles(w);
+        let ttft = cost.first_token_cycles(w);
+        a.first_token_cycles = Some(now + ttft);
+        self.kv_in_use -= a.footprint;
+        self.finished
+            .push(Self::completion(&a, self.id, now + total, w.gen_steps));
+        total
+    }
+
+    /// One continuous-batching iteration: each resident job advances by one
+    /// quantum — a *chunk* of its prefill pass (at most
+    /// `prefill_chunk_cycles` of serial work, so decode tokens never stall
+    /// behind a whole multi-millisecond prefill) or one decode token.
+    /// Compute and DRAM each serialize across the batch but overlap one
+    /// another, and weight streams are fetched once per distinct model.
+    fn start_iteration(
+        &mut self,
+        cost: &mut CostModel,
+        prefill_chunk_cycles: u64,
+        now: u64,
+    ) -> u64 {
+        let mut compute = 0u64;
+        let mut dram = 0u64;
+        let mut overhead = 0u64;
+        // Weight traffic per distinct model: charged once (the max of the
+        // group, since per-job weight costs within a model are identical).
+        let mut shared_weights: HashMap<ModelConfig, u64> = HashMap::new();
+        let mut done: Vec<usize> = Vec::new();
+        let mut first_emitters: Vec<usize> = Vec::new();
+        for (i, a) in self.active.iter_mut().enumerate() {
+            let w = &a.job.workload;
+            let step: StepCost = if !a.prefilled {
+                let total = cost.prefill(w);
+                let remaining = total.serial_cycles - a.prefill_progress;
+                let chunk = remaining.min(prefill_chunk_cycles.max(1));
+                a.prefill_progress += chunk;
+                if a.prefill_progress >= total.serial_cycles {
+                    a.prefilled = true;
+                }
+                // The chunk is a proportional slice of the whole pass.
+                let frac = chunk as f64 / total.serial_cycles.max(1) as f64;
+                StepCost {
+                    compute_cycles: (total.compute_cycles as f64 * frac) as u64,
+                    dram_cycles: (total.dram_cycles as f64 * frac) as u64,
+                    weight_dram_cycles: (total.weight_dram_cycles as f64 * frac) as u64,
+                    serial_cycles: (total.serial_cycles as f64 * frac) as u64,
+                }
+            } else {
+                a.steps_done += 1;
+                cost.decode(w, w.seq_len + a.steps_done)
+            };
+            compute += step.compute_cycles;
+            dram += step.dram_cycles - step.weight_dram_cycles;
+            let shared = shared_weights.entry(w.model).or_insert(0);
+            *shared = (*shared).max(step.weight_dram_cycles);
+            // Each job contributes its non-overlappable slack: pipeline
+            // fill plus the cross-layer serialization the serial model
+            // charges beyond max(Σcompute, Σdram) (a layer can't overlap
+            // its own bottleneck). Conservative for batching — cross-job
+            // overlap of this slack is deliberately not credited.
+            overhead += step
+                .serial_cycles
+                .saturating_sub(step.compute_cycles.max(step.dram_cycles));
+            let finished = if w.gen_steps == 0 {
+                a.prefilled
+            } else {
+                a.prefilled && a.steps_done == w.gen_steps
+            };
+            let emits_token = a.prefilled && (w.gen_steps == 0 || a.steps_done >= 1);
+            if emits_token && a.first_token_cycles.is_none() {
+                first_emitters.push(i);
+            }
+            if finished {
+                done.push(i);
+            }
+        }
+        dram += shared_weights.values().sum::<u64>();
+        let cycles = compute.max(dram) + overhead;
+        let end = now + cycles;
+        for i in first_emitters {
+            self.active[i].first_token_cycles = Some(end);
+        }
+        // Retire finished jobs (highest index first keeps indices valid).
+        for &i in done.iter().rev() {
+            let a = self.active.remove(i);
+            self.kv_in_use -= a.footprint;
+            let generated = a.job.workload.gen_steps;
+            self.finished
+                .push(Self::completion(&a, self.id, end, generated));
+        }
+        cycles
+    }
+
+    fn completion(a: &Active, chip: usize, finish: u64, generated: usize) -> Completion {
+        Completion {
+            id: a.job.id,
+            class: a.job.class,
+            client: a.job.client,
+            chip,
+            arrival_cycles: a.job.arrival_cycles,
+            start_cycles: a.start_cycles,
+            finish_cycles: finish,
+            first_token_cycles: a.first_token_cycles.unwrap_or(finish),
+            prefill_tokens: a.job.workload.seq_len,
+            generated_tokens: generated,
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The per-job cost oracle: memoized incremental queries against the
+//! cycle-accurate `spatten-core` perf model.
+//!
+//! A fleet simulation issues on the order of 10⁵ per-token cost queries;
+//! running the cycle-level model for each would dominate wall time. Costs
+//! depend only on (workload class, sequence length) — the per-request seed
+//! jitters synthetic score streams, not timing-relevant shape — so the
+//! oracle memoizes by class and (bucketed) context length, computing each
+//! bucket once on a seed-normalized representative workload.
+//!
+//! Optionally the oracle folds in the FC costs of SpAtten-e2e
+//! (`fc_weight_bits`), so serving numbers reflect end-to-end jobs rather
+//! than attention-only kernels. FC and attention time-multiplex the same
+//! multiplier arrays, so their costs serialize within a job.
+
+use spatten_core::{
+    decode_step_cost, prefill_cost, surviving_tokens, SpAttenConfig, SpAttenE2e, StepCost,
+};
+use spatten_nn::ModelConfig;
+use spatten_workloads::spec::BitwidthScheme;
+use spatten_workloads::Workload;
+use std::collections::HashMap;
+
+/// Decode context lengths are bucketed to this granularity for memoization
+/// (a 16-token context difference moves a decode step's cost by well under
+/// the scheduling noise floor).
+const CTX_BUCKET: usize = 16;
+
+/// Memo key: every timing-relevant field of a workload *except* lengths
+/// and seed. Two classes may share a benchmark name while differing in
+/// pruning or quantization, so the name alone would collide and silently
+/// price one class as the other. Float policy fields are keyed by bit
+/// pattern (exact equality is the right notion for "same class").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ClassKey {
+    name: String,
+    model: ModelConfig,
+    token_avg_keep: u64,
+    head_avg_keep: u64,
+    token_front_frac: u64,
+    head_front_frac: u64,
+    local_value_keep: u64,
+    scheme: BitwidthScheme,
+    progressive: bool,
+    lsb_threshold: u32,
+}
+
+/// Memoized cost oracle for one accelerator configuration.
+#[derive(Debug)]
+pub struct CostModel {
+    cfg: SpAttenConfig,
+    e2e: Option<SpAttenE2e>,
+    prefill_memo: HashMap<(ClassKey, usize), StepCost>,
+    decode_memo: HashMap<(ClassKey, usize), StepCost>,
+    footprint_memo: HashMap<(ClassKey, usize), u64>,
+}
+
+impl CostModel {
+    /// An attention-only oracle for `cfg`.
+    pub fn attention_only(cfg: SpAttenConfig) -> Self {
+        Self {
+            cfg,
+            e2e: None,
+            prefill_memo: HashMap::new(),
+            decode_memo: HashMap::new(),
+            footprint_memo: HashMap::new(),
+        }
+    }
+
+    /// An end-to-end oracle: attention from the cycle-level model plus FC
+    /// weight streaming at `fc_weight_bits` (SpAtten-e2e, Table IV).
+    pub fn end_to_end(cfg: SpAttenConfig, fc_weight_bits: u32) -> Self {
+        Self {
+            cfg,
+            e2e: Some(SpAttenE2e::new(cfg, fc_weight_bits)),
+            prefill_memo: HashMap::new(),
+            decode_memo: HashMap::new(),
+            footprint_memo: HashMap::new(),
+        }
+    }
+
+    /// The accelerator configuration the oracle prices against.
+    pub fn config(&self) -> SpAttenConfig {
+        self.cfg
+    }
+
+    /// A seed-normalized representative for memoized cost computation.
+    fn representative(w: &Workload, len: usize) -> Workload {
+        Workload {
+            seq_len: len,
+            gen_steps: 0,
+            seed: 0x5EED ^ (len as u64) << 1,
+            ..w.clone()
+        }
+    }
+
+    /// See [`ClassKey`].
+    fn class_key(w: &Workload) -> ClassKey {
+        ClassKey {
+            name: w.name.clone(),
+            model: w.model,
+            token_avg_keep: w.pruning.token_avg_keep.to_bits(),
+            head_avg_keep: w.pruning.head_avg_keep.to_bits(),
+            token_front_frac: w.pruning.token_front_frac.to_bits(),
+            head_front_frac: w.pruning.head_front_frac.to_bits(),
+            local_value_keep: w.pruning.local_value_keep.to_bits(),
+            scheme: w.quant.scheme,
+            progressive: w.quant.progressive,
+            lsb_threshold: w.quant.lsb_threshold.to_bits(),
+        }
+    }
+
+    /// Cost of `w`'s summarization/prefill pass over `w.seq_len` tokens.
+    pub fn prefill(&mut self, w: &Workload) -> StepCost {
+        let key = (Self::class_key(w), w.seq_len);
+        if let Some(&c) = self.prefill_memo.get(&key) {
+            return c;
+        }
+        let rep = Self::representative(w, w.seq_len);
+        let mut cost = prefill_cost(&self.cfg, &rep);
+        if let Some(e2e) = &self.e2e {
+            cost.add(e2e.fc_prefill_cost(&rep));
+        }
+        self.prefill_memo.insert(key, cost);
+        cost
+    }
+
+    /// Cost of generating one token of `w` at a (pre-pruning) KV context of
+    /// `context` tokens.
+    pub fn decode(&mut self, w: &Workload, context: usize) -> StepCost {
+        let bucket = context.max(1).div_ceil(CTX_BUCKET) * CTX_BUCKET;
+        let key = (Self::class_key(w), bucket);
+        if let Some(&c) = self.decode_memo.get(&key) {
+            return c;
+        }
+        let rep = Self::representative(w, bucket);
+        let mut cost = decode_step_cost(&self.cfg, &rep, bucket);
+        if let Some(e2e) = &self.e2e {
+            cost.add(e2e.fc_decode_cost(&rep));
+        }
+        self.decode_memo.insert(key, cost);
+        cost
+    }
+
+    /// Serialized cycles of the whole job: prefill plus every decode step.
+    /// This is what a run-to-completion scheduler charges, and what
+    /// shortest-job-first sorts by.
+    pub fn job_serial_cycles(&mut self, w: &Workload) -> u64 {
+        let mut total = self.prefill(w).serial_cycles;
+        for step in 0..w.gen_steps {
+            total += self.decode(w, w.seq_len + step + 1).serial_cycles;
+        }
+        total
+    }
+
+    /// Cycles from job start until its first visible token: the prefill
+    /// pass, plus one decode step for generative jobs.
+    pub fn first_token_cycles(&mut self, w: &Workload) -> u64 {
+        let mut total = self.prefill(w).serial_cycles;
+        if w.gen_steps > 0 {
+            total += self.decode(w, w.seq_len + 1).serial_cycles;
+        }
+        total
+    }
+
+    /// The KV-cache SRAM footprint the job pins while resident on a chip:
+    /// the *deepest-layer* survivor set of its maximum context (cascade
+    /// pruning's end state — the working set SpAtten keeps hot across
+    /// generation steps), K and V planes at the workload's MSB storage
+    /// precision (the plane SpAtten streams during generation; LSB refetch
+    /// is rare enough — ≈ 5.9 % of queries — not to be provisioned for).
+    ///
+    /// Clamped to [`Self::kv_budget`]: an oversized job (one whose working
+    /// set alone exceeds the SRAMs) is still servable — the perf model
+    /// charges it SRAM-overflow re-streaming — but it can never share a
+    /// chip, so its effective reservation is the whole budget.
+    pub fn kv_footprint_bytes(&mut self, w: &Workload) -> u64 {
+        let max_ctx = w.seq_len + w.gen_steps;
+        let key = (Self::class_key(w), max_ctx);
+        if let Some(&b) = self.footprint_memo.get(&key) {
+            return b;
+        }
+        let deepest = surviving_tokens(&self.cfg, w, w.model.layers - 1, max_ctx);
+        let bits = u64::from(w.quant.scheme.msb_bits());
+        let per_token = 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+        let bytes = (deepest as u64 * per_token).min(self.kv_budget());
+        self.footprint_memo.insert(key, bytes);
+        bytes
+    }
+
+    /// The packing budget continuous batching fills: the K and the V SRAM
+    /// (`SpAttenConfig::kv_sram_bytes` each).
+    pub fn kv_budget(&self) -> u64 {
+        2 * self.cfg.kv_sram_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatten_workloads::Benchmark;
+
+    fn model() -> CostModel {
+        CostModel::end_to_end(SpAttenConfig::default(), 8)
+    }
+
+    #[test]
+    fn decode_cost_grows_with_context() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let near = m.decode(&w, 64).serial_cycles;
+        let far = m.decode(&w, 1024).serial_cycles;
+        assert!(far > near, "decode at ctx 1024 ({far}) vs 64 ({near})");
+    }
+
+    #[test]
+    fn prefill_cost_grows_with_length() {
+        let mut m = model();
+        let mut w = Benchmark::bert_base_sst2().workload();
+        w.seq_len = 32;
+        let short = m.prefill(&w).serial_cycles;
+        w.seq_len = 256;
+        let long = m.prefill(&w).serial_cycles;
+        assert!(long > 4 * short, "prefill 256 ({long}) vs 32 ({short})");
+    }
+
+    #[test]
+    fn memoization_is_stable() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let a = m.decode(&w, 100);
+        let b = m.decode(&w, 100);
+        assert_eq!(a, b);
+        // Same bucket → same memo entry.
+        let c = m.decode(&w, 97);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn job_serial_matches_piecewise_sum() {
+        let mut m = model();
+        let mut w = Benchmark::gpt2_small_wikitext2().workload();
+        w.seq_len = 128;
+        w.gen_steps = 4;
+        let total = m.job_serial_cycles(&w);
+        let mut expect = m.prefill(&w).serial_cycles;
+        for s in 0..4 {
+            expect += m.decode(&w, 128 + s + 1).serial_cycles;
+        }
+        assert_eq!(total, expect);
+        assert!(m.first_token_cycles(&w) < total);
+    }
+
+    #[test]
+    fn footprint_respects_budget_and_scales_with_context() {
+        let mut m = model();
+        let mut w = Benchmark::gpt2_small_wikitext2().workload();
+        w.seq_len = 64;
+        w.gen_steps = 8;
+        let small = m.kv_footprint_bytes(&w);
+        w.seq_len = 512;
+        let big = m.kv_footprint_bytes(&w);
+        assert!(small > 0);
+        assert!(big > small);
+        assert!(big <= m.kv_budget());
+    }
+
+    #[test]
+    fn decode_is_memory_bound_with_fc() {
+        // Table IV regime: generation is dominated by weight/KV streaming.
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let c = m.decode(&w, 512);
+        assert!(c.dram_cycles > c.compute_cycles, "{c:?}");
+    }
+
+    #[test]
+    fn prefill_is_compute_bound() {
+        let mut m = model();
+        let mut w = Benchmark::bert_base_sst2().workload();
+        w.seq_len = 128;
+        let c = m.prefill(&w);
+        assert!(c.compute_cycles > c.dram_cycles, "{c:?}");
+    }
+}

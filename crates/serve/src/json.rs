@@ -1,0 +1,131 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace's `serde` is an offline stub (no data-format machinery),
+//! so the serving report serializes itself through this small builder. It
+//! supports exactly what `FleetReport` needs: objects, arrays, strings with
+//! escaping, integers, and finite floats.
+
+use std::fmt::Write;
+
+/// Builds one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write!(self.buf, "{}:", quote(name)).expect("string write");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(&quote(value));
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        write!(self.buf, "{value}").expect("string write");
+        self
+    }
+
+    /// Adds a float field (non-finite values serialize as `null`).
+    pub fn f64(mut self, name: &str, value: f64) -> Self {
+        self.key(name);
+        if value.is_finite() {
+            write!(self.buf, "{value}").expect("string write");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a pre-serialized JSON value (object, array, ...).
+    pub fn raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serializes a sequence of pre-serialized values as a JSON array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// JSON string quoting with the mandatory escapes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_objects() {
+        let inner = JsonObject::new().u64("a", 1).f64("b", 0.5).build();
+        let outer = JsonObject::new()
+            .str("name", "x\"y")
+            .raw("inner", &inner)
+            .raw("list", &array(["1".into(), "2".into()]))
+            .build();
+        assert_eq!(
+            outer,
+            r#"{"name":"x\"y","inner":{"a":1,"b":0.5},"list":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let o = JsonObject::new().f64("x", f64::NAN).build();
+        assert_eq!(o, r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(quote("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

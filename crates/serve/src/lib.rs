@@ -1,0 +1,57 @@
+//! # spatten-serve — a trace-driven multi-accelerator serving simulator
+//!
+//! The crates below this one model *one* SpAtten chip running *one*
+//! workload. Production inference doesn't look like that: traffic is a
+//! stream of mixed requests (BERT summarization jobs next to GPT-2
+//! generation jobs), served by a fleet of accelerators behind a scheduler,
+//! and the numbers that matter are throughput, utilization and **tail
+//! latency** — not single-run cycle counts. This crate wraps the
+//! cycle-accurate perf model in exactly that harness:
+//!
+//! * [`cost`] — [`CostModel`]: memoized incremental cost queries
+//!   (`prefill`, per-token `decode`, KV-cache SRAM footprints) against
+//!   `spatten_core::perf`, optionally end-to-end with SpAtten-e2e FC
+//!   weight streaming.
+//! * [`scheduler`] — pluggable policies: FIFO, shortest-job-first, and a
+//!   continuous-batching scheduler that packs jobs by KV-cache SRAM
+//!   footprint against `SpAttenConfig::kv_sram_bytes`.
+//! * [`chip`] — the per-chip event loop: queue wait, execution
+//!   serialization, and HBM-bandwidth-aware co-scheduling (one job's
+//!   compute overlaps another's KV/weight streaming; each resource
+//!   serializes within itself).
+//! * [`sim`] — the discrete-event fleet simulator driving open-loop
+//!   (Poisson) and closed-loop traces from `spatten_workloads::trace`.
+//! * [`metrics`] — throughput (req/s, tokens/s), utilization, and
+//!   p50/p95/p99 latency / queue-wait / time-to-first-token, with a JSON
+//!   report writer.
+//!
+//! # Quick start
+//!
+//! ```
+//! use spatten_serve::{simulate_fleet, FleetConfig, Policy};
+//! use spatten_workloads::{ArrivalSpec, TraceSpec};
+//!
+//! let trace = TraceSpec::mixed(
+//!     ArrivalSpec::OpenPoisson { rate_rps: 2000.0, requests: 100 },
+//!     7,
+//! )
+//! .generate();
+//! let report = simulate_fleet(&FleetConfig::new(4, Policy::ContinuousBatching), &trace);
+//! assert_eq!(report.completed, 100);
+//! assert!(report.latency.p99 >= report.latency.p50);
+//! println!("{}", report.to_json());
+//! ```
+
+pub mod chip;
+pub mod cost;
+pub mod json;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod sim;
+
+pub use cost::CostModel;
+pub use metrics::{ChipStats, FleetReport, Percentiles};
+pub use request::{Completion, Job};
+pub use scheduler::{ChipCapacity, Policy, Scheduler};
+pub use sim::{simulate_fleet, FleetConfig};

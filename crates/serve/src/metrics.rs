@@ -1,0 +1,239 @@
+//! Metrics aggregation: throughput, utilization, and latency percentiles.
+
+use crate::json::{array, JsonObject};
+use crate::request::Completion;
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution summary in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `samples` (cycles), scaled to seconds at
+    /// `clock_ghz`. Returns zeros for an empty sample set.
+    pub fn from_cycles(samples: &[u64], clock_ghz: f64) -> Self {
+        if samples.is_empty() {
+            return Self {
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                mean: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let scale = 1.0 / (clock_ghz * 1e9);
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1] as f64 * scale
+        };
+        let mean = sorted.iter().map(|&c| c as f64).sum::<f64>() / sorted.len() as f64 * scale;
+        Self {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+            mean,
+            max: *sorted.last().expect("non-empty") as f64 * scale,
+        }
+    }
+
+    fn to_json(self) -> String {
+        JsonObject::new()
+            .f64("p50_s", self.p50)
+            .f64("p95_s", self.p95)
+            .f64("p99_s", self.p99)
+            .f64("mean_s", self.mean)
+            .f64("max_s", self.max)
+            .build()
+    }
+}
+
+/// Per-chip accounting carried into the report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Chip index.
+    pub id: usize,
+    /// Cycles spent executing rounds.
+    pub busy_cycles: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Mean resident jobs over busy time.
+    pub mean_occupancy: f64,
+    /// High-water mark of KV SRAM bytes in use.
+    pub max_kv_in_use: u64,
+}
+
+/// Everything one fleet simulation produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Number of chips.
+    pub chips: usize,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Requests completed (every trace request, unless the trace was
+    /// truncated).
+    pub completed: usize,
+    /// Simulated makespan in cycles (last completion).
+    pub makespan_cycles: u64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Tokens (prefill + generated) per second of simulated time.
+    pub tokens_per_sec: f64,
+    /// Mean fraction of makespan chips spent busy.
+    pub utilization: f64,
+    /// End-to-end latency distribution.
+    pub latency: Percentiles,
+    /// Queueing-delay distribution.
+    pub queue_wait: Percentiles,
+    /// Time-to-first-token distribution.
+    pub ttft: Percentiles,
+    /// KV packing budget (bytes) the batcher filled against.
+    pub kv_budget_bytes: u64,
+    /// Per-chip stats.
+    pub chip_stats: Vec<ChipStats>,
+    /// The raw completion records.
+    pub completions: Vec<Completion>,
+}
+
+impl FleetReport {
+    /// Builds the report from raw completions and chip accounting.
+    pub fn new(
+        policy: &str,
+        chips: usize,
+        clock_ghz: f64,
+        kv_budget_bytes: u64,
+        completions: Vec<Completion>,
+        chip_stats: Vec<ChipStats>,
+    ) -> Self {
+        let makespan_cycles = completions
+            .iter()
+            .map(|c| c.finish_cycles)
+            .max()
+            .unwrap_or(0);
+        let seconds = makespan_cycles as f64 / (clock_ghz * 1e9);
+        let total_tokens: u64 = completions.iter().map(Completion::tokens).sum();
+        let latencies: Vec<u64> = completions.iter().map(Completion::latency_cycles).collect();
+        let waits: Vec<u64> = completions.iter().map(Completion::wait_cycles).collect();
+        let ttfts: Vec<u64> = completions.iter().map(Completion::ttft_cycles).collect();
+        let busy: u64 = chip_stats.iter().map(|c| c.busy_cycles).sum();
+        let utilization = if makespan_cycles == 0 {
+            0.0
+        } else {
+            busy as f64 / (makespan_cycles as f64 * chips as f64)
+        };
+        Self {
+            policy: policy.to_string(),
+            chips,
+            clock_ghz,
+            completed: completions.len(),
+            makespan_cycles,
+            throughput_rps: if seconds > 0.0 {
+                completions.len() as f64 / seconds
+            } else {
+                0.0
+            },
+            tokens_per_sec: if seconds > 0.0 {
+                total_tokens as f64 / seconds
+            } else {
+                0.0
+            },
+            utilization,
+            latency: Percentiles::from_cycles(&latencies, clock_ghz),
+            queue_wait: Percentiles::from_cycles(&waits, clock_ghz),
+            ttft: Percentiles::from_cycles(&ttfts, clock_ghz),
+            kv_budget_bytes,
+            chip_stats,
+            completions,
+        }
+    }
+
+    /// Mean batch occupancy across chips, weighted by busy time.
+    pub fn mean_occupancy(&self) -> f64 {
+        let busy: u64 = self.chip_stats.iter().map(|c| c.busy_cycles).sum();
+        if busy == 0 {
+            return 0.0;
+        }
+        self.chip_stats
+            .iter()
+            .map(|c| c.mean_occupancy * c.busy_cycles as f64)
+            .sum::<f64>()
+            / busy as f64
+    }
+
+    /// Serializes the report (without raw completions) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let chips = array(self.chip_stats.iter().map(|c| {
+            JsonObject::new()
+                .u64("id", c.id as u64)
+                .u64("busy_cycles", c.busy_cycles)
+                .u64("rounds", c.rounds)
+                .f64("mean_occupancy", c.mean_occupancy)
+                .u64("max_kv_in_use_bytes", c.max_kv_in_use)
+                .build()
+        }));
+        JsonObject::new()
+            .str("policy", &self.policy)
+            .u64("chips", self.chips as u64)
+            .f64("clock_ghz", self.clock_ghz)
+            .u64("completed", self.completed as u64)
+            .u64("makespan_cycles", self.makespan_cycles)
+            .f64(
+                "makespan_s",
+                self.makespan_cycles as f64 / (self.clock_ghz * 1e9),
+            )
+            .f64("throughput_rps", self.throughput_rps)
+            .f64("tokens_per_sec", self.tokens_per_sec)
+            .f64("utilization", self.utilization)
+            .f64("mean_batch_occupancy", self.mean_occupancy())
+            .u64("kv_budget_bytes", self.kv_budget_bytes)
+            .raw("latency", &self.latency.to_json())
+            .raw("queue_wait", &self.queue_wait.to_json())
+            .raw("ttft", &self.ttft.to_json())
+            .raw("per_chip", &chips)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = Percentiles::from_cycles(&samples, 1.0);
+        assert!((p.p50 - 50e-9).abs() < 1e-15);
+        assert!((p.p95 - 95e-9).abs() < 1e-15);
+        assert!((p.p99 - 99e-9).abs() < 1e-15);
+        assert!((p.max - 100e-9).abs() < 1e-15);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let p = Percentiles::from_cycles(&[], 1.0);
+        assert_eq!(p.p99, 0.0);
+        assert_eq!(p.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = Percentiles::from_cycles(&[1_000_000_000], 1.0);
+        assert!((p.p50 - 1.0).abs() < 1e-12);
+        assert!((p.p99 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! Pluggable admission policies.
+//!
+//! A [`Scheduler`] owns the fleet-wide pending queue. Chips ask it for work
+//! at every round boundary ([`Scheduler::take`]); what it hands back
+//! depends on the policy:
+//!
+//! * [`Policy::Fifo`] — strict arrival order, one job per idle chip,
+//!   run-to-completion. The baseline every serving system starts from, and
+//!   the one whose p99 collapses first: a long generation job at the head
+//!   of the queue blocks everything behind it for its entire lifetime.
+//! * [`Policy::Sjf`] — shortest predicted job first (by
+//!   [`CostModel::job_serial_cycles`]), run-to-completion. Fixes mean
+//!   latency, still head-of-line blocks while a long job *executes*, and
+//!   starves long jobs under pressure.
+//! * [`Policy::ContinuousBatching`] — iteration-level scheduling: jobs are
+//!   admitted into a chip's active batch whenever their KV-cache SRAM
+//!   footprint fits ([`CostModel::kv_footprint_bytes`] against
+//!   [`CostModel::kv_budget`]), and the chip interleaves one decode step of
+//!   every resident job per iteration. Arrivals no longer wait for whole
+//!   jobs — only for the current iteration — which is where the p99 win
+//!   comes from. Admission stays in arrival order (no queue jumping), so
+//!   the no-starvation property of FIFO is preserved.
+
+use crate::cost::CostModel;
+use crate::request::Job;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The scheduling policy of a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-in first-out, run-to-completion.
+    Fifo,
+    /// Shortest predicted job first, run-to-completion.
+    Sjf,
+    /// Continuous batching packed by KV-cache SRAM footprint.
+    ContinuousBatching,
+}
+
+impl Policy {
+    /// All policies, in the order the bench report lists them.
+    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::Sjf, Policy::ContinuousBatching];
+
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::Sjf => "sjf",
+            Policy::ContinuousBatching => "continuous-batching",
+        }
+    }
+
+    /// Whether chips under this policy interleave jobs at iteration
+    /// granularity (vs running each admitted job to completion).
+    pub fn is_batching(&self) -> bool {
+        matches!(self, Policy::ContinuousBatching)
+    }
+}
+
+/// A chip's admission capacity, passed to [`Scheduler::take`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChipCapacity {
+    /// Jobs currently resident on the chip.
+    pub active: usize,
+    /// Remaining KV-cache SRAM bytes.
+    pub kv_free: u64,
+    /// Remaining batch slots (`max_batch - active`).
+    pub slots: usize,
+}
+
+/// The fleet-wide pending queue plus the policy that drains it.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: Policy,
+    queue: VecDeque<Job>,
+    admitted: u64,
+}
+
+impl Scheduler {
+    /// An empty scheduler for `policy`.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            policy,
+            queue: VecDeque::new(),
+            admitted: 0,
+        }
+    }
+
+    /// The policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Jobs waiting for a chip.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total jobs handed to chips so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Enqueues an arrival.
+    pub fn on_arrival(&mut self, job: Job) {
+        self.queue.push_back(job);
+    }
+
+    /// Hands the calling chip the jobs it should admit right now. The
+    /// returned jobs are removed from the queue; an empty vec means the
+    /// chip stays as it is.
+    pub fn take(&mut self, cost: &mut CostModel, cap: ChipCapacity) -> Vec<Job> {
+        let picked = match self.policy {
+            Policy::Fifo => {
+                if cap.active == 0 {
+                    self.queue.pop_front().into_iter().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Policy::Sjf => {
+                if cap.active == 0 && !self.queue.is_empty() {
+                    let best = self
+                        .queue
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, j)| (cost.job_serial_cycles(&j.workload), *i))
+                        .map(|(i, _)| i)
+                        .expect("non-empty queue");
+                    self.queue.remove(best).into_iter().collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Policy::ContinuousBatching => {
+                let mut out = Vec::new();
+                let mut kv_free = cap.kv_free;
+                let mut slots = cap.slots;
+                // Strict arrival order: stop at the first job that doesn't
+                // fit. Skipping ahead would pack tighter but reintroduces
+                // starvation, and the batcher's fairness guarantee matters
+                // more than the last few SRAM bytes.
+                while slots > 0 {
+                    let Some(front) = self.queue.front() else {
+                        break;
+                    };
+                    let footprint = cost.kv_footprint_bytes(&front.workload);
+                    if footprint > kv_free {
+                        break;
+                    }
+                    kv_free -= footprint;
+                    slots -= 1;
+                    out.push(self.queue.pop_front().expect("front exists"));
+                }
+                out
+            }
+        };
+        self.admitted += picked.len() as u64;
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatten_core::SpAttenConfig;
+    use spatten_workloads::{Benchmark, Workload};
+
+    fn job(id: u64, seq_len: usize, gen_steps: usize) -> Job {
+        let mut workload: Workload = Benchmark::gpt2_small_wikitext2().workload();
+        workload.seq_len = seq_len;
+        workload.gen_steps = gen_steps;
+        Job {
+            id,
+            class: 1,
+            client: None,
+            arrival_cycles: id * 10,
+            workload,
+        }
+    }
+
+    fn cost() -> CostModel {
+        CostModel::end_to_end(SpAttenConfig::default(), 8)
+    }
+
+    #[test]
+    fn fifo_hands_out_one_job_in_arrival_order() {
+        let mut s = Scheduler::new(Policy::Fifo);
+        let mut c = cost();
+        for i in 0..3 {
+            s.on_arrival(job(i, 64, 4));
+        }
+        let cap = ChipCapacity {
+            active: 0,
+            kv_free: u64::MAX,
+            slots: 8,
+        };
+        let got = s.take(&mut c, cap);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 0);
+        // A busy chip gets nothing.
+        let busy = ChipCapacity {
+            active: 1,
+            kv_free: u64::MAX,
+            slots: 7,
+        };
+        assert!(s.take(&mut c, busy).is_empty());
+        assert_eq!(s.pending(), 2);
+    }
+
+    #[test]
+    fn sjf_prefers_the_short_job() {
+        let mut s = Scheduler::new(Policy::Sjf);
+        let mut c = cost();
+        s.on_arrival(job(0, 512, 48)); // long
+        s.on_arrival(job(1, 32, 2)); // short
+        let cap = ChipCapacity {
+            active: 0,
+            kv_free: u64::MAX,
+            slots: 8,
+        };
+        let got = s.take(&mut c, cap);
+        assert_eq!(got[0].id, 1);
+    }
+
+    #[test]
+    fn batcher_fills_until_kv_budget() {
+        let mut s = Scheduler::new(Policy::ContinuousBatching);
+        let mut c = cost();
+        for i in 0..20 {
+            s.on_arrival(job(i, 256, 16));
+        }
+        let budget = c.kv_budget();
+        let cap = ChipCapacity {
+            active: 0,
+            kv_free: budget,
+            slots: 16,
+        };
+        let got = s.take(&mut c, cap);
+        assert!(!got.is_empty());
+        assert!(got.len() < 20, "budget must bound the batch");
+        let used: u64 = got.iter().map(|j| c.kv_footprint_bytes(&j.workload)).sum();
+        assert!(used <= budget, "batch footprint {used} > budget {budget}");
+        // Arrival order preserved.
+        let ids: Vec<u64> = got.iter().map(|j| j.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn batcher_respects_slots() {
+        let mut s = Scheduler::new(Policy::ContinuousBatching);
+        let mut c = cost();
+        for i in 0..5 {
+            s.on_arrival(job(i, 32, 2));
+        }
+        let cap = ChipCapacity {
+            active: 2,
+            kv_free: u64::MAX,
+            slots: 2,
+        };
+        assert_eq!(s.take(&mut c, cap).len(), 2);
+    }
+}

@@ -1,0 +1,378 @@
+//! The discrete-event fleet simulator.
+//!
+//! Two event kinds drive the clock: request arrivals (pre-drawn for
+//! open-loop traces, completion-triggered for closed-loop ones) and chip
+//! round boundaries. At every round boundary a chip retires whatever its
+//! round finished, asks the [`Scheduler`] for admissions, and — if it holds
+//! any resident jobs — starts its next round. Idle chips are woken by
+//! arrivals. Everything is deterministic: the event queue breaks time ties
+//! by a monotonic sequence number, chips are polled in index order, and
+//! every stochastic draw happened at trace-generation time.
+
+use crate::chip::Chip;
+use crate::cost::CostModel;
+use crate::metrics::{ChipStats, FleetReport};
+use crate::request::{Completion, Job};
+use crate::scheduler::{ChipCapacity, Policy, Scheduler};
+use spatten_core::SpAttenConfig;
+use spatten_workloads::{Trace, TraceRequest};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of SpAtten chips.
+    pub chips: usize,
+    /// Per-chip accelerator configuration (Table I defaults).
+    pub accel: SpAttenConfig,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Cap on jobs resident per chip under continuous batching (protects
+    /// iteration latency even when KV footprints are tiny).
+    pub max_batch: usize,
+    /// FC weight bitwidth for end-to-end job costs; `None` prices
+    /// attention only.
+    pub fc_weight_bits: Option<u32>,
+    /// Chunked-prefill quantum: the most serial prefill work one job may
+    /// contribute per continuous-batching iteration. Sized like a decode
+    /// step so resident decode jobs emit a token every iteration instead
+    /// of stalling behind whole prefill passes.
+    pub prefill_chunk_cycles: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `chips` Table-I accelerators under `policy`, pricing
+    /// end-to-end jobs with 8-bit FC weights and batching up to 8 jobs.
+    pub fn new(chips: usize, policy: Policy) -> Self {
+        Self {
+            chips,
+            accel: SpAttenConfig::default(),
+            policy,
+            max_batch: 8,
+            fc_weight_bits: Some(8),
+            // ≈ one GPT-2-Small end-to-end decode step at the Table-I
+            // configuration (0.25 ms at 1 GHz).
+            prefill_chunk_cycles: 250_000,
+        }
+    }
+
+    fn cost_model(&self) -> CostModel {
+        match self.fc_weight_bits {
+            Some(bits) => CostModel::end_to_end(self.accel, bits),
+            None => CostModel::attention_only(self.accel),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival(Job),
+    RoundEnd(usize),
+}
+
+#[derive(Debug)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct Fleet {
+    cfg: FleetConfig,
+    cost: CostModel,
+    scheduler: Scheduler,
+    chips: Vec<Chip>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    completions: Vec<Completion>,
+    /// Closed-loop state: per-client pending queues + think time.
+    client_queues: Vec<Vec<TraceRequest>>,
+    think_cycles: u64,
+}
+
+impl Fleet {
+    fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
+        (ns as f64 * clock_ghz).round() as u64
+    }
+
+    fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64) -> Job {
+        Job {
+            id: req.id,
+            class: req.class,
+            client,
+            arrival_cycles,
+            workload: req.workload.clone(),
+        }
+    }
+
+    /// Offers work to `chip` and starts its next round if it holds any.
+    fn kick(&mut self, chip_idx: usize, now: u64) {
+        let batching = self.cfg.policy.is_batching();
+        let chip = &mut self.chips[chip_idx];
+        if chip.is_in_flight() {
+            return;
+        }
+        let max_batch = if batching { self.cfg.max_batch } else { 1 };
+        let cap = ChipCapacity {
+            active: chip.active_jobs(),
+            kv_free: self.cost.kv_budget().saturating_sub(chip.kv_in_use()),
+            slots: max_batch.saturating_sub(chip.active_jobs()),
+        };
+        let admitted = self.scheduler.take(&mut self.cost, cap);
+        for job in admitted {
+            chip.admit(&mut self.cost, job, now);
+        }
+        if let Some(cycles) =
+            chip.start_round(&mut self.cost, batching, self.cfg.prefill_chunk_cycles, now)
+        {
+            self.push(now + cycles, EventKind::RoundEnd(chip_idx));
+        }
+    }
+
+    fn on_completion(&mut self, done: Completion) {
+        // Closed loop: the finishing client thinks, then issues its next
+        // request.
+        if let Some(client) = done.client {
+            if let Some(next) = self.client_queues.get_mut(client).and_then(Vec::pop) {
+                let t = done.finish_cycles + self.think_cycles;
+                let job = Self::job_from(&next, Some(client), t);
+                self.push(t, EventKind::Arrival(job));
+            }
+        }
+        self.completions.push(done);
+    }
+
+    fn run(mut self) -> FleetReport {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            let now = ev.time;
+            match ev.kind {
+                EventKind::Arrival(job) => {
+                    self.scheduler.on_arrival(job);
+                    for chip_idx in 0..self.chips.len() {
+                        self.kick(chip_idx, now);
+                    }
+                }
+                EventKind::RoundEnd(chip_idx) => {
+                    let finished = self.chips[chip_idx].end_round();
+                    for done in finished {
+                        self.on_completion(done);
+                    }
+                    // The freed capacity may unblock any chip's admission
+                    // (shared queue), so poll them all, this one first.
+                    self.kick(chip_idx, now);
+                    for other in 0..self.chips.len() {
+                        if other != chip_idx {
+                            self.kick(other, now);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            self.scheduler.pending(),
+            0,
+            "simulation drained with jobs still queued"
+        );
+        let chip_stats: Vec<ChipStats> = self
+            .chips
+            .iter()
+            .map(|c| ChipStats {
+                id: c.id,
+                busy_cycles: c.busy_cycles,
+                rounds: c.rounds,
+                mean_occupancy: if c.busy_cycles == 0 {
+                    0.0
+                } else {
+                    c.occupancy_area as f64 / c.busy_cycles as f64
+                },
+                max_kv_in_use: c.max_kv_in_use,
+            })
+            .collect();
+        FleetReport::new(
+            self.cfg.policy.name(),
+            self.cfg.chips,
+            self.cfg.accel.clock_ghz,
+            self.cost.kv_budget(),
+            self.completions,
+            chip_stats,
+        )
+    }
+}
+
+/// Simulates `trace` on the fleet described by `cfg` and returns the
+/// aggregated report. Deterministic for a fixed `(cfg, trace)`.
+///
+/// # Panics
+///
+/// Panics if the fleet has zero chips or `max_batch` is zero.
+pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
+    assert!(cfg.chips > 0, "fleet needs at least one chip");
+    assert!(cfg.max_batch > 0, "max_batch must be positive");
+    let clock = cfg.accel.clock_ghz;
+    let mut fleet = Fleet {
+        cost: cfg.cost_model(),
+        scheduler: Scheduler::new(cfg.policy),
+        chips: (0..cfg.chips).map(Chip::new).collect(),
+        events: BinaryHeap::new(),
+        seq: 0,
+        completions: Vec::new(),
+        client_queues: Vec::new(),
+        think_cycles: 0,
+        cfg: cfg.clone(),
+    };
+    match trace {
+        Trace::Open { requests } => {
+            for req in requests {
+                let t = Fleet::ns_to_cycles(clock, req.arrival_ns);
+                let job = Fleet::job_from(req, None, t);
+                fleet.push(t, EventKind::Arrival(job));
+            }
+        }
+        Trace::Closed { clients, think_ns } => {
+            fleet.think_cycles = Fleet::ns_to_cycles(clock, *think_ns);
+            // Store queues reversed so pop() yields the next request.
+            fleet.client_queues = clients
+                .iter()
+                .map(|q| q.iter().rev().cloned().collect())
+                .collect();
+            for client in 0..fleet.client_queues.len() {
+                if let Some(first) = fleet.client_queues[client].pop() {
+                    let job = Fleet::job_from(&first, Some(client), 0);
+                    fleet.push(0, EventKind::Arrival(job));
+                }
+            }
+        }
+    }
+    fleet.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatten_workloads::{ArrivalSpec, TraceSpec};
+
+    fn open_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec::mixed(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: rate,
+                requests: n,
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    fn every_request_completes_exactly_once() {
+        let trace = open_trace(200, 2000.0, 42);
+        for policy in Policy::ALL {
+            let report = simulate_fleet(&FleetConfig::new(2, policy), &trace);
+            assert_eq!(report.completed, 200, "{}", policy.name());
+            let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 200, "{} duplicated ids", policy.name());
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let trace = open_trace(100, 1000.0, 7);
+        let cfg = FleetConfig::new(4, Policy::ContinuousBatching);
+        let a = simulate_fleet(&cfg, &trace);
+        let b = simulate_fleet(&cfg, &trace);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn closed_loop_serializes_per_client() {
+        let trace = TraceSpec::mixed(
+            ArrivalSpec::ClosedLoop {
+                clients: 4,
+                think_s: 0.0001,
+                requests: 40,
+            },
+            3,
+        )
+        .generate();
+        let report = simulate_fleet(&FleetConfig::new(2, Policy::Fifo), &trace);
+        assert_eq!(report.completed, 40);
+        // A client's requests never overlap: sorted by arrival, each starts
+        // at or after the previous one's finish + think.
+        for client in 0..4 {
+            let mut mine: Vec<_> = report
+                .completions
+                .iter()
+                .filter(|c| c.client == Some(client))
+                .collect();
+            mine.sort_by_key(|c| c.arrival_cycles);
+            for pair in mine.windows(2) {
+                assert!(pair[1].arrival_cycles >= pair[0].finish_cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_and_throughput_are_sane() {
+        let trace = open_trace(150, 3000.0, 9);
+        let report = simulate_fleet(&FleetConfig::new(2, Policy::Fifo), &trace);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.tokens_per_sec > report.throughput_rps);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        assert!(report.latency.p99 >= report.latency.p50);
+        assert!(report.latency.max >= report.latency.p99);
+    }
+
+    #[test]
+    fn kv_high_water_mark_respects_budget() {
+        let trace = open_trace(300, 5000.0, 11);
+        let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        let report = simulate_fleet(&cfg, &trace);
+        for chip in &report.chip_stats {
+            assert!(
+                chip.max_kv_in_use <= report.kv_budget_bytes,
+                "chip {} used {} of {}",
+                chip.id,
+                chip.max_kv_in_use,
+                report.kv_budget_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn batching_runs_with_occupancy_above_one_under_load() {
+        let trace = open_trace(300, 5000.0, 13);
+        let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        let report = simulate_fleet(&cfg, &trace);
+        assert!(
+            report.mean_occupancy() > 1.1,
+            "continuous batching should batch: occupancy {}",
+            report.mean_occupancy()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the serving simulator: conservation of
+//! requests, FIFO ordering, KV-budget safety, and a deterministic
+//! end-to-end smoke test.
+
+use proptest::prelude::*;
+use spatten_serve::{simulate_fleet, FleetConfig, Policy};
+use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
+
+fn open_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
+    TraceSpec::mixed(ArrivalSpec::OpenPoisson { rate_rps, requests }, seed).generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// No request is ever lost or duplicated, under any policy, fleet
+    /// size or offered load.
+    #[test]
+    fn no_request_lost_or_duplicated(
+        requests in 20usize..100,
+        chips in 1usize..6,
+        rate in 50.0f64..2000.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = open_trace(requests, rate, seed);
+        for policy in Policy::ALL {
+            let report = simulate_fleet(&FleetConfig::new(chips, policy), &trace);
+            prop_assert_eq!(report.completed, requests);
+            let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+            ids.sort_unstable();
+            let mut expect: Vec<u64> = (0..requests as u64).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(ids, expect);
+        }
+    }
+
+    /// FIFO starts jobs in arrival order: an earlier arrival never begins
+    /// execution after a later one.
+    #[test]
+    fn fifo_preserves_arrival_order(
+        requests in 20usize..80,
+        chips in 1usize..5,
+        rate in 100.0f64..1500.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = open_trace(requests, rate, seed);
+        let report = simulate_fleet(&FleetConfig::new(chips, Policy::Fifo), &trace);
+        let mut by_arrival: Vec<_> = report.completions.iter().collect();
+        by_arrival.sort_by_key(|c| (c.arrival_cycles, c.id));
+        for pair in by_arrival.windows(2) {
+            prop_assert!(
+                pair[0].start_cycles <= pair[1].start_cycles,
+                "id {} (arrived {}) started at {} after id {} (arrived {}) at {}",
+                pair[0].id, pair[0].arrival_cycles, pair[0].start_cycles,
+                pair[1].id, pair[1].arrival_cycles, pair[1].start_cycles
+            );
+        }
+    }
+
+    /// The continuous batcher never packs more resident KV state than the
+    /// chip's K/V SRAMs hold: the per-chip high-water mark respects the
+    /// budget derived from `SpAttenConfig::kv_sram_bytes`.
+    #[test]
+    fn batcher_never_exceeds_kv_sram_budget(
+        requests in 30usize..120,
+        chips in 1usize..5,
+        rate in 100.0f64..4000.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = open_trace(requests, rate, seed);
+        let cfg = FleetConfig::new(chips, Policy::ContinuousBatching);
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.kv_budget_bytes, 2 * cfg.accel.kv_sram_bytes);
+        for chip in &report.chip_stats {
+            prop_assert!(
+                chip.max_kv_in_use <= report.kv_budget_bytes,
+                "chip {} peaked at {} bytes against a {} byte budget",
+                chip.id, chip.max_kv_in_use, report.kv_budget_bytes
+            );
+        }
+    }
+
+    /// Timestamps are causally ordered for every completion, under every
+    /// policy: arrival <= start <= first token <= finish.
+    #[test]
+    fn completion_timestamps_are_causal(
+        requests in 20usize..80,
+        chips in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let trace = open_trace(requests, 400.0, seed);
+        for policy in Policy::ALL {
+            let report = simulate_fleet(&FleetConfig::new(chips, policy), &trace);
+            for c in &report.completions {
+                prop_assert!(c.arrival_cycles <= c.start_cycles);
+                prop_assert!(c.start_cycles < c.first_token_cycles);
+                prop_assert!(c.first_token_cycles <= c.finish_cycles);
+            }
+        }
+    }
+}
+
+/// Deterministic-seed end-to-end smoke test: a 4-chip fleet under every
+/// policy completes the whole trace with nonzero throughput and a sane
+/// latency distribution (p99 >= p50).
+#[test]
+fn end_to_end_smoke() {
+    let trace = open_trace(300, 250.0, 20260726);
+    for policy in Policy::ALL {
+        let report = simulate_fleet(&FleetConfig::new(4, policy), &trace);
+        assert_eq!(report.completed, 300, "{}", policy.name());
+        assert!(report.throughput_rps > 0.0, "{}", policy.name());
+        assert!(report.tokens_per_sec > 0.0, "{}", policy.name());
+        assert!(report.utilization > 0.0, "{}", policy.name());
+        assert!(
+            report.latency.p99 >= report.latency.p50,
+            "{}: p99 {} < p50 {}",
+            policy.name(),
+            report.latency.p99,
+            report.latency.p50
+        );
+        assert!(
+            report.latency.p95 >= report.latency.p50,
+            "{}",
+            policy.name()
+        );
+        assert!(
+            report.latency.max >= report.latency.p99,
+            "{}",
+            policy.name()
+        );
+        // Rerunning the same seed reproduces the report bit-for-bit.
+        let again = simulate_fleet(&FleetConfig::new(4, policy), &trace);
+        assert_eq!(report.makespan_cycles, again.makespan_cycles);
+        assert_eq!(report.completions, again.completions);
+    }
+}
+
+/// The closed-loop arrival process also conserves requests end to end.
+#[test]
+fn closed_loop_smoke() {
+    let trace = TraceSpec::mixed(
+        ArrivalSpec::ClosedLoop {
+            clients: 12,
+            think_s: 0.001,
+            requests: 120,
+        },
+        9,
+    )
+    .generate();
+    let report = simulate_fleet(&FleetConfig::new(2, Policy::ContinuousBatching), &trace);
+    assert_eq!(report.completed, 120);
+    assert!(report.latency.p99 >= report.latency.p50);
+}

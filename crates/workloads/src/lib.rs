@@ -16,13 +16,17 @@
 //!   attention-probability generators.
 //! * [`text`] — small canned sentences (Fig. 22-style) with a toy
 //!   word-level tokenizer for the interpretability demos.
+//! * [`trace`] — serving traces: request classes, open-loop Poisson and
+//!   closed-loop arrival processes, consumed by `spatten-serve`.
 
 pub mod registry;
 pub mod spec;
 pub mod synth;
 pub mod text;
+pub mod trace;
 
 pub use registry::{Benchmark, TaskKind};
 pub use spec::{PruningSpec, QuantPolicy, Workload};
 pub use synth::{synthetic_probs, zipf_tokens};
 pub use text::{ExampleSentence, Vocabulary};
+pub use trace::{ArrivalSpec, RequestClass, Trace, TraceRequest, TraceSpec};

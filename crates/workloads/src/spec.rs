@@ -56,12 +56,7 @@ impl PruningSpec {
     /// `r_start + r_end = 2·avg` and the spread is ±25 % of the average
     /// (clamped to [0.05, 1]).
     pub fn token_keep_at(&self, layer: usize, layers: usize) -> f64 {
-        keep_at(
-            layer,
-            layers,
-            self.token_avg_keep,
-            self.token_front_frac,
-        )
+        keep_at(layer, layers, self.token_avg_keep, self.token_front_frac)
     }
 
     /// Per-layer head keep ratio (same interpolation, 30 % front).

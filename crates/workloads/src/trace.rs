@@ -1,0 +1,383 @@
+//! Serving traces: request classes, arrival processes and trace generation.
+//!
+//! The serving simulator (`spatten-serve`) consumes a [`Trace`]: a stream of
+//! inference requests with per-request sequence lengths, drawn from a
+//! weighted mix of [`RequestClass`]es (BERT summarization-stage jobs, GPT-2
+//! generation-stage jobs) under one of two arrival disciplines:
+//!
+//! * **Open loop** ([`ArrivalSpec::OpenPoisson`]) — arrivals follow a
+//!   Poisson process at a fixed offered rate, independent of completions.
+//!   This is the discipline that exposes tail-latency collapse under
+//!   overload (queues grow without bound once offered load exceeds
+//!   capacity).
+//! * **Closed loop** ([`ArrivalSpec::ClosedLoop`]) — a fixed population of
+//!   clients, each issuing its next request a think time after its previous
+//!   one completes. Offered load self-throttles to fleet capacity.
+//!
+//! Generation is fully deterministic for a fixed [`TraceSpec`] (seeded
+//! inter-arrival draws, class picks and length draws), so serving reports
+//! are bit-reproducible.
+
+use crate::registry::Benchmark;
+use crate::spec::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One class of serving request: a workload template plus per-request
+/// length ranges. Each generated request clones the template and draws its
+/// own `seq_len` (and, for generative templates, `gen_steps`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestClass {
+    /// Template carrying model shape, pruning spec and quantization policy.
+    pub template: Workload,
+    /// Inclusive range of per-request input lengths.
+    pub seq_len: (usize, usize),
+    /// Inclusive range of generated tokens (ignored — forced to 0 — when
+    /// the template itself is discriminative).
+    pub gen_steps: (usize, usize),
+    /// Relative weight in the traffic mix.
+    pub weight: f64,
+}
+
+impl RequestClass {
+    /// A BERT summarization-stage class built from a registry benchmark,
+    /// with per-request input lengths in `seq_len`.
+    pub fn bert(bench: &Benchmark, seq_len: (usize, usize), weight: f64) -> Self {
+        Self {
+            template: bench.workload(),
+            seq_len,
+            gen_steps: (0, 0),
+            weight,
+        }
+    }
+
+    /// A GPT-2 generation-stage class built from a registry benchmark, with
+    /// per-request context lengths in `seq_len` and generation lengths in
+    /// `gen_steps`.
+    pub fn gpt2(
+        bench: &Benchmark,
+        seq_len: (usize, usize),
+        gen_steps: (usize, usize),
+        weight: f64,
+    ) -> Self {
+        Self {
+            template: bench.workload(),
+            seq_len,
+            gen_steps,
+            weight,
+        }
+    }
+
+    fn instantiate(&self, rng: &mut StdRng, id: u64) -> Workload {
+        let (lo, hi) = self.seq_len;
+        assert!(lo >= 1 && lo <= hi, "seq_len range {lo}..={hi}");
+        let seq_len = rng.gen_range(lo..=hi);
+        let gen_steps = if self.template.gen_steps == 0 {
+            0
+        } else {
+            // A zero lower bound is allowed: such a request degenerates to
+            // a prefill-only job, which the serving layer handles fine.
+            let (glo, ghi) = self.gen_steps;
+            assert!(glo <= ghi, "gen_steps range {glo}..={ghi}");
+            rng.gen_range(glo..=ghi)
+        };
+        Workload {
+            seq_len,
+            gen_steps,
+            seed: self.template.seed ^ id.wrapping_mul(0x9E3779B97F4A7C15),
+            ..self.template.clone()
+        }
+    }
+}
+
+/// The arrival discipline of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Open-loop Poisson arrivals at `rate_rps` requests/second for
+    /// `requests` total requests.
+    OpenPoisson {
+        /// Offered load in requests per second.
+        rate_rps: f64,
+        /// Total requests in the trace.
+        requests: usize,
+    },
+    /// Closed loop: `clients` concurrent clients, each thinking
+    /// `think_s` seconds between its previous completion and its next
+    /// request, until `requests` total requests have been issued.
+    ClosedLoop {
+        /// Concurrent client population.
+        clients: usize,
+        /// Per-client think time in seconds.
+        think_s: f64,
+        /// Total requests across all clients.
+        requests: usize,
+    },
+}
+
+/// Everything needed to generate a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Weighted request-class mix (must be non-empty).
+    pub classes: Vec<RequestClass>,
+    /// Arrival discipline.
+    pub arrival: ArrivalSpec,
+    /// Seed for all stochastic draws.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// A representative mixed trace: BERT SST-2-shaped summarization jobs
+    /// alongside GPT-2 WikiText-2-shaped generation jobs (chat-style
+    /// contexts and generation lengths), 60/40 by count.
+    pub fn mixed(arrival: ArrivalSpec, seed: u64) -> Self {
+        Self {
+            classes: vec![
+                RequestClass::bert(&Benchmark::bert_base_sst2(), (16, 128), 0.6),
+                RequestClass::gpt2(
+                    &Benchmark::gpt2_small_wikitext2(),
+                    (64, 384),
+                    (16, 128),
+                    0.4,
+                ),
+            ],
+            arrival,
+            seed,
+        }
+    }
+
+    /// Generates the deterministic trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class list is empty, weights are non-positive, the
+    /// arrival spec is degenerate (zero rate / zero clients / zero
+    /// requests), or a class carries an invalid length range (`seq_len`
+    /// must satisfy `1 <= lo <= hi`; `gen_steps` must satisfy `lo <= hi`).
+    pub fn generate(&self) -> Trace {
+        assert!(!self.classes.is_empty(), "trace needs at least one class");
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(
+            total_weight > 0.0 && self.classes.iter().all(|c| c.weight > 0.0),
+            "class weights must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC0FFEE);
+
+        let pick_class = |rng: &mut StdRng| -> usize {
+            let mut x = rng.gen::<f64>() * total_weight;
+            for (i, c) in self.classes.iter().enumerate() {
+                x -= c.weight;
+                if x <= 0.0 {
+                    return i;
+                }
+            }
+            self.classes.len() - 1
+        };
+
+        match self.arrival {
+            ArrivalSpec::OpenPoisson { rate_rps, requests } => {
+                assert!(rate_rps > 0.0, "open-loop rate must be positive");
+                assert!(requests > 0, "trace needs at least one request");
+                let mut t_ns = 0.0f64;
+                let mut reqs = Vec::with_capacity(requests);
+                for id in 0..requests as u64 {
+                    // Exponential inter-arrival via inverse CDF.
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    t_ns += -u.ln() / rate_rps * 1e9;
+                    let class = pick_class(&mut rng);
+                    let workload = self.classes[class].instantiate(&mut rng, id);
+                    reqs.push(TraceRequest {
+                        id,
+                        class,
+                        arrival_ns: t_ns as u64,
+                        workload,
+                    });
+                }
+                Trace::Open { requests: reqs }
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_s,
+                requests,
+            } => {
+                assert!(clients > 0, "closed loop needs at least one client");
+                assert!(think_s >= 0.0, "think time must be non-negative");
+                assert!(requests > 0, "trace needs at least one request");
+                // Round-robin the request budget over clients; each client's
+                // queue is issued sequentially by the simulator.
+                let mut per_client: Vec<Vec<TraceRequest>> =
+                    (0..clients).map(|_| Vec::new()).collect();
+                for id in 0..requests as u64 {
+                    let class = pick_class(&mut rng);
+                    let workload = self.classes[class].instantiate(&mut rng, id);
+                    per_client[(id as usize) % clients].push(TraceRequest {
+                        id,
+                        class,
+                        arrival_ns: 0, // assigned live by the simulator
+                        workload,
+                    });
+                }
+                Trace::Closed {
+                    clients: per_client,
+                    think_ns: (think_s * 1e9) as u64,
+                }
+            }
+        }
+    }
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRequest {
+    /// Stable id (generation order).
+    pub id: u64,
+    /// Index into the spec's class list.
+    pub class: usize,
+    /// Absolute arrival time in nanoseconds (open-loop traces; closed-loop
+    /// arrival times are determined by completions during simulation).
+    pub arrival_ns: u64,
+    /// The per-request workload (template + drawn lengths + unique seed).
+    pub workload: Workload,
+}
+
+/// A generated request stream, ready for `spatten-serve`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trace {
+    /// Open loop: requests with pre-drawn absolute arrival times,
+    /// non-decreasing in `arrival_ns`.
+    Open {
+        /// The request stream, sorted by arrival.
+        requests: Vec<TraceRequest>,
+    },
+    /// Closed loop: one pending queue per client; client `c` issues
+    /// `clients[c][i+1]` a think time after `clients[c][i]` completes.
+    Closed {
+        /// Per-client request queues.
+        clients: Vec<Vec<TraceRequest>>,
+        /// Think time between a completion and the next issue, nanoseconds.
+        think_ns: u64,
+    },
+}
+
+impl Trace {
+    /// Total requests in the trace.
+    pub fn len(&self) -> usize {
+        match self {
+            Trace::Open { requests } => requests.len(),
+            Trace::Closed { clients, .. } => clients.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_spec(n: usize, seed: u64) -> TraceSpec {
+        TraceSpec::mixed(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 100.0,
+                requests: n,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn open_trace_is_sorted_and_sized() {
+        let t = open_spec(500, 1).generate();
+        assert_eq!(t.len(), 500);
+        let Trace::Open { requests } = &t else {
+            panic!("open spec must make an open trace");
+        };
+        assert!(requests
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        // Mean inter-arrival should sit near 1/rate = 10 ms.
+        let span_s = requests.last().unwrap().arrival_ns as f64 / 1e9;
+        let mean_gap_ms = span_s * 1000.0 / 500.0;
+        assert!(
+            (5.0..20.0).contains(&mean_gap_ms),
+            "mean gap {mean_gap_ms} ms"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = open_spec(200, 7).generate();
+        let b = open_spec(200, 7).generate();
+        assert_eq!(a, b);
+        let c = open_spec(200, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_contains_both_classes_with_roughly_spec_weights() {
+        let t = open_spec(1000, 3).generate();
+        let Trace::Open { requests } = &t else {
+            unreachable!()
+        };
+        let bert = requests.iter().filter(|r| r.class == 0).count();
+        assert!((550..850).contains(&bert), "BERT share {bert}/1000");
+        // BERT jobs never generate; GPT-2 jobs always do.
+        for r in requests {
+            if r.class == 0 {
+                assert_eq!(r.workload.gen_steps, 0);
+            } else {
+                assert!(r.workload.gen_steps >= 8);
+                assert!((64..=384).contains(&r.workload.seq_len));
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_seeds_are_distinct() {
+        let t = open_spec(100, 5).generate();
+        let Trace::Open { requests } = &t else {
+            unreachable!()
+        };
+        let mut seeds: Vec<u64> = requests.iter().map(|r| r.workload.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn closed_loop_round_robins_clients() {
+        let spec = TraceSpec::mixed(
+            ArrivalSpec::ClosedLoop {
+                clients: 8,
+                think_s: 0.01,
+                requests: 100,
+            },
+            11,
+        );
+        let t = spec.generate();
+        assert_eq!(t.len(), 100);
+        let Trace::Closed { clients, think_ns } = &t else {
+            panic!("closed spec must make a closed trace");
+        };
+        assert_eq!(clients.len(), 8);
+        assert_eq!(*think_ns, 10_000_000);
+        assert!(clients.iter().all(|q| (12..=13).contains(&q.len())));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_class_list_rejected() {
+        let spec = TraceSpec {
+            classes: vec![],
+            arrival: ArrivalSpec::OpenPoisson {
+                rate_rps: 1.0,
+                requests: 1,
+            },
+            seed: 0,
+        };
+        let _ = spec.generate();
+    }
+}

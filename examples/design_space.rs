@@ -14,7 +14,10 @@ fn main() {
     let workload = bench.workload();
 
     println!("top-k parallelism sweep on {} (compute-bound):", bench.id);
-    println!("{:<12} {:>12} {:>16}", "comparators", "latency µs", "bottleneck");
+    println!(
+        "{:<12} {:>12} {:>16}",
+        "comparators", "latency µs", "bottleneck"
+    );
     for parallelism in [1usize, 2, 4, 8, 16, 32] {
         let cfg = SpAttenConfig {
             topk_parallelism: parallelism,
@@ -42,7 +45,10 @@ fn main() {
     }
 
     println!("\nmultiplier-array sweep (per array):");
-    println!("{:<12} {:>12} {:>14}", "multipliers", "latency µs", "TFLOPS");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "multipliers", "latency µs", "TFLOPS"
+    );
     for mults in [64usize, 128, 256, 512, 1024] {
         let cfg = SpAttenConfig {
             multipliers_per_array: mults,

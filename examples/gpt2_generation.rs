@@ -34,7 +34,11 @@ fn main() {
     pruner.protect_token(prompt.len() - 1);
 
     let out = model.generate(&prompt, 8, &mut pruner);
-    println!("prompt ({} tokens) → generated: {:?}", prompt.len(), out.generated);
+    println!(
+        "prompt ({} tokens) → generated: {:?}",
+        prompt.len(),
+        out.generated
+    );
     println!(
         "tokens still in the KV caches: {} of {}",
         out.active.active_token_count(),
@@ -45,11 +49,22 @@ fn main() {
     let bench = Benchmark::gpt2_small_wikitext2();
     let report = Accelerator::new(SpAttenConfig::default()).run(&bench.workload());
     println!("\ncycle-level simulation of {}:", bench.id);
-    println!("  latency for 32 generated tokens: {:.3} ms", report.seconds() * 1e3);
-    println!("  achieved: {:.2} TFLOPS (memory-bound regime)", report.tflops());
-    println!("  DRAM traffic: {} MB ({:.1}x below dense fp32)",
-        report.dram_bytes / 1_000_000, report.dram_reduction());
-    println!("  queries that refetched LSBs: {:.1}% (paper: 5.9%)",
-        report.lsb_fraction * 100.0);
+    println!(
+        "  latency for 32 generated tokens: {:.3} ms",
+        report.seconds() * 1e3
+    );
+    println!(
+        "  achieved: {:.2} TFLOPS (memory-bound regime)",
+        report.tflops()
+    );
+    println!(
+        "  DRAM traffic: {} MB ({:.1}x below dense fp32)",
+        report.dram_bytes / 1_000_000,
+        report.dram_reduction()
+    );
+    println!(
+        "  queries that refetched LSBs: {:.1}% (paper: 5.9%)",
+        report.lsb_fraction * 100.0
+    );
     println!("  module busy cycles: {:?}", report.modules);
 }

@@ -22,7 +22,10 @@ fn main() {
     println!("latency:         {:.3} µs", report.seconds() * 1e6);
     println!("throughput:      {:.3} TFLOPS", report.tflops());
     println!("DRAM traffic:    {} KB", report.dram_bytes / 1024);
-    println!("DRAM reduction:  {:.1}x vs dense fp32", report.dram_reduction());
+    println!(
+        "DRAM reduction:  {:.1}x vs dense fp32",
+        report.dram_reduction()
+    );
     println!("compute saved:   {:.2}x", report.computation_reduction());
 
     println!("\nper-layer survivors (cascade pruning):");
@@ -31,7 +34,9 @@ fn main() {
     }
 
     let energy = report.energy(&EnergyModel::default());
-    println!("\nenergy: {:.3} µJ (DRAM {:.0}%)",
+    println!(
+        "\nenergy: {:.3} µJ (DRAM {:.0}%)",
         energy.total_j() * 1e6,
-        100.0 * energy.dram_pj / energy.total_pj());
+        100.0 * energy.dram_pj / energy.total_pj()
+    );
 }

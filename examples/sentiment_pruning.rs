@@ -52,7 +52,6 @@ fn main() {
     }
     println!(
         "\nsurviving heads: {:?} of {}",
-        trace.final_heads,
-        config.heads
+        trace.final_heads, config.heads
     );
 }

@@ -1,0 +1,52 @@
+//! Serving a mixed request stream across a SpAtten fleet.
+//!
+//! Generates an open-loop Poisson trace of BERT summarization and GPT-2
+//! generation jobs, serves it on a 4-chip fleet under each scheduler
+//! policy, and prints the throughput / utilization / tail-latency
+//! comparison plus the continuous-batching JSON report.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use spatten::serve::{simulate_fleet, FleetConfig, Policy};
+use spatten::workloads::{ArrivalSpec, TraceSpec};
+
+fn main() {
+    let chips = 4;
+    let trace = TraceSpec::mixed(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: 220.0,
+            requests: 400,
+        },
+        7,
+    )
+    .generate();
+    println!(
+        "trace: {} mixed requests (BERT summarization + GPT-2 generation), \
+         Poisson arrivals at 220 req/s",
+        trace.len()
+    );
+    println!("fleet: {chips} SpAtten chips (Table I configuration, 8-bit FC weights)\n");
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "policy", "p50 ms", "p95 ms", "p99 ms", "tokens/s", "util %"
+    );
+    let mut cb_json = String::new();
+    for policy in Policy::ALL {
+        let report = simulate_fleet(&FleetConfig::new(chips, policy), &trace);
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>10.2} {:>12.0} {:>8.1}",
+            report.policy,
+            report.latency.p50 * 1e3,
+            report.latency.p95 * 1e3,
+            report.latency.p99 * 1e3,
+            report.tokens_per_sec,
+            report.utilization * 100.0
+        );
+        if policy == Policy::ContinuousBatching {
+            cb_json = report.to_json();
+        }
+    }
+
+    println!("\ncontinuous-batching report (JSON):\n{cb_json}");
+}

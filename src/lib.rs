@@ -22,6 +22,8 @@
 //!   pruning, local value pruning, progressive quantization control and the
 //!   end-to-end (FFN-capable) variant.
 //! * [`baselines`] — A3, MNNFast and analytic GPU/CPU device models.
+//! * [`serve`] — the trace-driven multi-accelerator serving simulator:
+//!   continuous batching, KV-aware scheduling and tail-latency reporting.
 //!
 //! # Quick start
 //!
@@ -42,4 +44,5 @@ pub use spatten_energy as energy;
 pub use spatten_hbm as hbm;
 pub use spatten_nn as nn;
 pub use spatten_quant as quant;
+pub use spatten_serve as serve;
 pub use spatten_workloads as workloads;

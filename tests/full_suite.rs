@@ -83,7 +83,10 @@ fn generative_benchmarks_are_memory_bound_discriminative_are_not() {
 #[test]
 fn reports_are_fully_deterministic() {
     let accel = Accelerator::new(SpAttenConfig::default());
-    for bench in [Benchmark::bert_base_sst2(), Benchmark::gpt2_small_wikitext2()] {
+    for bench in [
+        Benchmark::bert_base_sst2(),
+        Benchmark::gpt2_small_wikitext2(),
+    ] {
         let a = accel.run(&bench.workload());
         let b = accel.run(&bench.workload());
         assert_eq!(a.total_cycles, b.total_cycles);
@@ -110,8 +113,14 @@ fn ablation_ladder_is_cumulative() {
     let t_dense = Accelerator::new(dense).run(&w).total_cycles;
     let t_token = Accelerator::new(with_token).run(&w).total_cycles;
     let t_heads = Accelerator::new(with_heads).run(&w).total_cycles;
-    assert!(t_token < t_dense, "token pruning must help: {t_token} vs {t_dense}");
-    assert!(t_heads <= t_token, "head pruning must not hurt: {t_heads} vs {t_token}");
+    assert!(
+        t_token < t_dense,
+        "token pruning must help: {t_token} vs {t_dense}"
+    );
+    assert!(
+        t_heads <= t_token,
+        "head pruning must not hurt: {t_heads} vs {t_token}"
+    );
 }
 
 #[test]

@@ -63,11 +63,7 @@ fn trace_and_pruner_agree_on_survivors() {
     let trace = PruningTrace::capture(&model, &tokens, spec, None);
     let mut pruner = CascadePruner::new(spec, cfg.layers, 16, 4);
     let out = model.forward(&tokens, &mut pruner);
-    let trace_survivors: Vec<usize> = trace
-        .final_survivors()
-        .iter()
-        .map(|t| t.position)
-        .collect();
+    let trace_survivors: Vec<usize> = trace.final_survivors().iter().map(|t| t.position).collect();
     assert_eq!(trace_survivors, out.survivors);
 }
 

@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry mirror is unreachable in this build environment, so this
+//! crate supplies the subset of criterion's API the workspace's benches
+//! use: [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`,
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling it times a small fixed number of
+//! iterations and prints the mean — enough to eyeball regressions and to
+//! keep `cargo bench` runnable, without upstream's analysis machinery.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark (fixed; no warm-up or statistics).
+const ITERS: u32 = 3;
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Runs `f` with a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (mirrors `BenchmarkId::from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput hint (accepted, unused).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    nanos: u128,
+    timed_iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` [`ITERS`] times and records the mean wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.nanos += start.elapsed().as_nanos();
+        self.timed_iters += ITERS;
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, f: F) {
+    let mut b = Bencher {
+        nanos: 0,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    if b.timed_iters > 0 {
+        let mean = b.nanos / u128::from(b.timed_iters);
+        println!("bench {label:<48} {mean:>12} ns/iter (n={})", b.timed_iters);
+    } else {
+        println!("bench {label:<48} (no iterations)");
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

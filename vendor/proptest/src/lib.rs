@@ -1,0 +1,380 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The registry mirror is unreachable in this build environment, so this
+//! crate reimplements the subset of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro, numeric-range strategies,
+//! `prop::collection::vec`, `prop::option::of`, `prop_filter`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Semantics are simplified relative to upstream: inputs are drawn from a
+//! fixed-seed generator (fully deterministic across runs) and failures are
+//! reported immediately without shrinking. Each test runs
+//! [`ProptestConfig::cases`] iterations (default 64 — enough signal while
+//! keeping `cargo test` fast without upstream's persistence machinery).
+
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property-case assertion (carried by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one property: owns the RNG and the case budget.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// A runner for the named test (the name seeds the RNG, so distinct
+    /// properties see distinct — but reproducible — input streams).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(h),
+            cases: config.cases,
+        }
+    }
+
+    /// The case budget.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The input generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A source of random values of one type (simplified `proptest::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Keeps only values satisfying `pred`, mirroring
+    /// `Strategy::prop_filter`. Gives up (panics) if 1000 consecutive draws
+    /// all fail the predicate.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive draws",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Strategy combinators, mirroring the `proptest::prop` module layout.
+pub mod prop {
+    /// `Vec` strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// A `Vec` of values from `element`, with a length drawn from
+        /// `sizes` (mirrors `prop::collection::vec`).
+        pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.sizes.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// `None` about a quarter of the time, otherwise `Some(inner)`
+        /// (mirrors `prop::option::of`'s default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_bool(0.25) {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Numeric strategies live directly on range types here; this module
+    /// exists so `prop::num` paths resolve if referenced.
+    pub mod num {}
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+// Re-exported so strategies and macros can name it through `$crate`.
+#[doc(hidden)]
+pub use rand::rngs::StdRng;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diagnostic showing both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        if !(a == b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}",
+                a, b
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diagnostic showing both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        if !(a != b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed: both {:?}",
+                a
+            )));
+        }
+    }};
+}
+
+/// The property-test macro. Wraps `#[test] fn name(arg in strategy, ...)`
+/// items, running each body over [`ProptestConfig::cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!("property '{}' failed on case {}: {}", stringify!($name), case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..10, y in -5i32..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vecs_sized(v in prop::collection::vec(0u32..100, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn options_mix(o in prop::option::of(0u8..4)) {
+            if let Some(v) = o {
+                prop_assert!(v < 4);
+            }
+        }
+
+        #[test]
+        fn filter_applies(x in (0i32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry mirror is unreachable in this build environment, so this
+//! crate supplies just enough surface for the workspace to compile:
+//! `Serialize`/`Deserialize` marker traits with blanket impls, and the
+//! matching no-op derive macros re-exported from the sibling
+//! `serde_derive` stub. Nothing in the workspace performs actual
+//! serialization through serde (JSON reports are hand-written in
+//! `spatten-serve`), so the markers carry no methods.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Mirrors `serde::de` far enough for blanket bounds if ever referenced.
+pub mod de {
+    /// Marker mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this proc-macro crate lets `#[derive(Serialize, Deserialize)]` resolve
+//! while expanding to nothing. The workspace never calls serde's data-format
+//! machinery (reports are emitted via the hand-rolled JSON writer in
+//! `spatten-serve`), so marker impls are all that is needed — and those are
+//! provided by blanket impls in the sibling `serde` stub.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
