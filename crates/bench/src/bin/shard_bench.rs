@@ -1,0 +1,308 @@
+//! Sharding benchmark: tensor-parallel vs pipeline-parallel GPT-2 decode
+//! across 1/2/4/8-way chip groups, plus tail latency under the
+//! continuous-batching scheduler at equal *fleet size*.
+//!
+//! Protocol:
+//!
+//! 1. **Single-stream scaling curve** — one GPT-2-Small decode stream on a
+//!    1/2/4/8-way group (ring interconnect, default links), tensor
+//!    parallel and pipeline parallel side by side: tokens/s, speedup over
+//!    one chip, and the per-shard KV working set against each chip's K/V
+//!    SRAM budget.
+//! 2. **Serving comparison** — the same 8 chips carved four ways
+//!    (8×TP1, 4×TP2, 2×TP4, 1×TP8) serving one bursty MMPP decode trace
+//!    under continuous batching: throughput and p50/p99, showing the
+//!    throughput-vs-latency trade sharding buys at fixed silicon.
+//! 3. **Heterogeneous placement** — a mixed fleet (full + 1/8-scale
+//!    chips) carved into 2-way groups by the placement planner, served
+//!    with the same trace.
+//!
+//! The JSON report goes to stdout; a human-readable summary goes to
+//! stderr. The run fails (exit 1) if 4-way tensor-parallel decode doesn't
+//! clear a 1.6× speedup over a single chip, or if any planned shard
+//! overflows its KV budget — the acceptance floor of the cluster layer.
+//!
+//! ```text
+//! shard_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
+//! ```
+
+use spatten_cluster::{
+    shard_kv_footprint, simulate_cluster, ClusterConfig, ClusterCostModel, GroupSpec, ShardStrategy,
+};
+use spatten_core::SpAttenConfig;
+use spatten_serve::json::{array, JsonObject};
+use spatten_serve::{FleetCost, FleetReport, Policy};
+use spatten_workloads::fleet::{FleetSpec, LinkSpec, TopologySpec};
+use spatten_workloads::{ArrivalSpec, Benchmark, TraceSpec, Workload};
+
+struct Args {
+    requests: usize,
+    rate_frac: f64,
+    seed: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 800,
+        rate_frac: 0.85,
+        seed: 20260726,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests N"),
+            "--rate-frac" => args.rate_frac = value().parse().expect("--rate-frac F"),
+            "--seed" => args.seed = value().parse().expect("--seed S"),
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other} (see the shard_bench doc comment)"),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(60);
+    }
+    assert!(args.requests >= 1, "need at least one request");
+    assert!(
+        args.rate_frac > 0.0 && args.rate_frac <= 1.5,
+        "rate fraction {} out of the sensible (0, 1.5] band",
+        args.rate_frac
+    );
+    args
+}
+
+/// The decode workload the sweep prices: a chat-sized GPT-2-Small stream.
+fn decode_workload() -> Workload {
+    let mut w = Benchmark::gpt2_small_wikitext2().workload();
+    w.seq_len = 256;
+    w.gen_steps = 64;
+    w
+}
+
+fn tp_group(ways: usize) -> GroupSpec {
+    GroupSpec::homogeneous(
+        SpAttenConfig::default(),
+        ShardStrategy::tensor(ways),
+        TopologySpec::Ring,
+        LinkSpec::default(),
+    )
+}
+
+fn pp_group(ways: usize) -> GroupSpec {
+    GroupSpec::homogeneous(
+        SpAttenConfig::default(),
+        ShardStrategy::pipeline_even(decode_workload().model.layers, ways, 8),
+        TopologySpec::Ring,
+        LinkSpec::default(),
+    )
+}
+
+/// `chips`-chip homogeneous cluster carved into `chips / ways` TP groups.
+fn tp_cluster(chips: usize, ways: usize) -> ClusterConfig {
+    ClusterConfig::new(
+        vec![tp_group(ways); chips / ways],
+        Policy::ContinuousBatching,
+    )
+}
+
+struct SweepPoint {
+    ways: usize,
+    tp_tokens_per_s: f64,
+    tp_speedup: f64,
+    pp_tokens_per_s: f64,
+    pp_speedup: f64,
+    kv_per_shard_bytes: u64,
+    kv_budget_bytes: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let w = decode_workload();
+    let ctx = w.seq_len + w.gen_steps / 2; // mid-generation context
+    let clock_hz = SpAttenConfig::default().clock_ghz * 1e9;
+    let sweep: &[usize] = if args.smoke {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+
+    // --- 1. Single-stream decode scaling curve. ---
+    let tokens_per_s = |group: GroupSpec| -> f64 {
+        let mut m = ClusterCostModel::new(vec![group], Some(8));
+        clock_hz / m.decode_on(0, &w, ctx).serial_cycles as f64
+    };
+    let base_tps = tokens_per_s(tp_group(1));
+    let budget = 2 * SpAttenConfig::default().kv_sram_bytes;
+    let mut curve: Vec<SweepPoint> = Vec::new();
+    eprintln!("single-stream GPT-2 decode (ctx {ctx}), ring interconnect:");
+    eprintln!(
+        "{:>5} {:>14} {:>10} {:>14} {:>10} {:>16}",
+        "ways", "TP tokens/s", "TP x", "PP tokens/s", "PP x", "KV/shard"
+    );
+    for &ways in sweep {
+        let tp = tokens_per_s(tp_group(ways));
+        let pp = tokens_per_s(pp_group(ways));
+        let kv = (0..ways)
+            .map(|s| {
+                shard_kv_footprint(
+                    &SpAttenConfig::default(),
+                    &w,
+                    &ShardStrategy::tensor(ways),
+                    s,
+                )
+            })
+            .max()
+            .expect("nonzero ways");
+        assert!(
+            kv <= budget,
+            "{ways}-way TP shard KV {kv} overflows the {budget}-byte budget"
+        );
+        eprintln!(
+            "{:>5} {:>14.0} {:>9.2}x {:>14.0} {:>9.2}x {:>10} B ({:>4.1}%)",
+            ways,
+            tp,
+            tp / base_tps,
+            pp,
+            pp / base_tps,
+            kv,
+            kv as f64 / budget as f64 * 100.0
+        );
+        curve.push(SweepPoint {
+            ways,
+            tp_tokens_per_s: tp,
+            tp_speedup: tp / base_tps,
+            pp_tokens_per_s: pp,
+            pp_speedup: pp / base_tps,
+            kv_per_shard_bytes: kv,
+            kv_budget_bytes: budget,
+        });
+    }
+    let tp4_speedup = curve
+        .iter()
+        .find(|p| p.ways == 4)
+        .map(|p| p.tp_speedup)
+        .expect("sweep includes 4-way");
+
+    // --- 2. Serving comparison at equal fleet size (8 chips). ---
+    let chips = 8;
+    let probe_trace = TraceSpec::gpt2_decode(
+        ArrivalSpec::ClosedLoop {
+            clients: chips * 8,
+            think_s: 0.0,
+            requests: if args.smoke { 48 } else { 192 },
+        },
+        args.seed ^ 0xCAFE,
+    )
+    .generate();
+    let probe = simulate_cluster(&tp_cluster(chips, 1), &probe_trace);
+    let rate = probe.throughput_rps * args.rate_frac;
+    eprintln!(
+        "\ncapacity probe: {chips}x1 sustains {:.0} req/s; offering {:.0} req/s \
+         as a bursty MMPP stream ({} requests)",
+        probe.throughput_rps, rate, args.requests
+    );
+    // Two-state MMPP averaging `rate`: calm at 0.5x for 200 ms, bursting
+    // at 3x for 50 ms (dwell-weighted mean = 1.0x).
+    let trace = TraceSpec::gpt2_decode(
+        ArrivalSpec::OpenMmpp {
+            calm_rps: 0.5 * rate,
+            burst_rps: 3.0 * rate,
+            mean_calm_s: 0.2,
+            mean_burst_s: 0.05,
+            requests: args.requests,
+        },
+        args.seed,
+    )
+    .generate();
+
+    let mut serving: Vec<(String, usize, FleetReport)> = Vec::new();
+    for &ways in sweep {
+        if chips % ways != 0 {
+            continue;
+        }
+        let name = format!("{}x tp{}", chips / ways, ways);
+        let report = simulate_cluster(&tp_cluster(chips, ways), &trace);
+        assert_eq!(report.completed, args.requests, "{name}: lost requests");
+        eprintln!(
+            "{:<8} p50 {:>9.3} ms   p99 {:>9.3} ms   ttft p99 {:>9.3} ms   thru {:>7.0} req/s",
+            name,
+            report.latency.p50 * 1e3,
+            report.latency.p99 * 1e3,
+            report.ttft.p99 * 1e3,
+            report.throughput_rps
+        );
+        serving.push((name, ways, report));
+    }
+
+    // --- 3. Heterogeneous placement: mixed fleet, planned 2-way groups. ---
+    let mixed = FleetSpec::mixed(4, 4);
+    let het = ClusterConfig::carve(
+        &mixed,
+        &ShardStrategy::tensor(2),
+        &w,
+        Policy::ContinuousBatching,
+    )
+    .expect("mixed fleet places 2-way groups");
+    let het_report = simulate_cluster(&het, &trace);
+    assert_eq!(
+        het_report.completed, args.requests,
+        "heterogeneous: lost requests"
+    );
+    eprintln!(
+        "{:<8} p50 {:>9.3} ms   p99 {:>9.3} ms   (4 full + 4 eighth chips, planner-placed 2-way TP)",
+        "mixed",
+        het_report.latency.p50 * 1e3,
+        het_report.latency.p99 * 1e3,
+    );
+
+    // --- JSON report. ---
+    let curve_json = array(curve.iter().map(|p| {
+        JsonObject::new()
+            .u64("ways", p.ways as u64)
+            .f64("tp_tokens_per_s", p.tp_tokens_per_s)
+            .f64("tp_speedup", p.tp_speedup)
+            .f64("pp_tokens_per_s", p.pp_tokens_per_s)
+            .f64("pp_speedup", p.pp_speedup)
+            .u64("kv_per_shard_bytes", p.kv_per_shard_bytes)
+            .u64("kv_budget_bytes", p.kv_budget_bytes)
+            .build()
+    }));
+    let serving_json = array(serving.iter().map(|(name, ways, r)| {
+        JsonObject::new()
+            .str("config", name)
+            .u64("tp_ways", *ways as u64)
+            .raw("report", &r.to_json())
+            .build()
+    }));
+    let json = JsonObject::new()
+        .str("benchmark", "spatten-cluster sharding sweep")
+        .str(
+            "paper",
+            "SpAtten (HPCA 2021) — cluster-layer extension (TP/PP sharding)",
+        )
+        .u64("requests", args.requests as u64)
+        .u64("seed", args.seed)
+        .u64("chips", chips as u64)
+        .f64("offered_rps", rate)
+        .f64("tp4_decode_speedup", tp4_speedup)
+        .raw("scaling_curve", &curve_json)
+        .raw("serving", &serving_json)
+        .raw("heterogeneous", &het_report.to_json())
+        .build();
+    println!("{json}");
+
+    // Enforced after the report so a regression still leaves the JSON on
+    // stdout for inspection.
+    if tp4_speedup < 1.6 {
+        eprintln!(
+            "error: 4-way tensor-parallel decode must scale >= 1.6x over one chip \
+             (got {tp4_speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("\n4-way TP decode speedup {tp4_speedup:.2}x (floor 1.6x) — ok");
+}

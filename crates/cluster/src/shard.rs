@@ -1,0 +1,350 @@
+//! Sharding strategies: how one model's work splits across a chip group.
+//!
+//! Two classic decompositions over the SpAtten cost model:
+//!
+//! * **Tensor parallelism** ([`ShardStrategy::TensorParallel`]) — every
+//!   layer's attention heads and FC columns split `ways`-way (Megatron
+//!   style). Each shard walks all layers on a slice of the heads, so
+//!   per-shard compute, KV traffic *and KV footprint* all scale ≈ 1/N —
+//!   the strategy that fits a bigger-than-chip model and accelerates the
+//!   memory-bound decode. The price: two all-reduces per layer (attention
+//!   out-projection + FFN) on activations whose size tracks the *pruned*
+//!   survivor set, not the raw sequence — cascade pruning shrinks the
+//!   collective right along with the compute.
+//! * **Pipeline parallelism** ([`ShardStrategy::PipelineParallel`]) —
+//!   contiguous layer ranges per chip, micro-batched. Each stage holds
+//!   only its layers' weights and KV, transfers are point-to-point
+//!   single-token activations at stage boundaries, and throughput is set
+//!   by the bottleneck stage once the pipeline fills; the fill/drain
+//!   bubble is accounted explicitly.
+//!
+//! The per-shard cost functions here delegate to the shardable queries of
+//! `spatten_core::perf` (`*_cost_heads`, `*_cost_layers`) and
+//! `SpAttenE2e` (`fc_*_tp`, `fc_*_layers`), so shard costs stay consistent
+//! with the single-chip cycle model by construction: summed across
+//! shards, they reproduce the unsharded cost to within HBM scatter noise
+//! (a property test enforces this).
+
+use serde::{Deserialize, Serialize};
+use spatten_core::{
+    decode_step_cost_heads, decode_step_cost_layers, prefill_cost_heads, prefill_cost_layers,
+    shard_heads, surviving_tokens, SpAttenConfig, SpAttenE2e, StepCost,
+};
+use spatten_workloads::Workload;
+
+/// How a model splits across the chips of one group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardStrategy {
+    /// Attention heads and FC columns split `ways`-way; all layers on
+    /// every shard.
+    TensorParallel {
+        /// Number of shards.
+        ways: usize,
+    },
+    /// Contiguous `[start, end)` layer ranges, one per stage, in
+    /// pipeline order; micro-batched with `micro_batches` in-flight
+    /// slices.
+    PipelineParallel {
+        /// Per-stage layer ranges, `(start, end)` half-open.
+        stages: Vec<(usize, usize)>,
+        /// In-flight micro-batches amortizing the pipeline bubble.
+        micro_batches: usize,
+    },
+}
+
+impl ShardStrategy {
+    /// A `ways`-way tensor-parallel split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn tensor(ways: usize) -> Self {
+        assert!(ways > 0, "tensor parallelism needs at least one way");
+        Self::TensorParallel { ways }
+    }
+
+    /// An evenly balanced pipeline over `layers` model layers in `stages`
+    /// stages (early stages take the remainder layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is zero or exceeds `layers`.
+    pub fn pipeline_even(layers: usize, stages: usize, micro_batches: usize) -> Self {
+        assert!(stages > 0, "pipeline needs at least one stage");
+        assert!(
+            stages <= layers,
+            "more stages ({stages}) than layers ({layers})"
+        );
+        let mut ranges = Vec::with_capacity(stages);
+        let mut start = 0;
+        for s in 0..stages {
+            let span = shard_heads(layers, s, stages);
+            ranges.push((start, start + span));
+            start += span;
+        }
+        Self::PipelineParallel {
+            stages: ranges,
+            micro_batches: micro_batches.max(1),
+        }
+    }
+
+    /// Number of shards (chips) the strategy needs.
+    pub fn shards(&self) -> usize {
+        match self {
+            Self::TensorParallel { ways } => *ways,
+            Self::PipelineParallel { stages, .. } => stages.len(),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::TensorParallel { .. } => "tensor-parallel",
+            Self::PipelineParallel { .. } => "pipeline-parallel",
+        }
+    }
+
+    /// Checks the strategy against a model of `layers` layers: pipeline
+    /// stages must be non-empty, in order, and cover every layer exactly
+    /// once. Tensor parallelism is always well formed.
+    pub fn covers_exactly(&self, layers: usize) -> bool {
+        match self {
+            Self::TensorParallel { ways } => *ways > 0,
+            Self::PipelineParallel { stages, .. } => {
+                let mut at = 0;
+                for &(start, end) in stages {
+                    if start != at || end <= start {
+                        return false;
+                    }
+                    at = end;
+                }
+                at == layers
+            }
+        }
+    }
+
+    /// Asserts [`ShardStrategy::covers_exactly`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy doesn't partition `layers` layers.
+    pub fn validate(&self, layers: usize) {
+        assert!(
+            self.covers_exactly(layers),
+            "{self:?} does not partition {layers} layers"
+        );
+    }
+}
+
+fn e2e_for(cfg: &SpAttenConfig, fc_weight_bits: Option<u32>) -> Option<SpAttenE2e> {
+    fc_weight_bits.map(|bits| SpAttenE2e::new(*cfg, bits))
+}
+
+/// Cost of shard `shard`'s slice of the prefill pass on a chip of
+/// configuration `cfg`, attention plus (optionally) FC at
+/// `fc_weight_bits`. Collective/transfer time is *not* included — the
+/// interconnect model charges it at the group level.
+pub fn shard_prefill(
+    cfg: &SpAttenConfig,
+    fc_weight_bits: Option<u32>,
+    w: &Workload,
+    strategy: &ShardStrategy,
+    shard: usize,
+) -> StepCost {
+    strategy.validate(w.model.layers);
+    assert!(shard < strategy.shards(), "shard {shard} out of range");
+    let mut cost;
+    match strategy {
+        ShardStrategy::TensorParallel { ways } => {
+            cost = prefill_cost_heads(cfg, w, shard, *ways);
+            if let Some(e2e) = e2e_for(cfg, fc_weight_bits) {
+                cost.add(e2e.fc_prefill_cost_tp(w, shard, *ways));
+            }
+        }
+        ShardStrategy::PipelineParallel { stages, .. } => {
+            let (start, end) = stages[shard];
+            cost = prefill_cost_layers(cfg, w, start..end);
+            if let Some(e2e) = e2e_for(cfg, fc_weight_bits) {
+                cost.add(e2e.fc_prefill_cost_layers(w, start..end));
+            }
+        }
+    }
+    cost
+}
+
+/// Cost of shard `shard`'s slice of one decode step at a (pre-pruning) KV
+/// context of `context` tokens. See [`shard_prefill`] for what's charged.
+pub fn shard_decode(
+    cfg: &SpAttenConfig,
+    fc_weight_bits: Option<u32>,
+    w: &Workload,
+    context: usize,
+    strategy: &ShardStrategy,
+    shard: usize,
+) -> StepCost {
+    strategy.validate(w.model.layers);
+    assert!(shard < strategy.shards(), "shard {shard} out of range");
+    let mut cost;
+    match strategy {
+        ShardStrategy::TensorParallel { ways } => {
+            cost = decode_step_cost_heads(cfg, w, context, shard, *ways);
+            if let Some(e2e) = e2e_for(cfg, fc_weight_bits) {
+                cost.add(e2e.fc_decode_cost_tp(w, shard, *ways));
+            }
+        }
+        ShardStrategy::PipelineParallel { stages, .. } => {
+            let (start, end) = stages[shard];
+            cost = decode_step_cost_layers(cfg, w, context, start..end);
+            if let Some(e2e) = e2e_for(cfg, fc_weight_bits) {
+                cost.add(e2e.fc_decode_cost_layers(w, start..end));
+            }
+        }
+    }
+    cost
+}
+
+/// On-chip activation precision, bits (the writeback precision of the
+/// perf model's datapath).
+const ACT_BITS: u64 = 12;
+
+/// Bytes of one activation row set: `tokens × hidden` elements at on-chip
+/// precision.
+pub fn activation_bytes(w: &Workload, tokens: usize) -> u64 {
+    (tokens as u64 * w.model.hidden as u64 * ACT_BITS).div_ceil(8)
+}
+
+/// Per-layer surviving token counts of the prefill cascade (the token
+/// sets tensor-parallel all-reduces move during the summarization pass).
+pub fn prefill_survivors(cfg: &SpAttenConfig, w: &Workload) -> Vec<usize> {
+    let mut len = w.seq_len;
+    (0..w.model.layers)
+        .map(|layer| {
+            len = surviving_tokens(cfg, w, layer, w.seq_len).min(len);
+            len
+        })
+        .collect()
+}
+
+/// KV-cache SRAM bytes shard `shard` pins for one resident job: the
+/// deepest-layer survivor working set, restricted to the shard's slice —
+/// its share of the heads under tensor parallelism, its deepest owned
+/// layer under pipeline parallelism. Unclamped; placement checks it
+/// against each chip's budget.
+pub fn shard_kv_footprint(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    strategy: &ShardStrategy,
+    shard: usize,
+) -> u64 {
+    strategy.validate(w.model.layers);
+    let max_ctx = w.seq_len + w.gen_steps;
+    let bits = u64::from(w.quant.scheme.msb_bits());
+    let d = w.model.head_dim() as u64;
+    match strategy {
+        ShardStrategy::TensorParallel { ways } => {
+            let deepest = surviving_tokens(cfg, w, w.model.layers - 1, max_ctx);
+            let cols = d * shard_heads(w.model.heads, shard, *ways) as u64;
+            deepest as u64 * 2 * (cols * bits).div_ceil(8)
+        }
+        ShardStrategy::PipelineParallel { stages, .. } => {
+            let (_, end) = stages[shard];
+            let deepest = surviving_tokens(cfg, w, end - 1, max_ctx);
+            let per_token = 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+            deepest as u64 * per_token
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatten_workloads::Benchmark;
+
+    fn gpt2() -> Workload {
+        let mut w = Benchmark::gpt2_small_wikitext2().workload();
+        w.seq_len = 256;
+        w.gen_steps = 32;
+        w
+    }
+
+    #[test]
+    fn pipeline_even_partitions_layers() {
+        for (layers, stages) in [(12, 4), (12, 5), (24, 8), (7, 3)] {
+            let s = ShardStrategy::pipeline_even(layers, stages, 4);
+            assert!(s.covers_exactly(layers), "{s:?}");
+            assert_eq!(s.shards(), stages);
+        }
+    }
+
+    #[test]
+    fn malformed_pipelines_are_rejected() {
+        let gap = ShardStrategy::PipelineParallel {
+            stages: vec![(0, 4), (5, 12)],
+            micro_batches: 4,
+        };
+        assert!(!gap.covers_exactly(12));
+        let overlap = ShardStrategy::PipelineParallel {
+            stages: vec![(0, 6), (4, 12)],
+            micro_batches: 4,
+        };
+        assert!(!overlap.covers_exactly(12));
+        let short = ShardStrategy::PipelineParallel {
+            stages: vec![(0, 6), (6, 10)],
+            micro_batches: 4,
+        };
+        assert!(!short.covers_exactly(12));
+    }
+
+    #[test]
+    fn tp_shard_decode_is_cheaper_and_sums_back() {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2();
+        let whole = spatten_core::decode_step_cost(&cfg, &w, 288);
+        let shard = shard_decode(&cfg, None, &w, 288, &ShardStrategy::tensor(4), 0);
+        assert!(shard.dram_cycles < whole.dram_cycles);
+        let mut sum = StepCost::default();
+        for s in 0..4 {
+            sum.add(shard_decode(
+                &cfg,
+                None,
+                &w,
+                288,
+                &ShardStrategy::tensor(4),
+                s,
+            ));
+        }
+        let rel =
+            (sum.dram_cycles as f64 - whole.dram_cycles as f64).abs() / whole.dram_cycles as f64;
+        assert!(
+            rel < 0.25,
+            "sum {} whole {}",
+            sum.dram_cycles,
+            whole.dram_cycles
+        );
+    }
+
+    #[test]
+    fn tp_kv_footprints_partition_the_whole() {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2();
+        let strategy = ShardStrategy::tensor(4);
+        let total: u64 = (0..4)
+            .map(|s| shard_kv_footprint(&cfg, &w, &strategy, s))
+            .sum();
+        let deepest = surviving_tokens(&cfg, &w, w.model.layers - 1, 288);
+        let bits = u64::from(w.quant.scheme.msb_bits());
+        let whole = deepest as u64 * 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+        // Partitioned head columns round up per shard by at most a byte each.
+        assert!(total >= whole && total <= whole + 8, "{total} vs {whole}");
+    }
+
+    #[test]
+    fn prefill_survivors_shrink() {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2();
+        let surv = prefill_survivors(&cfg, &w);
+        assert_eq!(surv.len(), w.model.layers);
+        assert!(surv.windows(2).all(|p| p[1] <= p[0]));
+        assert!(*surv.last().unwrap() < w.seq_len);
+    }
+}

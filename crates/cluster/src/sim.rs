@@ -1,0 +1,228 @@
+//! Cluster simulation: sharded chip groups behind the serving event loop.
+//!
+//! [`simulate_cluster`] is to groups what
+//! [`spatten_serve::simulate_fleet`] is to chips: it wires a
+//! [`ClusterCostModel`] into the generic discrete-event loop
+//! ([`spatten_serve::simulate_fleet_with`]), so every scheduler policy,
+//! the KV-footprint batcher, chunked prefill and the metrics stack apply
+//! unchanged — one logical executor per group, link time folded into each
+//! group's step costs.
+
+use crate::group::{ClusterCostModel, GroupSpec};
+use crate::place::{plan_with_costs, resolve_chip, shard_costs, PlaceError};
+use crate::shard::ShardStrategy;
+use spatten_serve::{simulate_fleet_with, FleetReport, Policy};
+use spatten_workloads::fleet::FleetSpec;
+use spatten_workloads::{Trace, Workload};
+
+/// A cluster of sharded chip groups plus serving parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The chip groups (each one logical executor).
+    pub groups: Vec<GroupSpec>,
+    /// Scheduling policy across groups.
+    pub policy: Policy,
+    /// Cap on jobs resident per group under continuous batching.
+    pub max_batch: usize,
+    /// FC weight bitwidth for end-to-end costs; `None` prices attention
+    /// only.
+    pub fc_weight_bits: Option<u32>,
+    /// Chunked-prefill quantum (see `spatten_serve::FleetConfig`).
+    pub prefill_chunk_cycles: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `groups` under `policy` with the serving defaults of
+    /// `spatten_serve::FleetConfig::new` (8-bit FC, batch 8).
+    pub fn new(groups: Vec<GroupSpec>, policy: Policy) -> Self {
+        Self {
+            groups,
+            policy,
+            max_batch: 8,
+            fc_weight_bits: Some(8),
+            prefill_chunk_cycles: 250_000,
+        }
+    }
+
+    /// Carves `fleet` into as many `strategy`-sharded groups as it can
+    /// host, placing each group with the planner against the
+    /// representative workload `w` (heaviest shards on the fastest
+    /// remaining silicon). Chips left over when the fleet size isn't a
+    /// multiple of the shard count stay idle.
+    ///
+    /// Returns an error if even one group cannot be placed.
+    pub fn carve(
+        fleet: &FleetSpec,
+        strategy: &ShardStrategy,
+        w: &Workload,
+        policy: Policy,
+    ) -> Result<Self, PlaceError> {
+        let fc_bits = Some(8);
+        let shards = strategy.shards();
+        // Shard prices depend on (chip class, shard), not on which chips
+        // remain — compute the table once for every group carved.
+        let costs = shard_costs(&fleet.chips, strategy, w, fc_bits);
+        let mut remaining = fleet.clone();
+        let mut groups = Vec::new();
+        while remaining.len() >= shards {
+            let placement = plan_with_costs(&remaining, strategy, w, &costs)?;
+            groups.push(GroupSpec {
+                chips: placement.chips.clone(),
+                strategy: strategy.clone(),
+                topology: fleet.topology,
+                link: fleet.link,
+            });
+            // Remove the consumed chips (highest index first).
+            let mut used = placement.chip_indices.clone();
+            used.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in used {
+                remaining.chips.remove(idx);
+            }
+        }
+        if groups.is_empty() {
+            return Err(PlaceError::NotEnoughChips {
+                shards,
+                chips: fleet.len(),
+            });
+        }
+        Ok(Self::new(groups, policy))
+    }
+
+    /// The shared core clock of every chip in the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty or clocks differ (the event queue
+    /// ticks in one clock domain).
+    pub fn clock_ghz(&self) -> f64 {
+        let clock = self.groups[0].chips[0].clock_ghz;
+        assert!(
+            self.groups
+                .iter()
+                .flat_map(|g| g.chips.iter())
+                .all(|c| c.clock_ghz.to_bits() == clock.to_bits()),
+            "cluster chips must share a core clock"
+        );
+        clock
+    }
+}
+
+/// Simulates `trace` on the cluster. Deterministic for fixed inputs.
+///
+/// # Panics
+///
+/// Panics if the cluster has no groups or inconsistent clocks.
+pub fn simulate_cluster(cfg: &ClusterConfig, trace: &Trace) -> FleetReport {
+    let clock = cfg.clock_ghz();
+    let cost = ClusterCostModel::new(cfg.groups.clone(), cfg.fc_weight_bits);
+    simulate_fleet_with(
+        cost,
+        cfg.groups.len(),
+        cfg.policy,
+        cfg.max_batch,
+        cfg.prefill_chunk_cycles,
+        clock,
+        trace,
+    )
+}
+
+/// Convenience: a cluster carved from a [`FleetSpec`] by resolving every
+/// chip class, without sharding (one single-chip group per chip) — the
+/// degenerate baseline sharded sweeps compare against.
+pub fn unsharded_cluster(fleet: &FleetSpec, policy: Policy) -> ClusterConfig {
+    let groups = fleet
+        .chips
+        .iter()
+        .map(|&class| GroupSpec {
+            chips: vec![resolve_chip(class)],
+            strategy: ShardStrategy::tensor(1),
+            topology: fleet.topology,
+            link: fleet.link,
+        })
+        .collect();
+    ClusterConfig::new(groups, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatten_core::SpAttenConfig;
+    use spatten_workloads::fleet::{LinkSpec, TopologySpec};
+    use spatten_workloads::{ArrivalSpec, Benchmark, TraceSpec};
+
+    fn decode_trace(requests: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec::gpt2_decode(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: rate,
+                requests,
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    fn tp_cluster(groups: usize, ways: usize) -> ClusterConfig {
+        let group = GroupSpec::homogeneous(
+            SpAttenConfig::default(),
+            ShardStrategy::tensor(ways),
+            TopologySpec::Ring,
+            LinkSpec::default(),
+        );
+        ClusterConfig::new(vec![group; groups], Policy::ContinuousBatching)
+    }
+
+    #[test]
+    fn sharded_cluster_completes_every_request() {
+        let trace = decode_trace(120, 400.0, 3);
+        let report = simulate_cluster(&tp_cluster(2, 4), &trace);
+        assert_eq!(report.completed, 120);
+        assert!(report.latency.p99 >= report.latency.p50);
+        // Deterministic.
+        let again = simulate_cluster(&tp_cluster(2, 4), &trace);
+        assert_eq!(report.completions, again.completions);
+    }
+
+    #[test]
+    fn carve_builds_groups_and_leaves_remainder_idle() {
+        let fleet = FleetSpec::ring_of(7);
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let cfg = ClusterConfig::carve(
+            &fleet,
+            &ShardStrategy::tensor(2),
+            &w,
+            Policy::ContinuousBatching,
+        )
+        .unwrap();
+        assert_eq!(cfg.groups.len(), 3, "7 chips carve into 3 pairs");
+        assert!(cfg.groups.iter().all(|g| g.chips.len() == 2));
+    }
+
+    #[test]
+    fn mixed_fleet_carve_pairs_like_with_like() {
+        // 2 full + 2 eighth chips, 2-way TP: the planner puts the first
+        // group on the two full chips, leaving the eighths to pair up.
+        let fleet = FleetSpec::mixed(2, 2);
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let cfg = ClusterConfig::carve(
+            &fleet,
+            &ShardStrategy::tensor(2),
+            &w,
+            Policy::ContinuousBatching,
+        )
+        .unwrap();
+        assert_eq!(cfg.groups.len(), 2);
+        let full = SpAttenConfig::default();
+        assert!(cfg.groups[0].chips.iter().all(|c| *c == full));
+        assert!(cfg.groups[1].chips.iter().all(|c| *c != full));
+    }
+
+    #[test]
+    fn unsharded_cluster_matches_fleet_size() {
+        let fleet = FleetSpec::mixed(1, 3);
+        let cfg = unsharded_cluster(&fleet, Policy::Fifo);
+        assert_eq!(cfg.groups.len(), 4);
+        let trace = decode_trace(40, 200.0, 9);
+        let report = simulate_cluster(&cfg, &trace);
+        assert_eq!(report.completed, 40);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the sharding invariants the cluster layer
+//! rests on: cost conservation under tensor parallelism, exact layer
+//! coverage under pipeline parallelism, and KV-budget safety of every
+//! accepted placement.
+
+use proptest::prelude::*;
+use spatten_cluster::{plan, shard_decode, shard_kv_footprint, shard_prefill, ShardStrategy};
+use spatten_core::{decode_step_cost, prefill_cost, SpAttenConfig, StepCost};
+use spatten_workloads::fleet::FleetSpec;
+use spatten_workloads::{Benchmark, Workload};
+
+fn gpt2(seq_len: usize, gen_steps: usize) -> Workload {
+    let mut w = Benchmark::gpt2_small_wikitext2().workload();
+    w.seq_len = seq_len;
+    w.gen_steps = gen_steps;
+    w
+}
+
+fn rel_err(a: u64, b: u64) -> f64 {
+    (a as f64 - b as f64).abs() / b.max(1) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// N-way tensor-parallel shard costs sum to the unsharded step plus a
+    /// bounded per-shard overhead (the all-reduce is charged separately by
+    /// the interconnect, so the attention+FC work itself must be conserved
+    /// by sharding).
+    ///
+    /// The overhead allowance is per-way, because the residue is real
+    /// sharding cost, not model noise: every extra shard re-pays the
+    /// top-k engine's per-pass constants on its score slice, and a sum of
+    /// per-shard module *maxima* exceeds the max of summed modules
+    /// whenever shards bottleneck on different pipeline modules. DRAM —
+    /// the resource decode is actually bound by — partitions much more
+    /// tightly (≈ 4 %/way of scatter and per-token rounding).
+    #[test]
+    fn tensor_parallel_conserves_decode_cost(
+        ways in 2usize..8,
+        context in 128usize..768,
+    ) {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2(256, 32);
+        let whole = decode_step_cost(&cfg, &w, context);
+        let strategy = ShardStrategy::tensor(ways);
+        let mut sum = StepCost::default();
+        for s in 0..ways {
+            sum.add(shard_decode(&cfg, None, &w, context, &strategy, s));
+        }
+        // Sharding never *loses* work...
+        prop_assert!(sum.compute_cycles as f64 >= 0.90 * whole.compute_cycles as f64);
+        prop_assert!(sum.dram_cycles as f64 >= 0.90 * whole.dram_cycles as f64);
+        // ...and adds at most the documented per-way overhead.
+        prop_assert!(
+            rel_err(sum.compute_cycles, whole.compute_cycles) < 0.15 * ways as f64,
+            "{ways}-way compute {} vs {}", sum.compute_cycles, whole.compute_cycles
+        );
+        prop_assert!(
+            rel_err(sum.dram_cycles, whole.dram_cycles) < 0.05 * ways as f64,
+            "{ways}-way dram {} vs {}", sum.dram_cycles, whole.dram_cycles
+        );
+    }
+
+    /// The same conservation holds for the prefill pass.
+    #[test]
+    fn tensor_parallel_conserves_prefill_cost(
+        ways in 2usize..6,
+        seq_len in 64usize..256,
+    ) {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2(seq_len, 0);
+        let whole = prefill_cost(&cfg, &w);
+        let strategy = ShardStrategy::tensor(ways);
+        let mut sum = StepCost::default();
+        for s in 0..ways {
+            sum.add(shard_prefill(&cfg, None, &w, &strategy, s));
+        }
+        prop_assert!(
+            rel_err(sum.compute_cycles, whole.compute_cycles) < 0.30,
+            "{ways}-way compute {} vs {}", sum.compute_cycles, whole.compute_cycles
+        );
+        prop_assert!(
+            rel_err(sum.dram_cycles, whole.dram_cycles) < 0.25,
+            "{ways}-way dram {} vs {}", sum.dram_cycles, whole.dram_cycles
+        );
+    }
+
+    /// Pipeline stages cover every layer exactly once, and their costs
+    /// partition the unsharded step.
+    #[test]
+    fn pipeline_stages_partition_layers_and_cost(
+        stages in 2usize..7,
+        context in 128usize..512,
+    ) {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2(256, 32);
+        let layers = w.model.layers;
+        let strategy = ShardStrategy::pipeline_even(layers, stages, 4);
+        prop_assert!(strategy.covers_exactly(layers));
+        // Exact coverage: each layer in exactly one stage.
+        let ShardStrategy::PipelineParallel { stages: ranges, .. } = &strategy else {
+            unreachable!()
+        };
+        let mut owned = vec![0usize; layers];
+        for &(start, end) in ranges {
+            for slot in owned.iter_mut().take(end).skip(start) {
+                *slot += 1;
+            }
+        }
+        prop_assert!(owned.iter().all(|&n| n == 1), "layer coverage {owned:?}");
+        // Cost partition (attention-only: FC adds the LM head exactly once,
+        // which the unsharded decode also pays, so either works — keep the
+        // invariant tight by checking attention).
+        let whole = decode_step_cost(&cfg, &w, context);
+        let mut sum = StepCost::default();
+        for s in 0..stages {
+            sum.add(shard_decode(&cfg, None, &w, context, &strategy, s));
+        }
+        prop_assert!(
+            rel_err(sum.compute_cycles, whole.compute_cycles) < 0.15,
+            "{stages}-stage compute {} vs {}", sum.compute_cycles, whole.compute_cycles
+        );
+        prop_assert!(
+            rel_err(sum.serial_cycles, whole.serial_cycles) < 0.15,
+            "{stages}-stage serial {} vs {}", sum.serial_cycles, whole.serial_cycles
+        );
+    }
+
+    /// Every placement the planner accepts fits each shard's KV working
+    /// set inside its assigned chip's K/V SRAM budget.
+    #[test]
+    fn accepted_placements_respect_kv_budgets(
+        full in 0usize..5,
+        eighth in 0usize..5,
+        ways in 1usize..6,
+        seq_len in 64usize..512,
+        gen_steps in 8usize..128,
+    ) {
+        let fleet = FleetSpec::mixed(full, eighth);
+        let w = gpt2(seq_len, gen_steps);
+        let strategy = ShardStrategy::tensor(ways);
+        match plan(&fleet, &strategy, &w, Some(8)) {
+            Ok(p) => {
+                prop_assert_eq!(p.chips.len(), ways);
+                // No chip hosts two shards.
+                let mut used = p.chip_indices.clone();
+                used.sort_unstable();
+                used.dedup();
+                prop_assert_eq!(used.len(), ways);
+                for (s, cfg) in p.chips.iter().enumerate() {
+                    let fp = shard_kv_footprint(cfg, &w, &strategy, s);
+                    prop_assert!(
+                        fp <= 2 * cfg.kv_sram_bytes,
+                        "shard {s} footprint {fp} over budget {}",
+                        2 * cfg.kv_sram_bytes
+                    );
+                }
+            }
+            Err(spatten_cluster::PlaceError::NotEnoughChips { shards, chips }) => {
+                prop_assert_eq!(shards, ways);
+                prop_assert_eq!(chips, full + eighth);
+                prop_assert!(ways > full + eighth);
+            }
+            Err(spatten_cluster::PlaceError::KvBudgetExceeded {
+                footprint, budget, ..
+            }) => prop_assert!(footprint > budget),
+        }
+    }
+}

@@ -96,6 +96,71 @@ impl SpAttenE2e {
         self.fc_decode(w).step
     }
 
+    /// FC cost of shard `way` of a `ways`-way tensor-parallel split of the
+    /// summarization pass: FC/FFN weight matrices are column-split, so each
+    /// shard streams and multiplies its share of the parameters. Shard
+    /// parameter counts partition the unsharded totals exactly; the
+    /// all-reduce that combines partial sums is charged by the interconnect
+    /// model, not here.
+    pub fn fc_prefill_cost_tp(&self, w: &Workload, way: usize, ways: usize) -> StepCost {
+        let model = w.model;
+        let mut total = FcCost::default();
+        for _ in 0..model.layers {
+            let params = split_share(model.block_fc_params(), way, ways);
+            total.add(self.fc_unit(w.seq_len as u64 * params, params));
+        }
+        total.step
+    }
+
+    /// FC cost of shard `way` of a `ways`-way tensor-parallel split of one
+    /// generated token (block FCs plus the vocabulary-split LM head).
+    pub fn fc_decode_cost_tp(&self, w: &Workload, way: usize, ways: usize) -> StepCost {
+        let model = w.model;
+        let mut total = FcCost::default();
+        for _ in 0..model.layers {
+            let params = split_share(model.block_fc_params(), way, ways);
+            total.add(self.fc_unit(params, params));
+        }
+        let lm = split_share((model.hidden as u64) * (model.vocab as u64), way, ways);
+        total.add(self.fc_unit(lm, lm));
+        total.step
+    }
+
+    /// FC cost of the pipeline stage owning `layers` during the
+    /// summarization pass: each stage streams only its own layers' FC
+    /// weights. Stage costs over a partition of `0..w.model.layers` sum to
+    /// [`SpAttenE2e::fc_prefill_cost`] exactly.
+    pub fn fc_prefill_cost_layers(&self, w: &Workload, layers: std::ops::Range<usize>) -> StepCost {
+        let model = w.model;
+        assert!(layers.end <= model.layers, "stage {layers:?} out of range");
+        let mut total = FcCost::default();
+        for _ in layers {
+            total.add(self.fc_unit(
+                w.seq_len as u64 * model.block_fc_params(),
+                model.block_fc_params(),
+            ));
+        }
+        total.step
+    }
+
+    /// FC cost of the pipeline stage owning `layers` for one generated
+    /// token. The LM head belongs to the last stage (the one whose range
+    /// ends at `w.model.layers`).
+    pub fn fc_decode_cost_layers(&self, w: &Workload, layers: std::ops::Range<usize>) -> StepCost {
+        let model = w.model;
+        assert!(layers.end <= model.layers, "stage {layers:?} out of range");
+        let last_stage = layers.end == model.layers;
+        let mut total = FcCost::default();
+        for _ in layers {
+            total.add(self.fc_unit(model.block_fc_params(), model.block_fc_params()));
+        }
+        if last_stage {
+            let lm_params = (model.hidden as u64) * (model.vocab as u64);
+            total.add(self.fc_unit(lm_params, lm_params));
+        }
+        total.step
+    }
+
     /// One FC unit: `macs` multiply-accumulates against `params` weight
     /// parameters streamed from DRAM at this accelerator's bandwidth.
     fn fc_unit(&self, macs: u64, params: u64) -> FcCost {
@@ -169,6 +234,17 @@ impl SpAttenE2e {
             fc_weight_bits: self.fc_weight_bits,
         }
     }
+}
+
+/// Shard `way`'s share of `total` columns under a `ways`-way split —
+/// [`crate::perf::shard_heads`]'s exact deal-out partition, at parameter
+/// counts instead of head counts.
+fn split_share(total: u64, way: usize, ways: usize) -> u64 {
+    crate::perf::shard_heads(
+        usize::try_from(total).expect("parameter count fits usize"),
+        way,
+        ways,
+    ) as u64
 }
 
 /// FC cost with the byte/FLOP accounting `E2eReport` needs on top of the

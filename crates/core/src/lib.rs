@@ -45,7 +45,9 @@ pub use importance::ImportanceAccumulator;
 pub use interpret::{PruningTrace, TokenFate};
 pub use memaug::MemoryBank;
 pub use perf::{
-    decode_step_cost, prefill_cost, surviving_tokens, ModuleCycles, RunReport, StepCost,
+    decode_step_cost, decode_step_cost_heads, decode_step_cost_layers, prefill_cost,
+    prefill_cost_heads, prefill_cost_layers, shard_heads, surviving_tokens, ModuleCycles,
+    RunReport, StepCost,
 };
 pub use progressive::ProgressiveController;
 pub use pruner::CascadePruner;

@@ -175,6 +175,11 @@ struct Sim<'a> {
     survivors: Vec<(usize, usize, usize)>,
     k_sram: Sram,
     addr_cursor: u64,
+    /// `(way, ways)` of a tensor-parallel head split, if this instance
+    /// models one shard. Splits the once-per-layer token-pruning top-k
+    /// into a hierarchical selection over the shard's slice of candidate
+    /// tokens (each shard ranks its share, the merge rides the all-reduce).
+    shard: Option<(usize, usize)>,
 }
 
 /// Pipeline-fill constant per layer (module latencies paid once).
@@ -197,6 +202,7 @@ impl<'a> Sim<'a> {
             survivors: Vec::new(),
             k_sram: Sram::new("key", cfg.kv_sram_bytes, 768, true),
             addr_cursor: 0,
+            shard: None,
         }
     }
 
@@ -264,7 +270,12 @@ impl<'a> Sim<'a> {
     /// Simulates one attention layer: `l0` queries against `l1` keys with
     /// `heads` active heads. `kv_in_sram` distinguishes summarization
     /// (K/V prefetched and reused) from generation (K/V streamed from DRAM
-    /// every iteration). Returns the layer's compute-bottleneck and DRAM
+    /// every iteration). `out_cols` is the width (in elements) of the
+    /// activation slice this datapath instance owns — the full model
+    /// hidden size on a single chip, or `head_dim × shard heads` for a
+    /// tensor-parallel shard, which scales the new-token Q/K/V fetch and
+    /// the attention-out writeback so that shard costs sum to the
+    /// unsharded cost. Returns the layer's compute-bottleneck and DRAM
     /// busy cycles; pipelined modules overlap, so the layer's serial time
     /// is `max(compute, dram) + LAYER_FILL_CYCLES`.
     fn attention_layer(
@@ -273,6 +284,7 @@ impl<'a> Sim<'a> {
         l1: usize,
         heads: usize,
         kv_in_sram: bool,
+        out_cols: usize,
     ) -> (u64, u64) {
         let d = self.w.model.head_dim();
         let trees = self.trees();
@@ -304,10 +316,10 @@ impl<'a> Sim<'a> {
             self.enqueue_scattered(l0, self.original_span(l0), bytes_per_token_plane(msb_bits));
             self.hbm.enqueue(Request {
                 addr: self.addr_cursor,
-                bytes: l0 as u64 * (self.w.model.hidden as u64 * 12).div_ceil(8),
+                bytes: l0 as u64 * (out_cols as u64 * 12).div_ceil(8),
                 kind: RequestKind::Write,
             });
-            self.addr_cursor += (l0 * self.w.model.hidden * 2) as u64;
+            self.addr_cursor += (l0 * out_cols * 2) as u64;
             // SRAM fills.
             self.counts.sram_bits += 2 * l1 as u64 * hidden_active * 12;
         } else {
@@ -321,16 +333,16 @@ impl<'a> Sim<'a> {
             );
             self.hbm.enqueue(Request {
                 addr: self.addr_cursor,
-                bytes: 3 * (self.w.model.hidden as u64 * msb_bits).div_ceil(8),
+                bytes: 3 * (out_cols as u64 * msb_bits).div_ceil(8),
                 kind: RequestKind::Read,
             });
-            self.addr_cursor += (3 * self.w.model.hidden * 2) as u64;
+            self.addr_cursor += (3 * out_cols * 2) as u64;
             self.hbm.enqueue(Request {
                 addr: self.addr_cursor,
-                bytes: (self.w.model.hidden as u64 * 12).div_ceil(8),
+                bytes: (out_cols as u64 * 12).div_ceil(8),
                 kind: RequestKind::Write,
             });
-            self.addr_cursor += (self.w.model.hidden * 2) as u64;
+            self.addr_cursor += (out_cols * 2) as u64;
         }
 
         // --- Compute: per-query module intervals, summed over queries and
@@ -382,12 +394,18 @@ impl<'a> Sim<'a> {
         };
 
         // Token-pruning + head-pruning top-k: once per layer on the
-        // cumulative scores (reusing the same engine, §IV-B).
-        if self.cfg.token_pruning && l1 > 2 {
-            let scores = synth::synthetic_scores(l1, &[], 0.0, self.w.seed ^ 0xABCD ^ l1 as u64);
-            let r = self.engine.select(&scores, (l1 * 3) / 4);
+        // cumulative scores (reusing the same engine, §IV-B). A
+        // tensor-parallel shard ranks only its slice of the candidate set.
+        let tp_l1 = match self.shard {
+            Some((way, ways)) => shard_heads(l1, way, ways),
+            None => l1,
+        };
+        if self.cfg.token_pruning && tp_l1 > 2 {
+            let scores =
+                synth::synthetic_scores(tp_l1, &[], 0.0, self.w.seed ^ 0xABCD ^ tp_l1 as u64);
+            let r = self.engine.select(&scores, (tp_l1 * 3) / 4);
             tally.topk += r.cycles;
-            self.counts.topk_comparisons += r.visits + l1 as u64;
+            self.counts.topk_comparisons += r.visits + tp_l1 as u64;
         }
         if self.cfg.head_pruning {
             tally.topk += 4; // h ≤ 16: single-beat selection
@@ -447,7 +465,8 @@ impl<'a> Sim<'a> {
                 let kept = self.tokens_kept(layer, self.w.seq_len).min(len);
                 // Cascade: the layer computes on the *incoming* token set,
                 // the pruning decision takes effect for the next layer.
-                let (compute, dram) = self.attention_layer(len, len, heads, true);
+                let hidden = self.w.model.hidden;
+                let (compute, dram) = self.attention_layer(len, len, heads, true, hidden);
                 self.total_cycles += Self::layer_serial(compute, dram);
                 self.survivors.push((layer, kept, heads));
                 len = kept;
@@ -469,7 +488,8 @@ impl<'a> Sim<'a> {
             for layer in 0..layers {
                 let heads = self.heads_kept(layer);
                 let kept = self.tokens_kept(layer, ctx);
-                let (compute, dram) = self.attention_layer(1, kept, heads, false);
+                let hidden = self.w.model.hidden;
+                let (compute, dram) = self.attention_layer(1, kept, heads, false, hidden);
                 self.total_cycles += Self::layer_serial(compute, dram);
             }
         }
@@ -518,6 +538,77 @@ pub fn simulate(cfg: &SpAttenConfig, workload: &Workload) -> RunReport {
     Sim::new(cfg, workload).run()
 }
 
+/// The number of heads out of `total` owned by shard `way` of a `ways`-way
+/// tensor-parallel split: heads are dealt out one at a time, so the shard
+/// counts partition `total` exactly (`Σ_way shard_heads = total`) for any
+/// `ways`, including when `total` doesn't divide evenly.
+///
+/// # Panics
+///
+/// Panics if `ways` is zero or `way >= ways`.
+pub fn shard_heads(total: usize, way: usize, ways: usize) -> usize {
+    assert!(ways > 0, "tensor-parallel split needs at least one way");
+    assert!(way < ways, "shard {way} out of {ways} ways");
+    total / ways + usize::from(way < total % ways)
+}
+
+/// The attention slice one shard executes: a contiguous layer range (the
+/// whole model for tensor parallelism, one pipeline stage otherwise) and an
+/// optional `(way, ways)` head split within those layers.
+fn slice_cost(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    layers: std::ops::Range<usize>,
+    context: Option<usize>,
+    split: Option<(usize, usize)>,
+) -> StepCost {
+    let _ = MultArray::new(cfg.multipliers_per_array); // validate config
+    assert!(
+        layers.end <= w.model.layers,
+        "layer range {layers:?} out of {} layers",
+        w.model.layers
+    );
+    let d = w.model.head_dim();
+    let mut sim = Sim::new(cfg, w);
+    sim.shard = split;
+    let mut total = StepCost::default();
+    let mut len = w.seq_len;
+    for layer in 0..layers.end {
+        let heads = sim.heads_kept(layer);
+        let kept = sim.tokens_kept(layer, context.unwrap_or(w.seq_len).max(1));
+        let in_range = layer >= layers.start;
+        if in_range {
+            let (shard, out_cols) = match split {
+                Some((way, ways)) => {
+                    let s = shard_heads(heads, way, ways);
+                    (s, s * d)
+                }
+                None => (heads, w.model.hidden),
+            };
+            // A shard that drew zero heads at this layer (more ways than
+            // surviving heads) contributes nothing and waits at the
+            // all-reduce — its peers' costs carry the layer.
+            if shard > 0 {
+                let (compute, dram) = match context {
+                    Some(_) => sim.attention_layer(1, kept, shard, false, out_cols),
+                    None => sim.attention_layer(len, len, shard, true, out_cols),
+                };
+                total.add(StepCost {
+                    compute_cycles: compute,
+                    dram_cycles: dram,
+                    weight_dram_cycles: 0,
+                    serial_cycles: Sim::layer_serial(compute, dram),
+                });
+            }
+        }
+        // Prefill length cascade: chain survivor counts even through the
+        // layers before the range so a pipeline stage sees the token set
+        // its upstream stages hand it.
+        len = sim.tokens_kept(layer, w.seq_len).min(len);
+    }
+    total
+}
+
 /// Cost of the summarization (prefill) pass over `w.seq_len` tokens,
 /// independent of `w.gen_steps`.
 ///
@@ -526,31 +617,14 @@ pub fn simulate(cfg: &SpAttenConfig, workload: &Workload) -> RunReport {
 /// token can be emitted (the paper's own latency protocol excludes it, but
 /// a fleet simulator cannot). Deterministic for a fixed `(cfg, w)`.
 pub fn prefill_cost(cfg: &SpAttenConfig, w: &Workload) -> StepCost {
-    let _ = MultArray::new(cfg.multipliers_per_array); // validate config
-                                                       // Normalize away the generation stage so the advertised independence
-                                                       // from `gen_steps` actually holds (`Sim::original_span` would
-                                                       // otherwise scatter prefill reads over the final context).
+    // Normalize away the generation stage so the advertised independence
+    // from `gen_steps` actually holds (`Sim::original_span` would
+    // otherwise scatter prefill reads over the final context).
     let w = Workload {
         gen_steps: 0,
         ..w.clone()
     };
-    let w = &w;
-    let mut sim = Sim::new(cfg, w);
-    let mut total = StepCost::default();
-    let mut len = w.seq_len;
-    for layer in 0..w.model.layers {
-        let heads = sim.heads_kept(layer);
-        let kept = sim.tokens_kept(layer, w.seq_len).min(len);
-        let (compute, dram) = sim.attention_layer(len, len, heads, true);
-        total.add(StepCost {
-            compute_cycles: compute,
-            dram_cycles: dram,
-            weight_dram_cycles: 0,
-            serial_cycles: Sim::layer_serial(compute, dram),
-        });
-        len = kept;
-    }
-    total
+    slice_cost(cfg, &w, 0..w.model.layers, None, None)
 }
 
 /// Cost of generating *one* token with a KV context of `context` tokens
@@ -558,21 +632,62 @@ pub fn prefill_cost(cfg: &SpAttenConfig, w: &Workload) -> StepCost {
 /// the incremental query a continuous-batching scheduler issues per
 /// iteration. Deterministic for a fixed `(cfg, w, context)`.
 pub fn decode_step_cost(cfg: &SpAttenConfig, w: &Workload, context: usize) -> StepCost {
-    let _ = MultArray::new(cfg.multipliers_per_array); // validate config
-    let mut sim = Sim::new(cfg, w);
-    let mut total = StepCost::default();
-    for layer in 0..w.model.layers {
-        let heads = sim.heads_kept(layer);
-        let kept = sim.tokens_kept(layer, context.max(1));
-        let (compute, dram) = sim.attention_layer(1, kept, heads, false);
-        total.add(StepCost {
-            compute_cycles: compute,
-            dram_cycles: dram,
-            weight_dram_cycles: 0,
-            serial_cycles: Sim::layer_serial(compute, dram),
-        });
-    }
-    total
+    slice_cost(cfg, w, 0..w.model.layers, Some(context), None)
+}
+
+/// Prefill cost of shard `way` of a `ways`-way tensor-parallel split:
+/// every layer, but only this shard's share of the surviving heads (and
+/// the matching slice of Q/K/V traffic and attention-out writeback).
+/// Shard costs partition the unsharded [`prefill_cost`] up to HBM scatter
+/// effects; the per-layer all-reduce that stitches the shards back
+/// together is the interconnect's to charge, not this function's.
+pub fn prefill_cost_heads(cfg: &SpAttenConfig, w: &Workload, way: usize, ways: usize) -> StepCost {
+    let w = Workload {
+        gen_steps: 0,
+        ..w.clone()
+    };
+    slice_cost(cfg, &w, 0..w.model.layers, None, Some((way, ways)))
+}
+
+/// Decode-step cost of shard `way` of a `ways`-way tensor-parallel split
+/// at a (pre-pruning) KV context of `context` tokens. See
+/// [`prefill_cost_heads`] for the sharding semantics.
+pub fn decode_step_cost_heads(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    context: usize,
+    way: usize,
+    ways: usize,
+) -> StepCost {
+    slice_cost(cfg, w, 0..w.model.layers, Some(context), Some((way, ways)))
+}
+
+/// Prefill cost of the pipeline stage owning `layers`: all heads, that
+/// layer range only. The incoming token set is the survivor cascade of the
+/// layers upstream of the range, so stage costs over a partition of
+/// `0..w.model.layers` sum to the unsharded [`prefill_cost`] (up to HBM
+/// scatter effects).
+pub fn prefill_cost_layers(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    layers: std::ops::Range<usize>,
+) -> StepCost {
+    let w = Workload {
+        gen_steps: 0,
+        ..w.clone()
+    };
+    slice_cost(cfg, &w, layers, None, None)
+}
+
+/// Decode-step cost of the pipeline stage owning `layers` at a
+/// (pre-pruning) KV context of `context` tokens.
+pub fn decode_step_cost_layers(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    context: usize,
+    layers: std::ops::Range<usize>,
+) -> StepCost {
+    slice_cost(cfg, w, layers, Some(context), None)
 }
 
 /// Tokens surviving cascade pruning at `layer` out of an incoming set of
@@ -732,6 +847,93 @@ mod tests {
         let c = Accel().run(&b.workload());
         assert_eq!(a.total_cycles, c.total_cycles);
         assert_eq!(a.dram_bytes, c.dram_bytes);
+    }
+
+    #[test]
+    fn shard_heads_partition_total() {
+        for total in [1usize, 3, 12, 16] {
+            for ways in 1..=8usize {
+                let sum: usize = (0..ways).map(|way| shard_heads(total, way, ways)).sum();
+                assert_eq!(sum, total, "total {total} ways {ways}");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_decode_shards_sum_near_unsharded() {
+        let cfg = SpAttenConfig::default();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let whole = decode_step_cost(&cfg, &w, 512);
+        for ways in [2usize, 4] {
+            let mut sum = StepCost::default();
+            for way in 0..ways {
+                sum.add(decode_step_cost_heads(&cfg, &w, 512, way, ways));
+            }
+            let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b.max(1) as f64;
+            assert!(
+                rel(sum.compute_cycles, whole.compute_cycles) < 0.25,
+                "{ways}-way compute {} vs {}",
+                sum.compute_cycles,
+                whole.compute_cycles
+            );
+            assert!(
+                rel(sum.dram_cycles, whole.dram_cycles) < 0.25,
+                "{ways}-way dram {} vs {}",
+                sum.dram_cycles,
+                whole.dram_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_parallel_shard_is_cheaper_than_whole() {
+        let cfg = SpAttenConfig::default();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let whole = decode_step_cost(&cfg, &w, 256);
+        let shard = decode_step_cost_heads(&cfg, &w, 256, 0, 4);
+        assert!(shard.serial_cycles < whole.serial_cycles);
+        assert!(shard.dram_cycles < whole.dram_cycles);
+    }
+
+    #[test]
+    fn pipeline_stages_sum_to_whole_prefill() {
+        let cfg = SpAttenConfig::default();
+        let mut w = Benchmark::bert_base_sst2().workload();
+        w.seq_len = 128;
+        let whole = prefill_cost(&cfg, &w);
+        let layers = w.model.layers;
+        let mut sum = StepCost::default();
+        for range in [0..layers / 2, layers / 2..layers] {
+            sum.add(prefill_cost_layers(&cfg, &w, range));
+        }
+        let rel = (sum.serial_cycles as f64 - whole.serial_cycles as f64).abs()
+            / whole.serial_cycles as f64;
+        assert!(
+            rel < 0.05,
+            "stage sum {} vs whole {}",
+            sum.serial_cycles,
+            whole.serial_cycles
+        );
+    }
+
+    #[test]
+    fn decode_layer_ranges_partition_the_step() {
+        let cfg = SpAttenConfig::default();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let whole = decode_step_cost(&cfg, &w, 300);
+        let layers = w.model.layers;
+        let mut sum = StepCost::default();
+        for range in [0..3, 3..7, 7..layers] {
+            sum.add(decode_step_cost_layers(&cfg, &w, 300, range));
+        }
+        let rel = (sum.compute_cycles as f64 - whole.compute_cycles as f64).abs()
+            / whole.compute_cycles as f64;
+        assert!(
+            rel < 0.10,
+            "stage sum {} vs whole {}",
+            sum.compute_cycles,
+            whole.compute_cycles
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! matmul effect that makes batched decode profitable at all. Per-request
 //! KV traffic stays private and still serializes across the batch.
 
-use crate::cost::CostModel;
+use crate::cost::FleetCost;
 use crate::request::{Completion, Job};
 use spatten_core::StepCost;
 use spatten_nn::ModelConfig;
@@ -100,9 +100,9 @@ impl Chip {
     ///
     /// Panics if called while a round is in flight (admission happens only
     /// at round boundaries).
-    pub fn admit(&mut self, cost: &mut CostModel, job: Job, now: u64) {
+    pub fn admit<C: FleetCost>(&mut self, cost: &mut C, job: Job, now: u64) {
         assert!(!self.in_flight, "admission mid-round");
-        let footprint = cost.kv_footprint_bytes(&job.workload);
+        let footprint = cost.footprint_on(self.id, &job.workload);
         self.kv_in_use += footprint;
         self.max_kv_in_use = self.max_kv_in_use.max(self.kv_in_use);
         self.active.push(Active {
@@ -124,9 +124,9 @@ impl Chip {
     /// # Panics
     ///
     /// Panics if a round is already in flight.
-    pub fn start_round(
+    pub fn start_round<C: FleetCost>(
         &mut self,
-        cost: &mut CostModel,
+        cost: &mut C,
         batching: bool,
         prefill_chunk_cycles: u64,
         now: u64,
@@ -163,12 +163,12 @@ impl Chip {
 
     /// Run-to-completion round: exactly the whole job at the head of the
     /// resident set (run-to-completion chips hold at most one job).
-    fn start_whole_job(&mut self, cost: &mut CostModel, now: u64) -> u64 {
+    fn start_whole_job<C: FleetCost>(&mut self, cost: &mut C, now: u64) -> u64 {
         debug_assert_eq!(self.active.len(), 1, "run-to-completion holds one job");
         let mut a = self.active.pop().expect("resident job");
         let w = &a.job.workload;
-        let total = cost.job_serial_cycles(w);
-        let ttft = cost.first_token_cycles(w);
+        let total = cost.job_serial_on(self.id, w);
+        let ttft = cost.first_token_on(self.id, w);
         a.first_token_cycles = Some(now + ttft);
         self.kv_in_use -= a.footprint;
         self.finished
@@ -182,9 +182,9 @@ impl Chip {
     /// behind a whole multi-millisecond prefill) or one decode token.
     /// Compute and DRAM each serialize across the batch but overlap one
     /// another, and weight streams are fetched once per distinct model.
-    fn start_iteration(
+    fn start_iteration<C: FleetCost>(
         &mut self,
-        cost: &mut CostModel,
+        cost: &mut C,
         prefill_chunk_cycles: u64,
         now: u64,
     ) -> u64 {
@@ -196,10 +196,11 @@ impl Chip {
         let mut shared_weights: HashMap<ModelConfig, u64> = HashMap::new();
         let mut done: Vec<usize> = Vec::new();
         let mut first_emitters: Vec<usize> = Vec::new();
+        let id = self.id;
         for (i, a) in self.active.iter_mut().enumerate() {
             let w = &a.job.workload;
             let step: StepCost = if !a.prefilled {
-                let total = cost.prefill(w);
+                let total = cost.prefill_on(id, w);
                 let remaining = total.serial_cycles - a.prefill_progress;
                 let chunk = remaining.min(prefill_chunk_cycles.max(1));
                 a.prefill_progress += chunk;
@@ -216,7 +217,7 @@ impl Chip {
                 }
             } else {
                 a.steps_done += 1;
-                cost.decode(w, w.seq_len + a.steps_done)
+                cost.decode_on(id, w, w.seq_len + a.steps_done)
             };
             compute += step.compute_cycles;
             dram += step.dram_cycles - step.weight_dram_cycles;

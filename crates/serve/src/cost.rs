@@ -3,10 +3,18 @@
 //!
 //! A fleet simulation issues on the order of 10⁵ per-token cost queries;
 //! running the cycle-level model for each would dominate wall time. Costs
-//! depend only on (workload class, sequence length) — the per-request seed
-//! jitters synthetic score streams, not timing-relevant shape — so the
-//! oracle memoizes by class and (bucketed) context length, computing each
-//! bucket once on a seed-normalized representative workload.
+//! depend only on (chip configuration, workload class, sequence length) —
+//! the per-request seed jitters synthetic score streams, not
+//! timing-relevant shape — so the oracle memoizes by chip config, class
+//! and (bucketed) context length, computing each bucket once on a
+//! seed-normalized representative workload.
+//!
+//! Fleets may be *heterogeneous* (Table-I chips next to
+//! [`SpAttenConfig::eighth`]-scale ones), so every memo key carries a
+//! [`CfgKey`] fingerprint of the chip configuration — two chips only share
+//! cached costs when their hardware is identical. The [`FleetCost`] trait
+//! is the chip-indexed interface the event loop and schedulers program
+//! against; `spatten-cluster` implements it for sharded chip *groups*.
 //!
 //! Optionally the oracle folds in the FC costs of SpAtten-e2e
 //! (`fc_weight_bits`), so serving numbers reflect end-to-end jobs rather
@@ -23,8 +31,22 @@ use std::collections::HashMap;
 
 /// Decode context lengths are bucketed to this granularity for memoization
 /// (a 16-token context difference moves a decode step's cost by well under
-/// the scheduling noise floor).
-const CTX_BUCKET: usize = 16;
+/// the scheduling noise floor). Public so other cost oracles
+/// (`spatten-cluster`) bucket identically and stay comparable.
+pub const CTX_BUCKET: usize = 16;
+
+/// A seed-normalized representative of `w` at length `len` for memoized
+/// cost computation: fixed seed (costs must not depend on per-request
+/// score jitter), no generation stage. Shared by every cost oracle so
+/// sharded and single-chip prices stay apples-to-apples.
+pub fn representative(w: &Workload, len: usize) -> Workload {
+    Workload {
+        seq_len: len,
+        gen_steps: 0,
+        seed: 0x5EED ^ (len as u64) << 1,
+        ..w.clone()
+    }
+}
 
 /// Memo key: every timing-relevant field of a workload *except* lengths
 /// and seed. Two classes may share a benchmark name while differing in
@@ -32,7 +54,7 @@ const CTX_BUCKET: usize = 16;
 /// price one class as the other. Float policy fields are keyed by bit
 /// pattern (exact equality is the right notion for "same class").
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ClassKey {
+pub struct ClassKey {
     name: String,
     model: ModelConfig,
     token_avg_keep: u64,
@@ -45,58 +67,10 @@ struct ClassKey {
     lsb_threshold: u32,
 }
 
-/// Memoized cost oracle for one accelerator configuration.
-#[derive(Debug)]
-pub struct CostModel {
-    cfg: SpAttenConfig,
-    e2e: Option<SpAttenE2e>,
-    prefill_memo: HashMap<(ClassKey, usize), StepCost>,
-    decode_memo: HashMap<(ClassKey, usize), StepCost>,
-    footprint_memo: HashMap<(ClassKey, usize), u64>,
-}
-
-impl CostModel {
-    /// An attention-only oracle for `cfg`.
-    pub fn attention_only(cfg: SpAttenConfig) -> Self {
+impl ClassKey {
+    /// The class fingerprint of `w`.
+    pub fn of(w: &Workload) -> Self {
         Self {
-            cfg,
-            e2e: None,
-            prefill_memo: HashMap::new(),
-            decode_memo: HashMap::new(),
-            footprint_memo: HashMap::new(),
-        }
-    }
-
-    /// An end-to-end oracle: attention from the cycle-level model plus FC
-    /// weight streaming at `fc_weight_bits` (SpAtten-e2e, Table IV).
-    pub fn end_to_end(cfg: SpAttenConfig, fc_weight_bits: u32) -> Self {
-        Self {
-            cfg,
-            e2e: Some(SpAttenE2e::new(cfg, fc_weight_bits)),
-            prefill_memo: HashMap::new(),
-            decode_memo: HashMap::new(),
-            footprint_memo: HashMap::new(),
-        }
-    }
-
-    /// The accelerator configuration the oracle prices against.
-    pub fn config(&self) -> SpAttenConfig {
-        self.cfg
-    }
-
-    /// A seed-normalized representative for memoized cost computation.
-    fn representative(w: &Workload, len: usize) -> Workload {
-        Workload {
-            seq_len: len,
-            gen_steps: 0,
-            seed: 0x5EED ^ (len as u64) << 1,
-            ..w.clone()
-        }
-    }
-
-    /// See [`ClassKey`].
-    fn class_key(w: &Workload) -> ClassKey {
-        ClassKey {
             name: w.name.clone(),
             model: w.model,
             token_avg_keep: w.pruning.token_avg_keep.to_bits(),
@@ -109,58 +83,216 @@ impl CostModel {
             lsb_threshold: w.quant.lsb_threshold.to_bits(),
         }
     }
+}
 
-    /// Cost of `w`'s summarization/prefill pass over `w.seq_len` tokens.
+/// Memo key: every timing-relevant field of a chip configuration. A
+/// heterogeneous fleet prices the same request class differently on a
+/// Table-I chip and a 1/8-scale chip, so cached costs must never cross
+/// config boundaries (float fields keyed by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CfgKey {
+    multipliers_per_array: usize,
+    topk_parallelism: usize,
+    softmax_parallelism: usize,
+    kv_sram_bytes: u64,
+    clock_ghz: u64,
+    hbm_channels: usize,
+    hbm_bytes_per_cycle: u64,
+    hbm_interleave_bytes: u64,
+    hbm_row_bytes: u64,
+    hbm_activation_cycles: u64,
+    hbm_clock_ghz: u64,
+    token_pruning: bool,
+    head_pruning: bool,
+    local_value_pruning: bool,
+}
+
+impl CfgKey {
+    /// The hardware fingerprint of `cfg`. Destructures without a rest
+    /// pattern on purpose: adding a field to `SpAttenConfig` (or its HBM
+    /// config) must fail to compile here, not silently alias distinct
+    /// chips in the memo.
+    pub fn of(cfg: &SpAttenConfig) -> Self {
+        let SpAttenConfig {
+            multipliers_per_array,
+            topk_parallelism,
+            softmax_parallelism,
+            kv_sram_bytes,
+            clock_ghz,
+            hbm,
+            token_pruning,
+            head_pruning,
+            local_value_pruning,
+        } = *cfg;
+        let spatten_hbm::HbmConfig {
+            channels,
+            bytes_per_cycle,
+            interleave_bytes,
+            row_bytes,
+            activation_cycles,
+            clock_ghz: hbm_clock,
+        } = hbm;
+        Self {
+            multipliers_per_array,
+            topk_parallelism,
+            softmax_parallelism,
+            kv_sram_bytes,
+            clock_ghz: clock_ghz.to_bits(),
+            hbm_channels: channels,
+            hbm_bytes_per_cycle: bytes_per_cycle,
+            hbm_interleave_bytes: interleave_bytes,
+            hbm_row_bytes: row_bytes,
+            hbm_activation_cycles: activation_cycles,
+            hbm_clock_ghz: hbm_clock.to_bits(),
+            token_pruning,
+            head_pruning,
+            local_value_pruning,
+        }
+    }
+}
+
+/// The chip-indexed cost interface the fleet event loop and schedulers
+/// program against. `chip` is the index of the *logical* executor — a
+/// physical chip for [`CostModel`], a sharded chip group for
+/// `spatten-cluster` — so heterogeneous fleets can price the same job
+/// differently per executor.
+pub trait FleetCost {
+    /// Cost of `w`'s summarization/prefill pass on `chip`.
+    fn prefill_on(&mut self, chip: usize, w: &Workload) -> StepCost;
+
+    /// Cost of generating one token of `w` on `chip` at a (pre-pruning) KV
+    /// context of `context` tokens.
+    fn decode_on(&mut self, chip: usize, w: &Workload, context: usize) -> StepCost;
+
+    /// KV-cache SRAM bytes the job pins while resident on `chip`.
+    fn footprint_on(&mut self, chip: usize, w: &Workload) -> u64;
+
+    /// The KV packing budget of `chip`.
+    fn budget_on(&self, chip: usize) -> u64;
+
+    /// Serialized cycles of the whole job on `chip`: prefill plus every
+    /// decode step. This is what a run-to-completion scheduler charges, and
+    /// what shortest-job-first sorts by.
+    fn job_serial_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        let mut total = self.prefill_on(chip, w).serial_cycles;
+        for step in 0..w.gen_steps {
+            total += self.decode_on(chip, w, w.seq_len + step + 1).serial_cycles;
+        }
+        total
+    }
+
+    /// Cycles from job start until its first visible token on `chip`: the
+    /// prefill pass, plus one decode step for generative jobs.
+    fn first_token_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        let mut total = self.prefill_on(chip, w).serial_cycles;
+        if w.gen_steps > 0 {
+            total += self.decode_on(chip, w, w.seq_len + 1).serial_cycles;
+        }
+        total
+    }
+}
+
+/// Memoized cost oracle for a fleet of (possibly heterogeneous) chips.
+#[derive(Debug)]
+pub struct CostModel {
+    /// Per-chip configurations; a single entry prices every chip
+    /// (homogeneous fleet).
+    chip_cfgs: Vec<SpAttenConfig>,
+    chip_keys: Vec<CfgKey>,
+    fc_weight_bits: Option<u32>,
+    /// One e2e FC model per *distinct* configuration.
+    e2e: HashMap<CfgKey, SpAttenE2e>,
+    prefill_memo: HashMap<(CfgKey, ClassKey, usize), StepCost>,
+    decode_memo: HashMap<(CfgKey, ClassKey, usize), StepCost>,
+    footprint_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
+}
+
+impl CostModel {
+    fn build(chip_cfgs: Vec<SpAttenConfig>, fc_weight_bits: Option<u32>) -> Self {
+        assert!(!chip_cfgs.is_empty(), "cost model needs at least one chip");
+        let chip_keys = chip_cfgs.iter().map(CfgKey::of).collect();
+        Self {
+            chip_cfgs,
+            chip_keys,
+            fc_weight_bits,
+            e2e: HashMap::new(),
+            prefill_memo: HashMap::new(),
+            decode_memo: HashMap::new(),
+            footprint_memo: HashMap::new(),
+        }
+    }
+
+    /// An attention-only oracle for a homogeneous fleet of `cfg` chips.
+    pub fn attention_only(cfg: SpAttenConfig) -> Self {
+        Self::build(vec![cfg], None)
+    }
+
+    /// An end-to-end oracle for a homogeneous fleet: attention from the
+    /// cycle-level model plus FC weight streaming at `fc_weight_bits`
+    /// (SpAtten-e2e, Table IV).
+    pub fn end_to_end(cfg: SpAttenConfig, fc_weight_bits: u32) -> Self {
+        Self::build(vec![cfg], Some(fc_weight_bits))
+    }
+
+    /// An oracle for a heterogeneous fleet: chip `i` is priced against
+    /// `chip_cfgs[i]`, and memoized costs are shared only between chips
+    /// with identical configurations.
+    pub fn heterogeneous(chip_cfgs: Vec<SpAttenConfig>, fc_weight_bits: Option<u32>) -> Self {
+        Self::build(chip_cfgs, fc_weight_bits)
+    }
+
+    /// The accelerator configuration chip 0 is priced against.
+    pub fn config(&self) -> SpAttenConfig {
+        self.chip_cfgs[0]
+    }
+
+    /// Maps a chip index onto its configuration slot: a single-config
+    /// oracle prices every chip, so any index resolves to slot 0.
+    fn slot(&self, chip: usize) -> usize {
+        if self.chip_cfgs.len() == 1 {
+            0
+        } else {
+            assert!(
+                chip < self.chip_cfgs.len(),
+                "chip {chip} out of {} configured",
+                self.chip_cfgs.len()
+            );
+            chip
+        }
+    }
+
+    fn e2e_for(&mut self, slot: usize) -> Option<&SpAttenE2e> {
+        let bits = self.fc_weight_bits?;
+        let key = self.chip_keys[slot];
+        let cfg = self.chip_cfgs[slot];
+        Some(
+            self.e2e
+                .entry(key)
+                .or_insert_with(|| SpAttenE2e::new(cfg, bits)),
+        )
+    }
+
+    /// Cost of `w`'s summarization/prefill pass over `w.seq_len` tokens
+    /// (chip 0's configuration).
     pub fn prefill(&mut self, w: &Workload) -> StepCost {
-        let key = (Self::class_key(w), w.seq_len);
-        if let Some(&c) = self.prefill_memo.get(&key) {
-            return c;
-        }
-        let rep = Self::representative(w, w.seq_len);
-        let mut cost = prefill_cost(&self.cfg, &rep);
-        if let Some(e2e) = &self.e2e {
-            cost.add(e2e.fc_prefill_cost(&rep));
-        }
-        self.prefill_memo.insert(key, cost);
-        cost
+        self.prefill_on(0, w)
     }
 
     /// Cost of generating one token of `w` at a (pre-pruning) KV context of
-    /// `context` tokens.
+    /// `context` tokens (chip 0's configuration).
     pub fn decode(&mut self, w: &Workload, context: usize) -> StepCost {
-        let bucket = context.max(1).div_ceil(CTX_BUCKET) * CTX_BUCKET;
-        let key = (Self::class_key(w), bucket);
-        if let Some(&c) = self.decode_memo.get(&key) {
-            return c;
-        }
-        let rep = Self::representative(w, bucket);
-        let mut cost = decode_step_cost(&self.cfg, &rep, bucket);
-        if let Some(e2e) = &self.e2e {
-            cost.add(e2e.fc_decode_cost(&rep));
-        }
-        self.decode_memo.insert(key, cost);
-        cost
+        self.decode_on(0, w, context)
     }
 
-    /// Serialized cycles of the whole job: prefill plus every decode step.
-    /// This is what a run-to-completion scheduler charges, and what
-    /// shortest-job-first sorts by.
+    /// Serialized cycles of the whole job on chip 0's configuration.
     pub fn job_serial_cycles(&mut self, w: &Workload) -> u64 {
-        let mut total = self.prefill(w).serial_cycles;
-        for step in 0..w.gen_steps {
-            total += self.decode(w, w.seq_len + step + 1).serial_cycles;
-        }
-        total
+        self.job_serial_on(0, w)
     }
 
-    /// Cycles from job start until its first visible token: the prefill
-    /// pass, plus one decode step for generative jobs.
+    /// Cycles from job start until its first visible token (chip 0's
+    /// configuration).
     pub fn first_token_cycles(&mut self, w: &Workload) -> u64 {
-        let mut total = self.prefill(w).serial_cycles;
-        if w.gen_steps > 0 {
-            total += self.decode(w, w.seq_len + 1).serial_cycles;
-        }
-        total
+        self.first_token_on(0, w)
     }
 
     /// The KV-cache SRAM footprint the job pins while resident on a chip:
@@ -175,23 +307,66 @@ impl CostModel {
     /// charges it SRAM-overflow re-streaming — but it can never share a
     /// chip, so its effective reservation is the whole budget.
     pub fn kv_footprint_bytes(&mut self, w: &Workload) -> u64 {
+        self.footprint_on(0, w)
+    }
+
+    /// The packing budget continuous batching fills on chip 0: the K and
+    /// the V SRAM (`SpAttenConfig::kv_sram_bytes` each).
+    pub fn kv_budget(&self) -> u64 {
+        self.budget_on(0)
+    }
+}
+
+impl FleetCost for CostModel {
+    fn prefill_on(&mut self, chip: usize, w: &Workload) -> StepCost {
+        let slot = self.slot(chip);
+        let key = (self.chip_keys[slot], ClassKey::of(w), w.seq_len);
+        if let Some(&c) = self.prefill_memo.get(&key) {
+            return c;
+        }
+        let rep = representative(w, w.seq_len);
+        let mut cost = prefill_cost(&self.chip_cfgs[slot], &rep);
+        if let Some(e2e) = self.e2e_for(slot) {
+            cost.add(e2e.fc_prefill_cost(&rep));
+        }
+        self.prefill_memo.insert(key, cost);
+        cost
+    }
+
+    fn decode_on(&mut self, chip: usize, w: &Workload, context: usize) -> StepCost {
+        let slot = self.slot(chip);
+        let bucket = context.max(1).div_ceil(CTX_BUCKET) * CTX_BUCKET;
+        let key = (self.chip_keys[slot], ClassKey::of(w), bucket);
+        if let Some(&c) = self.decode_memo.get(&key) {
+            return c;
+        }
+        let rep = representative(w, bucket);
+        let mut cost = decode_step_cost(&self.chip_cfgs[slot], &rep, bucket);
+        if let Some(e2e) = self.e2e_for(slot) {
+            cost.add(e2e.fc_decode_cost(&rep));
+        }
+        self.decode_memo.insert(key, cost);
+        cost
+    }
+
+    fn footprint_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        let slot = self.slot(chip);
         let max_ctx = w.seq_len + w.gen_steps;
-        let key = (Self::class_key(w), max_ctx);
+        let key = (self.chip_keys[slot], ClassKey::of(w), max_ctx);
         if let Some(&b) = self.footprint_memo.get(&key) {
             return b;
         }
-        let deepest = surviving_tokens(&self.cfg, w, w.model.layers - 1, max_ctx);
+        let cfg = &self.chip_cfgs[slot];
+        let deepest = surviving_tokens(cfg, w, w.model.layers - 1, max_ctx);
         let bits = u64::from(w.quant.scheme.msb_bits());
         let per_token = 2 * (w.model.hidden as u64 * bits).div_ceil(8);
-        let bytes = (deepest as u64 * per_token).min(self.kv_budget());
+        let bytes = (deepest as u64 * per_token).min(self.budget_on(chip));
         self.footprint_memo.insert(key, bytes);
         bytes
     }
 
-    /// The packing budget continuous batching fills: the K and the V SRAM
-    /// (`SpAttenConfig::kv_sram_bytes` each).
-    pub fn kv_budget(&self) -> u64 {
-        2 * self.cfg.kv_sram_bytes
+    fn budget_on(&self, chip: usize) -> u64 {
+        2 * self.chip_cfgs[self.slot(chip)].kv_sram_bytes
     }
 }
 
@@ -234,6 +409,41 @@ mod tests {
         // Same bucket → same memo entry.
         let c = m.decode(&w, 97);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn heterogeneous_chips_do_not_share_cached_costs() {
+        // A full Table-I chip and a 1/8-scale chip price the same decode
+        // step differently; the memo must keep them apart.
+        let mut m = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let full = m.decode_on(0, &w, 256);
+        let eighth = m.decode_on(1, &w, 256);
+        assert!(
+            eighth.serial_cycles > full.serial_cycles,
+            "eighth-scale chip must be slower: {} vs {}",
+            eighth.serial_cycles,
+            full.serial_cycles
+        );
+        // Re-querying returns the per-chip cached values unchanged.
+        assert_eq!(m.decode_on(0, &w, 256), full);
+        assert_eq!(m.decode_on(1, &w, 256), eighth);
+    }
+
+    #[test]
+    fn identical_configs_share_one_memo_entry() {
+        let mut m = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::default()],
+            None,
+        );
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let a = m.decode_on(0, &w, 128);
+        let b = m.decode_on(1, &w, 128);
+        assert_eq!(a, b);
+        assert_eq!(m.decode_memo.len(), 1, "same config must share the cache");
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * [`cost`] — [`CostModel`]: memoized incremental cost queries
 //!   (`prefill`, per-token `decode`, KV-cache SRAM footprints) against
 //!   `spatten_core::perf`, optionally end-to-end with SpAtten-e2e FC
-//!   weight streaming.
+//!   weight streaming. Memo entries are keyed by chip configuration, so a
+//!   heterogeneous fleet (Table-I chips next to 1/8-scale ones) never
+//!   shares cached costs across hardware. The [`FleetCost`] trait is the
+//!   chip-indexed interface the rest of the crate programs against —
+//!   `spatten-cluster` implements it for sharded multi-chip groups.
 //! * [`scheduler`] — pluggable policies: FIFO, shortest-job-first, and a
 //!   continuous-batching scheduler that packs jobs by KV-cache SRAM
 //!   footprint against `SpAttenConfig::kv_sram_bytes`.
@@ -50,8 +54,8 @@ pub mod request;
 pub mod scheduler;
 pub mod sim;
 
-pub use cost::CostModel;
+pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
 pub use metrics::{ChipStats, FleetReport, Percentiles};
 pub use request::{Completion, Job};
 pub use scheduler::{ChipCapacity, Policy, Scheduler};
-pub use sim::{simulate_fleet, FleetConfig};
+pub use sim::{simulate_fleet, simulate_fleet_with, FleetConfig};

@@ -21,7 +21,7 @@
 //!   comes from. Admission stays in arrival order (no queue jumping), so
 //!   the no-starvation property of FIFO is preserved.
 
-use crate::cost::CostModel;
+use crate::cost::FleetCost;
 use crate::request::Job;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -106,10 +106,12 @@ impl Scheduler {
         self.queue.push_back(job);
     }
 
-    /// Hands the calling chip the jobs it should admit right now. The
-    /// returned jobs are removed from the queue; an empty vec means the
-    /// chip stays as it is.
-    pub fn take(&mut self, cost: &mut CostModel, cap: ChipCapacity) -> Vec<Job> {
+    /// Hands the calling chip (logical executor `chip`) the jobs it should
+    /// admit right now. The returned jobs are removed from the queue; an
+    /// empty vec means the chip stays as it is. Costs and KV footprints
+    /// are priced against the *calling* chip's configuration, so a
+    /// heterogeneous fleet packs each chip by its own budget.
+    pub fn take<C: FleetCost>(&mut self, cost: &mut C, chip: usize, cap: ChipCapacity) -> Vec<Job> {
         let picked = match self.policy {
             Policy::Fifo => {
                 if cap.active == 0 {
@@ -124,7 +126,7 @@ impl Scheduler {
                         .queue
                         .iter()
                         .enumerate()
-                        .min_by_key(|(i, j)| (cost.job_serial_cycles(&j.workload), *i))
+                        .min_by_key(|(i, j)| (cost.job_serial_on(chip, &j.workload), *i))
                         .map(|(i, _)| i)
                         .expect("non-empty queue");
                     self.queue.remove(best).into_iter().collect()
@@ -144,7 +146,7 @@ impl Scheduler {
                     let Some(front) = self.queue.front() else {
                         break;
                     };
-                    let footprint = cost.kv_footprint_bytes(&front.workload);
+                    let footprint = cost.footprint_on(chip, &front.workload);
                     if footprint > kv_free {
                         break;
                     }
@@ -163,6 +165,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::CostModel;
     use spatten_core::SpAttenConfig;
     use spatten_workloads::{Benchmark, Workload};
 
@@ -195,7 +198,7 @@ mod tests {
             kv_free: u64::MAX,
             slots: 8,
         };
-        let got = s.take(&mut c, cap);
+        let got = s.take(&mut c, 0, cap);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].id, 0);
         // A busy chip gets nothing.
@@ -204,7 +207,7 @@ mod tests {
             kv_free: u64::MAX,
             slots: 7,
         };
-        assert!(s.take(&mut c, busy).is_empty());
+        assert!(s.take(&mut c, 0, busy).is_empty());
         assert_eq!(s.pending(), 2);
     }
 
@@ -219,7 +222,7 @@ mod tests {
             kv_free: u64::MAX,
             slots: 8,
         };
-        let got = s.take(&mut c, cap);
+        let got = s.take(&mut c, 0, cap);
         assert_eq!(got[0].id, 1);
     }
 
@@ -236,7 +239,7 @@ mod tests {
             kv_free: budget,
             slots: 16,
         };
-        let got = s.take(&mut c, cap);
+        let got = s.take(&mut c, 0, cap);
         assert!(!got.is_empty());
         assert!(got.len() < 20, "budget must bound the batch");
         let used: u64 = got.iter().map(|j| c.kv_footprint_bytes(&j.workload)).sum();
@@ -260,6 +263,6 @@ mod tests {
             kv_free: u64::MAX,
             slots: 2,
         };
-        assert_eq!(s.take(&mut c, cap).len(), 2);
+        assert_eq!(s.take(&mut c, 0, cap).len(), 2);
     }
 }

@@ -10,7 +10,7 @@
 //! every stochastic draw happened at trace-generation time.
 
 use crate::chip::Chip;
-use crate::cost::CostModel;
+use crate::cost::{CostModel, FleetCost};
 use crate::metrics::{ChipStats, FleetReport};
 use crate::request::{Completion, Job};
 use crate::scheduler::{ChipCapacity, Policy, Scheduler};
@@ -24,8 +24,13 @@ use std::collections::BinaryHeap;
 pub struct FleetConfig {
     /// Number of SpAtten chips.
     pub chips: usize,
-    /// Per-chip accelerator configuration (Table I defaults).
+    /// Per-chip accelerator configuration (Table I defaults). For a
+    /// heterogeneous fleet, set [`FleetConfig::chip_configs`] instead;
+    /// `accel` then only provides the fleet clock.
     pub accel: SpAttenConfig,
+    /// Per-chip configurations for a heterogeneous fleet (length must
+    /// equal `chips`); `None` means every chip is `accel`.
+    pub chip_configs: Option<Vec<SpAttenConfig>>,
     /// Scheduling policy.
     pub policy: Policy,
     /// Cap on jobs resident per chip under continuous batching (protects
@@ -48,6 +53,7 @@ impl FleetConfig {
         Self {
             chips,
             accel: SpAttenConfig::default(),
+            chip_configs: None,
             policy,
             max_batch: 8,
             fc_weight_bits: Some(8),
@@ -57,11 +63,59 @@ impl FleetConfig {
         }
     }
 
-    fn cost_model(&self) -> CostModel {
-        match self.fc_weight_bits {
-            Some(bits) => CostModel::end_to_end(self.accel, bits),
-            None => CostModel::attention_only(self.accel),
+    /// A heterogeneous fleet: chip `i` runs `chip_configs[i]` (mix Table-I
+    /// chips with [`SpAttenConfig::eighth`]-scale ones). All chips must
+    /// share a core clock — the fleet event queue ticks in core cycles.
+    pub fn with_chips(chip_configs: Vec<SpAttenConfig>, policy: Policy) -> Self {
+        assert!(!chip_configs.is_empty(), "fleet needs at least one chip");
+        let accel = chip_configs[0];
+        Self {
+            chips: chip_configs.len(),
+            chip_configs: Some(chip_configs),
+            ..Self::new(1, policy)
         }
+        .with_accel(accel)
+    }
+
+    fn with_accel(mut self, accel: SpAttenConfig) -> Self {
+        self.accel = accel;
+        self
+    }
+
+    fn cost_model(&self) -> CostModel {
+        match &self.chip_configs {
+            Some(cfgs) => {
+                assert_eq!(
+                    cfgs.len(),
+                    self.chips,
+                    "chip_configs length must match the chip count"
+                );
+                assert!(
+                    cfgs.iter()
+                        .all(|c| c.clock_ghz.to_bits() == self.accel.clock_ghz.to_bits()),
+                    "heterogeneous chips must share a core clock"
+                );
+                CostModel::heterogeneous(cfgs.clone(), self.fc_weight_bits)
+            }
+            None => match self.fc_weight_bits {
+                Some(bits) => CostModel::end_to_end(self.accel, bits),
+                None => CostModel::attention_only(self.accel),
+            },
+        }
+    }
+}
+
+fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
+    (ns as f64 * clock_ghz).round() as u64
+}
+
+fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64) -> Job {
+    Job {
+        id: req.id,
+        class: req.class,
+        client,
+        arrival_cycles,
+        workload: req.workload.clone(),
     }
 }
 
@@ -95,9 +149,12 @@ impl Ord for Event {
     }
 }
 
-struct Fleet {
-    cfg: FleetConfig,
-    cost: CostModel,
+struct Fleet<C: FleetCost> {
+    policy: Policy,
+    max_batch: usize,
+    prefill_chunk_cycles: u64,
+    clock_ghz: f64,
+    cost: C,
     scheduler: Scheduler,
     chips: Vec<Chip>,
     events: BinaryHeap<Reverse<Event>>,
@@ -108,46 +165,35 @@ struct Fleet {
     think_cycles: u64,
 }
 
-impl Fleet {
+impl<C: FleetCost> Fleet<C> {
     fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
-    fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
-        (ns as f64 * clock_ghz).round() as u64
-    }
-
-    fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64) -> Job {
-        Job {
-            id: req.id,
-            class: req.class,
-            client,
-            arrival_cycles,
-            workload: req.workload.clone(),
-        }
-    }
-
     /// Offers work to `chip` and starts its next round if it holds any.
     fn kick(&mut self, chip_idx: usize, now: u64) {
-        let batching = self.cfg.policy.is_batching();
+        let batching = self.policy.is_batching();
         let chip = &mut self.chips[chip_idx];
         if chip.is_in_flight() {
             return;
         }
-        let max_batch = if batching { self.cfg.max_batch } else { 1 };
+        let max_batch = if batching { self.max_batch } else { 1 };
         let cap = ChipCapacity {
             active: chip.active_jobs(),
-            kv_free: self.cost.kv_budget().saturating_sub(chip.kv_in_use()),
+            kv_free: self
+                .cost
+                .budget_on(chip_idx)
+                .saturating_sub(chip.kv_in_use()),
             slots: max_batch.saturating_sub(chip.active_jobs()),
         };
-        let admitted = self.scheduler.take(&mut self.cost, cap);
+        let admitted = self.scheduler.take(&mut self.cost, chip_idx, cap);
         for job in admitted {
             chip.admit(&mut self.cost, job, now);
         }
         if let Some(cycles) =
-            chip.start_round(&mut self.cost, batching, self.cfg.prefill_chunk_cycles, now)
+            chip.start_round(&mut self.cost, batching, self.prefill_chunk_cycles, now)
         {
             self.push(now + cycles, EventKind::RoundEnd(chip_idx));
         }
@@ -159,7 +205,7 @@ impl Fleet {
         if let Some(client) = done.client {
             if let Some(next) = self.client_queues.get_mut(client).and_then(Vec::pop) {
                 let t = done.finish_cycles + self.think_cycles;
-                let job = Self::job_from(&next, Some(client), t);
+                let job = job_from(&next, Some(client), t);
                 self.push(t, EventKind::Arrival(job));
             }
         }
@@ -212,11 +258,16 @@ impl Fleet {
                 max_kv_in_use: c.max_kv_in_use,
             })
             .collect();
+        let chips = self.chips.len();
+        let budget = (0..chips)
+            .map(|c| self.cost.budget_on(c))
+            .max()
+            .unwrap_or(0);
         FleetReport::new(
-            self.cfg.policy.name(),
-            self.cfg.chips,
-            self.cfg.accel.clock_ghz,
-            self.cost.kv_budget(),
+            self.policy.name(),
+            chips,
+            self.clock_ghz,
+            budget,
             self.completions,
             chip_stats,
         )
@@ -230,30 +281,61 @@ impl Fleet {
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
 pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
-    assert!(cfg.chips > 0, "fleet needs at least one chip");
-    assert!(cfg.max_batch > 0, "max_batch must be positive");
-    let clock = cfg.accel.clock_ghz;
+    simulate_fleet_with(
+        cfg.cost_model(),
+        cfg.chips,
+        cfg.policy,
+        cfg.max_batch,
+        cfg.prefill_chunk_cycles,
+        cfg.accel.clock_ghz,
+        trace,
+    )
+}
+
+/// Simulates `trace` on `chips` logical executors priced by an arbitrary
+/// [`FleetCost`] oracle — the entry point `spatten-cluster` uses to drive
+/// sharded chip *groups* through the same discrete-event loop, schedulers
+/// and metrics as plain chips. Deterministic for fixed inputs.
+///
+/// # Panics
+///
+/// Panics if the fleet has zero chips or `max_batch` is zero.
+pub fn simulate_fleet_with<C: FleetCost>(
+    cost: C,
+    chips: usize,
+    policy: Policy,
+    max_batch: usize,
+    prefill_chunk_cycles: u64,
+    clock_ghz: f64,
+    trace: &Trace,
+) -> FleetReport {
+    assert!(chips > 0, "fleet needs at least one chip");
+    assert!(max_batch > 0, "max_batch must be positive");
+    let clock = clock_ghz;
     let mut fleet = Fleet {
-        cost: cfg.cost_model(),
-        scheduler: Scheduler::new(cfg.policy),
-        chips: (0..cfg.chips).map(Chip::new).collect(),
+        policy,
+        max_batch,
+        prefill_chunk_cycles,
+        clock_ghz,
+        cost,
+        scheduler: Scheduler::new(policy),
+        chips: (0..chips).map(Chip::new).collect(),
         events: BinaryHeap::new(),
         seq: 0,
         completions: Vec::new(),
         client_queues: Vec::new(),
         think_cycles: 0,
-        cfg: cfg.clone(),
     };
     match trace {
         Trace::Open { requests } => {
             for req in requests {
-                let t = Fleet::ns_to_cycles(clock, req.arrival_ns);
-                let job = Fleet::job_from(req, None, t);
+                let t = ns_to_cycles(clock, req.arrival_ns);
+                let job = job_from(req, None, t);
                 fleet.push(t, EventKind::Arrival(job));
             }
         }
         Trace::Closed { clients, think_ns } => {
-            fleet.think_cycles = Fleet::ns_to_cycles(clock, *think_ns);
+            fleet.think_cycles = ns_to_cycles(clock, *think_ns);
             // Store queues reversed so pop() yields the next request.
             fleet.client_queues = clients
                 .iter()
@@ -261,7 +343,7 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
                 .collect();
             for client in 0..fleet.client_queues.len() {
                 if let Some(first) = fleet.client_queues[client].pop() {
-                    let job = Fleet::job_from(&first, Some(client), 0);
+                    let job = job_from(&first, Some(client), 0);
                     fleet.push(0, EventKind::Arrival(job));
                 }
             }
@@ -346,6 +428,27 @@ mod tests {
         assert!(report.utilization > 0.0 && report.utilization <= 1.0);
         assert!(report.latency.p99 >= report.latency.p50);
         assert!(report.latency.max >= report.latency.p99);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_completes_and_favors_the_fast_chip() {
+        // One Table-I chip next to one 1/8-scale chip: everything still
+        // completes, and the full-size chip carries more of the busy time
+        // than the eighth under run-to-completion FIFO (it turns jobs
+        // around ~8× faster, so it comes back for work more often).
+        let trace = open_trace(200, 1500.0, 17);
+        let cfg = FleetConfig::with_chips(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Policy::Fifo,
+        );
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 200);
+        let full: usize = report.completions.iter().filter(|c| c.chip == 0).count();
+        let eighth = 200 - full;
+        assert!(
+            full > eighth,
+            "full chip should finish more jobs: {full} vs {eighth}"
+        );
     }
 
     #[test]

@@ -16,15 +16,21 @@
 //!   attention-probability generators.
 //! * [`text`] — small canned sentences (Fig. 22-style) with a toy
 //!   word-level tokenizer for the interpretability demos.
-//! * [`trace`] — serving traces: request classes, open-loop Poisson and
-//!   closed-loop arrival processes, consumed by `spatten-serve`.
+//! * [`trace`] — serving traces: request classes, open-loop Poisson,
+//!   bursty MMPP and closed-loop arrival processes, consumed by
+//!   `spatten-serve`.
+//! * [`fleet`] — fleet/topology descriptions ([`FleetSpec`]): chip
+//!   classes and interconnect shape for cluster scenarios
+//!   (`spatten-cluster`).
 
+pub mod fleet;
 pub mod registry;
 pub mod spec;
 pub mod synth;
 pub mod text;
 pub mod trace;
 
+pub use fleet::{ChipClass, FleetSpec, LinkSpec, TopologySpec};
 pub use registry::{Benchmark, TaskKind};
 pub use spec::{PruningSpec, QuantPolicy, Workload};
 pub use synth::{synthetic_probs, zipf_tokens};

@@ -10,14 +10,26 @@
 //!   This is the discipline that exposes tail-latency collapse under
 //!   overload (queues grow without bound once offered load exceeds
 //!   capacity).
+//! * **Bursty open loop** ([`ArrivalSpec::OpenMmpp`]) — a two-state
+//!   Markov-modulated Poisson process: the arrival rate switches between a
+//!   calm and a burst level with exponentially distributed dwell times.
+//!   Production traffic is over-dispersed relative to Poisson (diurnal
+//!   swings, retry storms, thundering herds), and MMPP is the standard
+//!   minimal model of that burstiness — it stresses tail latency at an
+//!   average offered load a plain Poisson trace would absorb.
 //! * **Closed loop** ([`ArrivalSpec::ClosedLoop`]) — a fixed population of
 //!   clients, each issuing its next request a think time after its previous
 //!   one completes. Offered load self-throttles to fleet capacity.
 //!
+//! A spec may also carry the *hardware side* of the scenario — a
+//! [`FleetSpec`] naming chip classes and interconnect topology — so one
+//! serialized object describes a whole cluster experiment.
+//!
 //! Generation is fully deterministic for a fixed [`TraceSpec`] (seeded
-//! inter-arrival draws, class picks and length draws), so serving reports
-//! are bit-reproducible.
+//! inter-arrival draws, state dwells, class picks and length draws), so
+//! serving reports are bit-reproducible.
 
+use crate::fleet::FleetSpec;
 use crate::registry::Benchmark;
 use crate::spec::Workload;
 use rand::rngs::StdRng;
@@ -102,6 +114,24 @@ pub enum ArrivalSpec {
         /// Total requests in the trace.
         requests: usize,
     },
+    /// Open-loop two-state Markov-modulated Poisson arrivals: the process
+    /// alternates between a calm state (rate `calm_rps`) and a burst state
+    /// (rate `burst_rps`), dwelling in each for an exponentially
+    /// distributed time. Long-run average rate is the dwell-weighted mean
+    /// of the two levels; count dispersion exceeds Poisson's whenever
+    /// `burst_rps > calm_rps`.
+    OpenMmpp {
+        /// Arrival rate in the calm state, requests per second.
+        calm_rps: f64,
+        /// Arrival rate in the burst state, requests per second.
+        burst_rps: f64,
+        /// Mean dwell time in the calm state, seconds.
+        mean_calm_s: f64,
+        /// Mean dwell time in the burst state, seconds.
+        mean_burst_s: f64,
+        /// Total requests in the trace.
+        requests: usize,
+    },
     /// Closed loop: `clients` concurrent clients, each thinking
     /// `think_s` seconds between its previous completion and its next
     /// request, until `requests` total requests have been issued.
@@ -124,6 +154,10 @@ pub struct TraceSpec {
     pub arrival: ArrivalSpec,
     /// Seed for all stochastic draws.
     pub seed: u64,
+    /// The hardware side of the scenario (chip inventory + interconnect
+    /// topology), when the trace targets a specific cluster. `None` for
+    /// fleet-agnostic traces.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl TraceSpec {
@@ -143,7 +177,31 @@ impl TraceSpec {
             ],
             arrival,
             seed,
+            fleet: None,
         }
+    }
+
+    /// A generation-only trace: GPT-2 WikiText-2-shaped decode jobs with
+    /// chat-style contexts. This is the workload sharding studies sweep —
+    /// decode is the memory-bound regime where tensor parallelism pays.
+    pub fn gpt2_decode(arrival: ArrivalSpec, seed: u64) -> Self {
+        Self {
+            classes: vec![RequestClass::gpt2(
+                &Benchmark::gpt2_small_wikitext2(),
+                (64, 384),
+                (16, 128),
+                1.0,
+            )],
+            arrival,
+            seed,
+            fleet: None,
+        }
+    }
+
+    /// Attaches the hardware side of the scenario.
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Generates the deterministic trace this spec describes.
@@ -152,7 +210,8 @@ impl TraceSpec {
     ///
     /// Panics if the class list is empty, weights are non-positive, the
     /// arrival spec is degenerate (zero rate / zero clients / zero
-    /// requests), or a class carries an invalid length range (`seq_len`
+    /// requests / MMPP burst rate below the calm rate / non-positive MMPP
+    /// dwell times), or a class carries an invalid length range (`seq_len`
     /// must satisfy `1 <= lo <= hi`; `gen_steps` must satisfy `lo <= hi`).
     pub fn generate(&self) -> Trace {
         assert!(!self.classes.is_empty(), "trace needs at least one class");
@@ -192,6 +251,57 @@ impl TraceSpec {
                         arrival_ns: t_ns as u64,
                         workload,
                     });
+                }
+                Trace::Open { requests: reqs }
+            }
+            ArrivalSpec::OpenMmpp {
+                calm_rps,
+                burst_rps,
+                mean_calm_s,
+                mean_burst_s,
+                requests,
+            } => {
+                assert!(calm_rps > 0.0, "calm rate must be positive");
+                assert!(
+                    burst_rps >= calm_rps,
+                    "burst rate {burst_rps} must be >= calm rate {calm_rps}"
+                );
+                assert!(
+                    mean_calm_s > 0.0 && mean_burst_s > 0.0,
+                    "state dwell times must be positive"
+                );
+                assert!(requests > 0, "trace needs at least one request");
+                let exp_ns = |rng: &mut StdRng, mean_s: f64| -> f64 {
+                    -rng.gen::<f64>().max(1e-12).ln() * mean_s * 1e9
+                };
+                let mut t_ns = 0.0f64;
+                let mut bursting = false;
+                let mut state_end_ns = exp_ns(&mut rng, mean_calm_s);
+                let mut reqs = Vec::with_capacity(requests);
+                let mut id = 0u64;
+                while (id as usize) < requests {
+                    let rate = if bursting { burst_rps } else { calm_rps };
+                    let gap_ns = exp_ns(&mut rng, 1.0 / rate);
+                    if t_ns + gap_ns > state_end_ns {
+                        // The draw crosses a state switch: advance to the
+                        // boundary and redraw — exact, because exponential
+                        // inter-arrivals are memoryless.
+                        t_ns = state_end_ns;
+                        bursting = !bursting;
+                        let mean = if bursting { mean_burst_s } else { mean_calm_s };
+                        state_end_ns = t_ns + exp_ns(&mut rng, mean);
+                        continue;
+                    }
+                    t_ns += gap_ns;
+                    let class = pick_class(&mut rng);
+                    let workload = self.classes[class].instantiate(&mut rng, id);
+                    reqs.push(TraceRequest {
+                        id,
+                        class,
+                        arrival_ns: t_ns as u64,
+                        workload,
+                    });
+                    id += 1;
                 }
                 Trace::Open { requests: reqs }
             }
@@ -377,7 +487,84 @@ mod tests {
                 requests: 1,
             },
             seed: 0,
+            fleet: None,
         };
         let _ = spec.generate();
+    }
+
+    fn mmpp_spec(seed: u64) -> TraceSpec {
+        TraceSpec::mixed(
+            ArrivalSpec::OpenMmpp {
+                calm_rps: 50.0,
+                burst_rps: 2000.0,
+                mean_calm_s: 0.5,
+                mean_burst_s: 0.05,
+                requests: 800,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn mmpp_trace_is_sorted_deterministic_and_sized() {
+        let a = mmpp_spec(21).generate();
+        assert_eq!(a.len(), 800);
+        let Trace::Open { requests } = &a else {
+            panic!("MMPP must make an open trace");
+        };
+        assert!(requests
+            .windows(2)
+            .all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert_eq!(a, mmpp_spec(21).generate());
+        assert_ne!(a, mmpp_spec(22).generate());
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Index of dispersion of windowed arrival counts: 1 for Poisson,
+        // > 1 for any two-state MMPP with distinct rates. Compare the two
+        // processes at matched request counts.
+        let dispersion = |requests: &[TraceRequest]| -> f64 {
+            let window_ns = 100_000_000u64; // 100 ms
+            let horizon = requests.last().unwrap().arrival_ns;
+            let bins = (horizon / window_ns + 1) as usize;
+            let mut counts = vec![0.0f64; bins];
+            for r in requests {
+                counts[(r.arrival_ns / window_ns) as usize] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+            var / mean
+        };
+        let Trace::Open { requests: mmpp } = mmpp_spec(5).generate() else {
+            unreachable!()
+        };
+        let Trace::Open { requests: poisson } = open_spec(800, 5).generate() else {
+            unreachable!()
+        };
+        let m = dispersion(&mmpp);
+        let p = dispersion(&poisson);
+        assert!(
+            m > 2.0 * p.max(0.5),
+            "MMPP dispersion {m} should dwarf Poisson's {p}"
+        );
+    }
+
+    #[test]
+    fn fleet_spec_rides_along() {
+        use crate::fleet::{ChipClass, FleetSpec};
+        let spec = open_spec(10, 1).with_fleet(FleetSpec::mixed(2, 2));
+        let fleet = spec.fleet.as_ref().expect("fleet attached");
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(
+            fleet
+                .chips
+                .iter()
+                .filter(|&&c| c == ChipClass::Full)
+                .count(),
+            2
+        );
+        // Fleet metadata never perturbs the generated request stream.
+        assert_eq!(spec.generate(), open_spec(10, 1).generate());
     }
 }

@@ -24,6 +24,8 @@
 //! * [`baselines`] — A3, MNNFast and analytic GPU/CPU device models.
 //! * [`serve`] — the trace-driven multi-accelerator serving simulator:
 //!   continuous batching, KV-aware scheduling and tail-latency reporting.
+//! * [`cluster`] — sharded multi-chip execution: interconnect model,
+//!   tensor/pipeline parallelism and heterogeneous-fleet placement.
 //!
 //! # Quick start
 //!
@@ -39,6 +41,7 @@
 
 pub use spatten_arch as arch;
 pub use spatten_baselines as baselines;
+pub use spatten_cluster as cluster;
 pub use spatten_core as core;
 pub use spatten_energy as energy;
 pub use spatten_hbm as hbm;
