@@ -9,8 +9,11 @@
 //!    fleet's sustainable request rate.
 //! 2. **Open-loop comparison** — a Poisson trace at `rate_frac` of that
 //!    capacity (default 0.95: heavy load, still under the batching
-//!    fleet's knee) runs under FIFO, shortest-job-first and continuous
-//!    batching. Same trace, same fleet — only the scheduler differs.
+//!    fleet's knee) runs under every scheduling policy (FIFO,
+//!    shortest-job-first, continuous batching, decode-prioritized,
+//!    KV-aware, SLO-aware). Same trace, same fleet — only the scheduler
+//!    differs. For the SLO-centric sweep (per-class deadlines, goodput,
+//!    MMPP bursts, planner-placed clusters) see `sched_bench`.
 //!
 //! The JSON report goes to stdout; a human-readable summary goes to
 //! stderr. Usage:

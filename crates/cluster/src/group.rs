@@ -31,12 +31,20 @@
 //! contention. The contention-tracking [`Interconnect::transfer`] API is
 //! for finer-grained point-to-point studies on top of this layer.
 //!
-//! KV accounting: a job's group footprint is its *largest* per-shard
-//! footprint and a group's budget is its *smallest* per-shard budget, so
-//! a batch admitted against (footprint, budget) fits on every shard —
-//! conservative by construction. Tensor parallelism divides per-shard
-//! footprints ≈ N-way, which is exactly how sharding fits models (and
-//! batches) a single chip cannot hold.
+//! KV accounting: the serving layer admits against one scalar (footprint,
+//! budget) pair per group, so per-shard budgets are folded in by
+//! *normalizing*: a group's budget is its smallest per-shard budget
+//! `B_min`, and a job's footprint is `max_s footprint_s × B_min /
+//! budget_s` — each shard's footprint expressed as a fraction of *its
+//! own chip's* budget, rescaled to `B_min` bytes. A batch that fits the
+//! scalar budget therefore fits every shard individually (the per-job
+//! max and conservative rounding keep it safe), but a big-SRAM shard is
+//! no longer charged as if it had the small shard's budget — the
+//! max-shard-footprint-vs-min-shard-budget approximation this replaces
+//! rejected perfectly feasible batches on heterogeneous groups. On
+//! homogeneous groups the two formulations coincide exactly. Tensor
+//! parallelism divides per-shard footprints ≈ N-way, which is exactly
+//! how sharding fits models (and batches) a single chip cannot hold.
 
 use crate::shard::{
     activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_prefill,
@@ -109,8 +117,16 @@ pub struct ClusterCostModel {
     /// group would dominate wall time in uniform clusters).
     slots: Vec<usize>,
     fc_weight_bits: Option<u32>,
+    /// Live resident-batch size per group, fed by
+    /// [`FleetCost::note_batch`] from the chip event loop; `0` = no hint
+    /// yet (fall back to the strategy's configured micro-batch depth).
+    /// Pipeline bubble amortization divides by the *actual* in-flight
+    /// depth, so a lone decode stream pays the full fill/drain bubble
+    /// instead of borrowing amortization from micro-batches that don't
+    /// exist.
+    live_batch: Vec<usize>,
     prefill_memo: HashMap<(usize, ClassKey, usize), StepCost>,
-    decode_memo: HashMap<(usize, ClassKey, usize), StepCost>,
+    decode_memo: HashMap<(usize, ClassKey, usize, u64), StepCost>,
     footprint_memo: HashMap<(usize, ClassKey, usize), u64>,
 }
 
@@ -135,10 +151,12 @@ impl ClusterCostModel {
                     .unwrap_or(i)
             })
             .collect();
+        let live_batch = vec![0; groups.len()];
         Self {
             groups,
             slots,
             fc_weight_bits,
+            live_batch,
             prefill_memo: HashMap::new(),
             decode_memo: HashMap::new(),
             footprint_memo: HashMap::new(),
@@ -148,6 +166,23 @@ impl ClusterCostModel {
     /// The groups.
     pub fn groups(&self) -> &[GroupSpec] {
         &self.groups
+    }
+
+    /// Effective pipeline micro-batch depth of `group` for decode: the
+    /// live resident-batch size (each resident decode stream is one
+    /// in-flight token), clamped to the strategy's configured depth —
+    /// the pipeline's buffering capacity. Without a live hint the
+    /// configured depth stands, so direct cost queries (planning,
+    /// scaling sweeps) are unchanged.
+    fn decode_micro_batches(&self, group: usize) -> u64 {
+        let configured = match &self.groups[group].strategy {
+            ShardStrategy::PipelineParallel { micro_batches, .. } => (*micro_batches).max(1) as u64,
+            ShardStrategy::TensorParallel { .. } => return 1,
+        };
+        match self.live_batch[group] {
+            0 => configured,
+            live => (live as u64).min(configured),
+        }
     }
 
     /// Slowest-shard composition: shards run concurrently, so the group
@@ -235,11 +270,8 @@ impl ClusterCostModel {
                 cost.serial_cycles += 2 * w.model.layers as u64 * ic.all_reduce_cycles(bytes);
                 cost
             }
-            ShardStrategy::PipelineParallel {
-                stages,
-                micro_batches,
-            } => {
-                let m = (*micro_batches).max(1) as u64;
+            ShardStrategy::PipelineParallel { stages, .. } => {
+                let m = self.decode_micro_batches(group);
                 let costs: Vec<StepCost> = (0..shards)
                     .map(|s| shard_decode(&g.chips[s], fc, w, context, &g.strategy, s))
                     .collect();
@@ -250,7 +282,10 @@ impl ClusterCostModel {
                     .sum();
                 // Steady state emits one token per bottleneck-stage time;
                 // the fill bubble (other stages + hops) amortizes over the
-                // in-flight micro-batch depth.
+                // in-flight micro-batch depth — the *live* resident batch
+                // when the event loop is driving (each resident decode
+                // stream contributes one in-flight token), the configured
+                // depth for direct queries.
                 StepCost {
                     serial_cycles: bottleneck.serial_cycles
                         + (total_serial - bottleneck.serial_cycles + hops) / m,
@@ -275,7 +310,15 @@ impl FleetCost for ClusterCostModel {
 
     fn decode_on(&mut self, chip: usize, w: &Workload, context: usize) -> StepCost {
         let bucket = context.max(1).div_ceil(CTX_BUCKET) * CTX_BUCKET;
-        let key = (self.slots[chip], ClassKey::of(w), bucket);
+        // The effective micro-batch depth is part of the price, so it is
+        // part of the key — otherwise a deep-batch iteration would reuse
+        // a shallow batch's bubble charge (or vice versa).
+        let key = (
+            self.slots[chip],
+            ClassKey::of(w),
+            bucket,
+            self.decode_micro_batches(chip),
+        );
         if let Some(&c) = self.decode_memo.get(&key) {
             return c;
         }
@@ -292,11 +335,23 @@ impl FleetCost for ClusterCostModel {
             return b;
         }
         let g = &self.groups[chip];
+        let budget_min = self.budget_on(chip);
+        // Each shard's footprint, checked against its *own* chip's budget
+        // by rescaling to the common `budget_min` denominator (conservative
+        // ceiling rounding). The per-job max keeps the scalar admission
+        // check sufficient for every shard at once.
         let fp = (0..g.strategy.shards())
-            .map(|s| shard_kv_footprint(&g.chips[s], w, &g.strategy, s))
+            .map(|s| {
+                let fp_s = shard_kv_footprint(&g.chips[s], w, &g.strategy, s);
+                let budget_s = 2 * g.chips[s].kv_sram_bytes;
+                if budget_s == 0 {
+                    return budget_min;
+                }
+                fp_s.saturating_mul(budget_min).div_ceil(budget_s)
+            })
             .max()
             .unwrap_or(0)
-            .min(self.budget_on(chip));
+            .min(budget_min);
         self.footprint_memo.insert(key, fp);
         fp
     }
@@ -308,6 +363,10 @@ impl FleetCost for ClusterCostModel {
             .map(|c| 2 * c.kv_sram_bytes)
             .min()
             .unwrap_or(0)
+    }
+
+    fn note_batch(&mut self, chip: usize, resident: usize) {
+        self.live_batch[chip] = resident;
     }
 }
 
@@ -399,6 +458,97 @@ mod tests {
             marginal < 2.0,
             "4->8 way speedup {marginal:.2} should be sublinear"
         );
+    }
+
+    #[test]
+    fn heterogeneous_group_checks_each_shard_against_its_own_budget() {
+        // Two pipeline stages on unlike silicon: the early stage (large
+        // survivor set) on a full Table-I chip, the late stage (pruned
+        // survivor set) on a chip with a quarter of the KV SRAM. The old
+        // rule charged the early stage's footprint against the small
+        // chip's budget; the per-shard normalization charges each stage
+        // to its own SRAM.
+        let full = SpAttenConfig::default();
+        let small = SpAttenConfig {
+            kv_sram_bytes: full.kv_sram_bytes / 4,
+            ..full
+        };
+        let strategy = ShardStrategy::pipeline_even(12, 2, 4);
+        let group = GroupSpec {
+            chips: vec![full, small],
+            strategy: strategy.clone(),
+            topology: TopologySpec::Ring,
+            link: LinkSpec::default(),
+        };
+        let mut m = ClusterCostModel::new(vec![group.clone()], Some(8));
+        let w = gpt2(512, 64);
+        let fp = m.footprint_on(0, &w);
+        let budget = m.budget_on(0);
+        let old_rule: u64 = (0..2)
+            .map(|s| shard_kv_footprint(&group.chips[s], &w, &strategy, s))
+            .max()
+            .unwrap()
+            .min(budget);
+        assert!(
+            fp < old_rule,
+            "normalized footprint {fp} should beat the max-vs-min rule {old_rule}"
+        );
+        // Safety: a batch that fills the scalar budget fits every shard.
+        let batch = (budget / fp.max(1)) as usize;
+        assert!(batch >= 1);
+        for s in 0..2 {
+            let fp_s = shard_kv_footprint(&group.chips[s], &w, &strategy, s);
+            let budget_s = 2 * group.chips[s].kv_sram_bytes;
+            assert!(
+                batch as u64 * fp_s <= budget_s,
+                "shard {s}: {batch} jobs × {fp_s} bytes exceed {budget_s}"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_group_footprint_is_unchanged_by_normalization() {
+        let group = tp_group(4);
+        let mut m = ClusterCostModel::new(vec![group.clone()], Some(8));
+        let w = gpt2(256, 32);
+        let expect = (0..4)
+            .map(|s| shard_kv_footprint(&group.chips[s], &w, &group.strategy, s))
+            .max()
+            .unwrap()
+            .min(m.budget_on(0));
+        assert_eq!(m.footprint_on(0, &w), expect);
+    }
+
+    #[test]
+    fn pipeline_bubble_tracks_the_live_batch() {
+        let mut m = ClusterCostModel::new(vec![pp_group(4)], Some(8));
+        let w = gpt2(256, 32);
+        // No hint: the configured micro-batch depth (4) stands, so
+        // direct queries (planning, scaling sweeps) are unchanged.
+        let static_cost = m.decode_on(0, &w, 288);
+        // A lone resident decode stream cannot fill the pipeline: it
+        // pays the whole fill/drain bubble.
+        m.note_batch(0, 1);
+        let solo = m.decode_on(0, &w, 288);
+        // A resident batch at the configured depth reproduces the static
+        // charge exactly.
+        m.note_batch(0, 4);
+        let full = m.decode_on(0, &w, 288);
+        assert!(
+            solo.serial_cycles > full.serial_cycles,
+            "solo {} should pay more bubble than a full batch {}",
+            solo.serial_cycles,
+            full.serial_cycles
+        );
+        assert_eq!(full, static_cost);
+        // Depth is capped at the configured in-flight capacity.
+        m.note_batch(0, 16);
+        assert_eq!(m.decode_on(0, &w, 288), full);
+        // Tensor-parallel groups are depth-independent.
+        let mut tp = ClusterCostModel::new(vec![tp_group(4)], Some(8));
+        let a = tp.decode_on(0, &w, 288);
+        tp.note_batch(0, 7);
+        assert_eq!(tp.decode_on(0, &w, 288), a);
     }
 
     #[test]

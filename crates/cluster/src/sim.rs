@@ -11,7 +11,7 @@
 use crate::group::{ClusterCostModel, GroupSpec};
 use crate::place::{plan_with_costs, resolve_chip, shard_costs, PlaceError};
 use crate::shard::ShardStrategy;
-use spatten_serve::{simulate_fleet_with, FleetReport, Policy};
+use spatten_serve::{simulate_fleet_policy, FleetReport, Policy, SchedKnobs};
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{Trace, Workload};
 
@@ -27,8 +27,8 @@ pub struct ClusterConfig {
     /// FC weight bitwidth for end-to-end costs; `None` prices attention
     /// only.
     pub fc_weight_bits: Option<u32>,
-    /// Chunked-prefill quantum (see `spatten_serve::FleetConfig`).
-    pub prefill_chunk_cycles: u64,
+    /// Policy tuning knobs (see `spatten_serve::SchedKnobs`).
+    pub sched: SchedKnobs,
 }
 
 impl ClusterConfig {
@@ -40,7 +40,7 @@ impl ClusterConfig {
             policy,
             max_batch: 8,
             fc_weight_bits: Some(8),
-            prefill_chunk_cycles: 250_000,
+            sched: SchedKnobs::default(),
         }
     }
 
@@ -115,12 +115,12 @@ impl ClusterConfig {
 pub fn simulate_cluster(cfg: &ClusterConfig, trace: &Trace) -> FleetReport {
     let clock = cfg.clock_ghz();
     let cost = ClusterCostModel::new(cfg.groups.clone(), cfg.fc_weight_bits);
-    simulate_fleet_with(
+    simulate_fleet_policy(
         cost,
         cfg.groups.len(),
         cfg.policy,
+        &cfg.sched,
         cfg.max_batch,
-        cfg.prefill_chunk_cycles,
         clock,
         trace,
     )

@@ -1,0 +1,273 @@
+//! Pluggable batching policies: how a chip's resident jobs share one
+//! round.
+//!
+//! Admission ([`crate::scheduler::AdmissionPolicy`]) decides *who* is
+//! resident; a [`BatchPolicy`] decides *what each resident executes* when
+//! the chip starts a round. The chip presents a [`ResidentView`] per
+//! resident job and receives one [`RoundStep`] directive each:
+//!
+//! * [`RunToCompletion`] — the single resident job runs start to finish
+//!   (FIFO / SJF rounds).
+//! * [`IterationBatch`] — classic continuous batching: every resident
+//!   advances one quantum per iteration, a bounded chunk of its prefill
+//!   pass or one decode token. Fair, but iteration length grows with
+//!   every resident prefill: five fresh arrivals each injecting a full
+//!   prefill chunk stretch the iteration five chunks, and every resident
+//!   decode job's next token waits behind all of them.
+//! * [`DecodePrioritizedBatch`] — Sarathi-style decode-prioritized token
+//!   budgets: resident decode steps are reserved *first* (one token each,
+//!   unconditionally), and prefill work is admitted into the leftover
+//!   iteration budget — a single shared allowance handed out oldest
+//!   first, instead of one full chunk per prefilling job. Iterations stay
+//!   near decode-step length no matter how many prefills are in flight,
+//!   which is exactly where the decode tail-latency win comes from;
+//!   the price is slower prefill (worse TTFT) under prefill-heavy mixes.
+//!   When no decode job is resident there is nothing to protect and the
+//!   policy degenerates to [`IterationBatch`].
+
+use std::fmt;
+
+/// What one resident job executes in the upcoming round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundStep {
+    /// The whole job, serially (run-to-completion chips hold one job).
+    WholeJob,
+    /// At most `chunk_cycles` of serial prefill work.
+    Prefill {
+        /// Serial-cycle allowance for this job's prefill this round.
+        chunk_cycles: u64,
+    },
+    /// One decode token.
+    Decode,
+    /// Nothing this round (budget exhausted); the job stays resident.
+    Idle,
+}
+
+/// The chip's view of one resident job, in residence order.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidentView {
+    /// Arrival time in cycles (for oldest-first budget hand-out).
+    pub arrival_cycles: u64,
+    /// Whether the prefill pass has fully executed.
+    pub prefilled: bool,
+    /// Serial prefill cycles still outstanding (0 once prefilled).
+    pub prefill_remaining_cycles: u64,
+    /// Decode steps completed so far.
+    pub steps_done: usize,
+    /// Decode steps the job wants in total (0 for discriminative jobs).
+    pub gen_steps: usize,
+    /// Serial cycles of the job's next decode step (0 while prefilling).
+    pub next_decode_cycles: u64,
+}
+
+/// The batching seam: plans one round for a chip's resident set.
+pub trait BatchPolicy: fmt::Debug {
+    /// Stable lowercase name for reports.
+    fn name(&self) -> &'static str;
+
+    /// One directive per resident, in the same order as `residents`. At
+    /// least one directive must advance a job (the chip panics on an
+    /// all-[`RoundStep::Idle`] plan — it would be a zero-length round).
+    fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep>;
+}
+
+impl BatchPolicy for Box<dyn BatchPolicy> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
+        self.as_mut().plan(residents)
+    }
+}
+
+/// Run the solitary resident job start to finish.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunToCompletion;
+
+impl BatchPolicy for RunToCompletion {
+    fn name(&self) -> &'static str {
+        "run-to-completion"
+    }
+
+    fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
+        assert_eq!(
+            residents.len(),
+            1,
+            "run-to-completion chips hold exactly one job"
+        );
+        vec![RoundStep::WholeJob]
+    }
+}
+
+/// Classic continuous-batching iteration: every resident advances one
+/// quantum — a chunk of its prefill pass or one decode token.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationBatch {
+    /// The most serial prefill work one job may contribute per iteration.
+    pub prefill_chunk_cycles: u64,
+}
+
+impl BatchPolicy for IterationBatch {
+    fn name(&self) -> &'static str {
+        "iteration"
+    }
+
+    fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
+        residents
+            .iter()
+            .map(|r| {
+                if r.prefilled {
+                    RoundStep::Decode
+                } else {
+                    RoundStep::Prefill {
+                        chunk_cycles: self.prefill_chunk_cycles.max(1),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Sarathi-style decode-prioritized iteration budgets: decode steps
+/// first, leftover budget filled with chunked prefill (oldest first).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodePrioritizedBatch {
+    /// Per-job prefill chunk cap (as in [`IterationBatch`]).
+    pub prefill_chunk_cycles: u64,
+    /// Total prefill allowance per iteration, shared across all resident
+    /// prefills, once decode steps are reserved.
+    pub prefill_budget_cycles: u64,
+}
+
+impl BatchPolicy for DecodePrioritizedBatch {
+    fn name(&self) -> &'static str {
+        "decode-prioritized"
+    }
+
+    fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
+        let any_decode = residents.iter().any(|r| r.prefilled);
+        if !any_decode {
+            // Nothing to protect: behave like the uniform iteration.
+            return IterationBatch {
+                prefill_chunk_cycles: self.prefill_chunk_cycles,
+            }
+            .plan(residents);
+        }
+        let mut steps: Vec<RoundStep> = residents
+            .iter()
+            .map(|r| {
+                if r.prefilled {
+                    RoundStep::Decode
+                } else {
+                    RoundStep::Idle
+                }
+            })
+            .collect();
+        // Hand the shared prefill budget out oldest-arrival first, so
+        // TTFT ordering within the batch stays FIFO.
+        let mut prefills: Vec<usize> = (0..residents.len())
+            .filter(|&i| !residents[i].prefilled)
+            .collect();
+        prefills.sort_by_key(|&i| (residents[i].arrival_cycles, i));
+        let mut budget = self.prefill_budget_cycles.max(1);
+        for i in prefills {
+            if budget == 0 {
+                break;
+            }
+            let give = budget.min(self.prefill_chunk_cycles.max(1));
+            steps[i] = RoundStep::Prefill { chunk_cycles: give };
+            budget -= give.min(residents[i].prefill_remaining_cycles);
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefilling(arrival: u64, remaining: u64) -> ResidentView {
+        ResidentView {
+            arrival_cycles: arrival,
+            prefilled: false,
+            prefill_remaining_cycles: remaining,
+            steps_done: 0,
+            gen_steps: 16,
+            next_decode_cycles: 0,
+        }
+    }
+
+    fn decoding(arrival: u64) -> ResidentView {
+        ResidentView {
+            arrival_cycles: arrival,
+            prefilled: true,
+            prefill_remaining_cycles: 0,
+            steps_done: 3,
+            gen_steps: 16,
+            next_decode_cycles: 200_000,
+        }
+    }
+
+    #[test]
+    fn iteration_advances_everyone() {
+        let mut b = IterationBatch {
+            prefill_chunk_cycles: 1000,
+        };
+        let plan = b.plan(&[prefilling(0, 5000), decoding(1), prefilling(2, 100)]);
+        assert_eq!(
+            plan,
+            vec![
+                RoundStep::Prefill { chunk_cycles: 1000 },
+                RoundStep::Decode,
+                RoundStep::Prefill { chunk_cycles: 1000 },
+            ]
+        );
+    }
+
+    #[test]
+    fn decode_prioritized_caps_total_prefill_work() {
+        let mut b = DecodePrioritizedBatch {
+            prefill_chunk_cycles: 1000,
+            prefill_budget_cycles: 1500,
+        };
+        // Three prefills behind one decode job: only 1500 cycles of
+        // prefill run this round (1000 to the oldest, 500 to the next),
+        // where the uniform iteration would run 3000.
+        let plan = b.plan(&[
+            prefilling(10, 5000),
+            decoding(0),
+            prefilling(5, 5000),
+            prefilling(20, 5000),
+        ]);
+        assert_eq!(plan[1], RoundStep::Decode);
+        assert_eq!(plan[2], RoundStep::Prefill { chunk_cycles: 1000 }); // oldest
+        assert_eq!(plan[0], RoundStep::Prefill { chunk_cycles: 500 });
+        assert_eq!(plan[3], RoundStep::Idle);
+    }
+
+    #[test]
+    fn decode_prioritized_without_decode_jobs_is_uniform() {
+        let mut b = DecodePrioritizedBatch {
+            prefill_chunk_cycles: 1000,
+            prefill_budget_cycles: 1,
+        };
+        let plan = b.plan(&[prefilling(0, 5000), prefilling(1, 5000)]);
+        assert!(plan
+            .iter()
+            .all(|s| *s == RoundStep::Prefill { chunk_cycles: 1000 }));
+    }
+
+    #[test]
+    fn short_prefills_do_not_burn_the_budget() {
+        let mut b = DecodePrioritizedBatch {
+            prefill_chunk_cycles: 1000,
+            prefill_budget_cycles: 1000,
+        };
+        // The oldest prefill only needs 100 cycles; the next still gets
+        // the remaining 900.
+        let plan = b.plan(&[decoding(0), prefilling(1, 100), prefilling(2, 5000)]);
+        assert_eq!(plan[1], RoundStep::Prefill { chunk_cycles: 1000 });
+        assert_eq!(plan[2], RoundStep::Prefill { chunk_cycles: 900 });
+    }
+}

@@ -1,10 +1,13 @@
 //! One simulated SpAtten accelerator inside the fleet.
 //!
-//! A chip executes *rounds*. Under run-to-completion policies a round is an
-//! entire job. Under continuous batching a round is one iteration: every
-//! resident job advances by one unit (its prefill pass if it hasn't run
-//! yet, otherwise one decode token), and the iteration's length is set by
-//! HBM-bandwidth-aware co-scheduling:
+//! A chip executes *rounds*. What a round contains is the
+//! [`BatchPolicy`]'s decision: under run-to-completion policies a round
+//! is an entire job; under iteration-level policies a round is one
+//! iteration in which each resident job executes the [`RoundStep`] the
+//! policy planned for it — a chunk of its prefill pass, one decode token,
+//! or nothing (decode-prioritized budgets may idle a prefill for a
+//! round). The iteration's length is set by HBM-bandwidth-aware
+//! co-scheduling:
 //!
 //! ```text
 //! iteration_cycles = max( Σ compute_i , Σ dram_i ) + round_overhead
@@ -19,6 +22,7 @@
 //! matmul effect that makes batched decode profitable at all. Per-request
 //! KV traffic stays private and still serializes across the batch.
 
+use crate::batch::{BatchPolicy, ResidentView, RoundStep};
 use crate::cost::FleetCost;
 use crate::request::{Completion, Job};
 use spatten_core::StepCost;
@@ -116,37 +120,70 @@ impl Chip {
         });
     }
 
-    /// Starts the next round at time `now`. Returns the round length in
-    /// cycles, or `None` if the chip has no resident jobs. Completions are
-    /// buffered and must be drained with [`Chip::end_round`] when the round
-    /// ends.
+    /// Starts the next round at time `now`, executing whatever `batch`
+    /// plans for the resident set. Returns the round length in cycles, or
+    /// `None` if the chip has no resident jobs. Completions are buffered
+    /// and must be drained with [`Chip::end_round`] when the round ends.
     ///
     /// # Panics
     ///
-    /// Panics if a round is already in flight.
-    pub fn start_round<C: FleetCost>(
+    /// Panics if a round is already in flight, if the plan's length
+    /// doesn't match the resident set, or if the plan advances no job (a
+    /// zero-length round would stall the event loop).
+    pub fn start_round<C: FleetCost, B: BatchPolicy>(
         &mut self,
         cost: &mut C,
-        batching: bool,
-        prefill_chunk_cycles: u64,
+        batch: &mut B,
         now: u64,
     ) -> Option<u64> {
         assert!(!self.in_flight, "round already in flight");
         if self.active.is_empty() {
             return None;
         }
+        // Let batch-aware oracles (pipeline bubble amortization) see the
+        // live depth before any of this round's steps are priced.
+        cost.note_batch(self.id, self.active.len());
         // Capture the batch size before the round body retires finished
         // jobs, or occupancy would undercount every completing round.
-        let batch = self.active.len();
-        let cycles = if batching {
-            self.start_iteration(cost, prefill_chunk_cycles, now)
-        } else {
+        let batch_size = self.active.len();
+        let id = self.id;
+        let views: Vec<ResidentView> = self
+            .active
+            .iter()
+            .map(|a| {
+                let w = &a.job.workload;
+                let (prefill_remaining, next_decode) = if a.prefilled {
+                    let step = cost.decode_on(id, w, w.seq_len + a.steps_done + 1);
+                    (0, step.serial_cycles)
+                } else {
+                    let total = cost.prefill_on(id, w).serial_cycles;
+                    (total - a.prefill_progress, 0)
+                };
+                ResidentView {
+                    arrival_cycles: a.job.arrival_cycles,
+                    prefilled: a.prefilled,
+                    prefill_remaining_cycles: prefill_remaining,
+                    steps_done: a.steps_done,
+                    gen_steps: w.gen_steps,
+                    next_decode_cycles: next_decode,
+                }
+            })
+            .collect();
+        let plan = batch.plan(&views);
+        assert_eq!(
+            plan.len(),
+            views.len(),
+            "batch plan must cover every resident"
+        );
+        let cycles = if plan == [RoundStep::WholeJob] {
             self.start_whole_job(cost, now)
+        } else {
+            self.start_iteration(cost, &plan, now)
         };
         self.in_flight = true;
         self.busy_cycles += cycles;
         self.rounds += 1;
-        self.occupancy_area += batch as u128 * u128::from(cycles);
+        self.occupancy_area += batch_size as u128 * u128::from(cycles);
         Some(cycles)
     }
 
@@ -176,49 +213,57 @@ impl Chip {
         total
     }
 
-    /// One continuous-batching iteration: each resident job advances by one
-    /// quantum — a *chunk* of its prefill pass (at most
-    /// `prefill_chunk_cycles` of serial work, so decode tokens never stall
-    /// behind a whole multi-millisecond prefill) or one decode token.
-    /// Compute and DRAM each serialize across the batch but overlap one
-    /// another, and weight streams are fetched once per distinct model.
-    fn start_iteration<C: FleetCost>(
-        &mut self,
-        cost: &mut C,
-        prefill_chunk_cycles: u64,
-        now: u64,
-    ) -> u64 {
+    /// One iteration: each resident job executes its planned
+    /// [`RoundStep`]. Compute and DRAM each serialize across the batch
+    /// but overlap one another, and weight streams are fetched once per
+    /// distinct model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains [`RoundStep::WholeJob`] (multi-job
+    /// rounds interleave; whole jobs are a solitary-resident plan) or
+    /// advances no job at all.
+    fn start_iteration<C: FleetCost>(&mut self, cost: &mut C, plan: &[RoundStep], now: u64) -> u64 {
         let mut compute = 0u64;
         let mut dram = 0u64;
         let mut overhead = 0u64;
+        let mut advanced = 0usize;
         // Weight traffic per distinct model: charged once (the max of the
         // group, since per-job weight costs within a model are identical).
         let mut shared_weights: HashMap<ModelConfig, u64> = HashMap::new();
         let mut done: Vec<usize> = Vec::new();
         let mut first_emitters: Vec<usize> = Vec::new();
         let id = self.id;
-        for (i, a) in self.active.iter_mut().enumerate() {
+        for (i, (a, directive)) in self.active.iter_mut().zip(plan).enumerate() {
             let w = &a.job.workload;
-            let step: StepCost = if !a.prefilled {
-                let total = cost.prefill_on(id, w);
-                let remaining = total.serial_cycles - a.prefill_progress;
-                let chunk = remaining.min(prefill_chunk_cycles.max(1));
-                a.prefill_progress += chunk;
-                if a.prefill_progress >= total.serial_cycles {
-                    a.prefilled = true;
+            let step: StepCost = match directive {
+                RoundStep::Idle => continue,
+                RoundStep::WholeJob => panic!("whole-job step inside a batched round"),
+                RoundStep::Prefill { chunk_cycles } => {
+                    assert!(!a.prefilled, "prefill step for a prefilled job");
+                    let total = cost.prefill_on(id, w);
+                    let remaining = total.serial_cycles - a.prefill_progress;
+                    let chunk = remaining.min((*chunk_cycles).max(1));
+                    a.prefill_progress += chunk;
+                    if a.prefill_progress >= total.serial_cycles {
+                        a.prefilled = true;
+                    }
+                    // The chunk is a proportional slice of the whole pass.
+                    let frac = chunk as f64 / total.serial_cycles.max(1) as f64;
+                    StepCost {
+                        compute_cycles: (total.compute_cycles as f64 * frac) as u64,
+                        dram_cycles: (total.dram_cycles as f64 * frac) as u64,
+                        weight_dram_cycles: (total.weight_dram_cycles as f64 * frac) as u64,
+                        serial_cycles: (total.serial_cycles as f64 * frac) as u64,
+                    }
                 }
-                // The chunk is a proportional slice of the whole pass.
-                let frac = chunk as f64 / total.serial_cycles.max(1) as f64;
-                StepCost {
-                    compute_cycles: (total.compute_cycles as f64 * frac) as u64,
-                    dram_cycles: (total.dram_cycles as f64 * frac) as u64,
-                    weight_dram_cycles: (total.weight_dram_cycles as f64 * frac) as u64,
-                    serial_cycles: (total.serial_cycles as f64 * frac) as u64,
+                RoundStep::Decode => {
+                    assert!(a.prefilled, "decode step for an unprefilled job");
+                    a.steps_done += 1;
+                    cost.decode_on(id, w, w.seq_len + a.steps_done)
                 }
-            } else {
-                a.steps_done += 1;
-                cost.decode_on(id, w, w.seq_len + a.steps_done)
             };
+            advanced += 1;
             compute += step.compute_cycles;
             dram += step.dram_cycles - step.weight_dram_cycles;
             let shared = shared_weights.entry(w.model).or_insert(0);
@@ -244,6 +289,7 @@ impl Chip {
                 done.push(i);
             }
         }
+        assert!(advanced > 0, "batch plan advanced no job");
         dram += shared_weights.values().sum::<u64>();
         let cycles = compute.max(dram) + overhead;
         let end = now + cycles;
@@ -271,6 +317,7 @@ impl Chip {
             start_cycles: a.start_cycles,
             finish_cycles: finish,
             first_token_cycles: a.first_token_cycles.unwrap_or(finish),
+            deadline_cycles: a.job.deadline_cycles,
             prefill_tokens: a.job.workload.seq_len,
             generated_tokens: generated,
         }

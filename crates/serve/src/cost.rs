@@ -170,6 +170,14 @@ pub trait FleetCost {
     /// The KV packing budget of `chip`.
     fn budget_on(&self, chip: usize) -> u64;
 
+    /// Hints the oracle at the live resident-batch size on `chip` before a
+    /// round is priced. The chip event loop calls this at every round
+    /// start; batch-aware oracles (pipeline bubble amortization in
+    /// `spatten-cluster`) fold the depth into subsequent step costs, while
+    /// single-chip models ignore it. The hint is sticky until the next
+    /// call for the same chip.
+    fn note_batch(&mut self, _chip: usize, _resident: usize) {}
+
     /// Serialized cycles of the whole job on `chip`: prefill plus every
     /// decode step. This is what a run-to-completion scheduler charges, and
     /// what shortest-job-first sorts by.

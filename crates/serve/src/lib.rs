@@ -16,18 +16,26 @@
 //!   shares cached costs across hardware. The [`FleetCost`] trait is the
 //!   chip-indexed interface the rest of the crate programs against —
 //!   `spatten-cluster` implements it for sharded multi-chip groups.
-//! * [`scheduler`] — pluggable policies: FIFO, shortest-job-first, and a
-//!   continuous-batching scheduler that packs jobs by KV-cache SRAM
-//!   footprint against `SpAttenConfig::kv_sram_bytes`.
+//! * [`scheduler`] — the **admission seam**: [`AdmissionPolicy`] decides
+//!   who enters a chip's running batch under the KV budget. Bundled:
+//!   FIFO, shortest-job-first, arrival-order continuous batching,
+//!   KV-footprint-aware reordering with an explicit starvation bound,
+//!   and SLO-aware early rejection.
+//! * [`batch`] — the **batching seam**: [`BatchPolicy`] decides how one
+//!   iteration's budget splits between chunked prefill and decode steps.
+//!   Bundled: run-to-completion, uniform iterations, and Sarathi-style
+//!   decode-prioritized token budgets.
 //! * [`chip`] — the per-chip event loop: queue wait, execution
 //!   serialization, and HBM-bandwidth-aware co-scheduling (one job's
 //!   compute overlaps another's KV/weight streaming; each resource
 //!   serializes within itself).
-//! * [`sim`] — the discrete-event fleet simulator driving open-loop
-//!   (Poisson) and closed-loop traces from `spatten_workloads::trace`.
-//! * [`metrics`] — throughput (req/s, tokens/s), utilization, and
-//!   p50/p95/p99 latency / queue-wait / time-to-first-token, with a JSON
-//!   report writer.
+//! * [`sim`] — the discrete-event fleet simulator, generic over
+//!   ([`FleetCost`], [`AdmissionPolicy`], [`BatchPolicy`]): every policy
+//!   runs through the one event loop. Drives open-loop (Poisson, MMPP,
+//!   diurnal) and closed-loop traces from `spatten_workloads::trace`.
+//! * [`metrics`] — throughput (req/s, tokens/s), goodput, utilization,
+//!   p50/p95/p99 latency / queue-wait / TTFT / time-between-tokens, and
+//!   per-class SLO accounting, with a JSON report writer.
 //!
 //! # Quick start
 //!
@@ -46,6 +54,7 @@
 //! println!("{}", report.to_json());
 //! ```
 
+pub mod batch;
 pub mod chip;
 pub mod cost;
 pub mod json;
@@ -54,8 +63,15 @@ pub mod request;
 pub mod scheduler;
 pub mod sim;
 
+pub use batch::{
+    BatchPolicy, DecodePrioritizedBatch, IterationBatch, ResidentView, RoundStep, RunToCompletion,
+};
 pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
-pub use metrics::{ChipStats, FleetReport, Percentiles};
-pub use request::{Completion, Job};
-pub use scheduler::{ChipCapacity, Policy, Scheduler};
-pub use sim::{simulate_fleet, simulate_fleet_with, FleetConfig};
+pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
+pub use request::{Completion, Job, Rejection};
+pub use scheduler::{
+    Admission, AdmissionPolicy, ArrivalOrderAdmission, ChipCapacity, FifoAdmission,
+    KvAwareAdmission, PendingQueue, Policy, QueuedJob, SchedKnobs, Scheduler, SjfAdmission,
+    SloAwareAdmission,
+};
+pub use sim::{simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig};

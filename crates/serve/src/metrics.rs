@@ -1,7 +1,8 @@
-//! Metrics aggregation: throughput, utilization, and latency percentiles.
+//! Metrics aggregation: throughput, utilization, latency percentiles,
+//! and per-class SLO accounting (goodput, violations, rejections).
 
 use crate::json::{array, JsonObject};
-use crate::request::Completion;
+use crate::request::{Completion, Rejection};
 use serde::{Deserialize, Serialize};
 
 /// Latency distribution summary in seconds.
@@ -75,6 +76,43 @@ pub struct ChipStats {
     pub max_kv_in_use: u64,
 }
 
+/// Per-request-class accounting: latency, decode cadence, and the SLO
+/// ledger (goodput = deadline-meeting completions per second; rejections
+/// are requests SLO-aware admission shed before they touched a chip).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Index into the trace spec's class list.
+    pub class: usize,
+    /// Requests of this class that completed.
+    pub completed: usize,
+    /// Requests shed by SLO-aware early rejection.
+    pub rejected: usize,
+    /// Completions that finished past their deadline.
+    pub violations: usize,
+    /// Deadline-meeting completions per second of simulated time (equals
+    /// the class's throughput when it carries no SLO).
+    pub goodput_rps: f64,
+    /// End-to-end latency distribution.
+    pub latency: Percentiles,
+    /// Time-between-tokens distribution (decode cadence; zeros for
+    /// discriminative classes).
+    pub tbt: Percentiles,
+}
+
+impl ClassStats {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("class", self.class as u64)
+            .u64("completed", self.completed as u64)
+            .u64("rejected", self.rejected as u64)
+            .u64("violations", self.violations as u64)
+            .f64("goodput_rps", self.goodput_rps)
+            .raw("latency", &self.latency.to_json())
+            .raw("tbt", &self.tbt.to_json())
+            .build()
+    }
+}
+
 /// Everything one fleet simulation produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -84,13 +122,18 @@ pub struct FleetReport {
     pub chips: usize,
     /// Core clock, GHz.
     pub clock_ghz: f64,
-    /// Requests completed (every trace request, unless the trace was
-    /// truncated).
+    /// Requests completed (every trace request not shed by admission).
     pub completed: usize,
+    /// Requests shed by SLO-aware early rejection (never ran).
+    pub rejected: usize,
+    /// Completions that finished past their deadline.
+    pub slo_violations: usize,
     /// Simulated makespan in cycles (last completion).
     pub makespan_cycles: u64,
     /// Completed requests per second of simulated time.
     pub throughput_rps: f64,
+    /// Deadline-meeting completions per second of simulated time.
+    pub goodput_rps: f64,
     /// Tokens (prefill + generated) per second of simulated time.
     pub tokens_per_sec: f64,
     /// Mean fraction of makespan chips spent busy.
@@ -101,22 +144,31 @@ pub struct FleetReport {
     pub queue_wait: Percentiles,
     /// Time-to-first-token distribution.
     pub ttft: Percentiles,
+    /// Time-between-tokens distribution over generative completions (the
+    /// decode-latency statistic decode-prioritized batching optimizes).
+    pub tbt: Percentiles,
     /// KV packing budget (bytes) the batcher filled against.
     pub kv_budget_bytes: u64,
+    /// Per-class accounting.
+    pub class_stats: Vec<ClassStats>,
     /// Per-chip stats.
     pub chip_stats: Vec<ChipStats>,
     /// The raw completion records.
     pub completions: Vec<Completion>,
+    /// The raw rejection records.
+    pub rejections: Vec<Rejection>,
 }
 
 impl FleetReport {
-    /// Builds the report from raw completions and chip accounting.
+    /// Builds the report from raw completions, rejections and chip
+    /// accounting.
     pub fn new(
         policy: &str,
         chips: usize,
         clock_ghz: f64,
         kv_budget_bytes: u64,
         completions: Vec<Completion>,
+        rejections: Vec<Rejection>,
         chip_stats: Vec<ChipStats>,
     ) -> Self {
         let makespan_cycles = completions
@@ -129,23 +181,35 @@ impl FleetReport {
         let latencies: Vec<u64> = completions.iter().map(Completion::latency_cycles).collect();
         let waits: Vec<u64> = completions.iter().map(Completion::wait_cycles).collect();
         let ttfts: Vec<u64> = completions.iter().map(Completion::ttft_cycles).collect();
+        let tbts: Vec<u64> = completions
+            .iter()
+            .filter_map(Completion::tbt_cycles)
+            .collect();
+        let in_slo = completions.iter().filter(|c| c.met_deadline()).count();
         let busy: u64 = chip_stats.iter().map(|c| c.busy_cycles).sum();
         let utilization = if makespan_cycles == 0 {
             0.0
         } else {
             busy as f64 / (makespan_cycles as f64 * chips as f64)
         };
+        let per_sec = |n: usize| {
+            if seconds > 0.0 {
+                n as f64 / seconds
+            } else {
+                0.0
+            }
+        };
+        let class_stats = Self::class_stats(&completions, &rejections, clock_ghz, seconds);
         Self {
             policy: policy.to_string(),
             chips,
             clock_ghz,
             completed: completions.len(),
+            rejected: rejections.len(),
+            slo_violations: completions.len() - in_slo,
             makespan_cycles,
-            throughput_rps: if seconds > 0.0 {
-                completions.len() as f64 / seconds
-            } else {
-                0.0
-            },
+            throughput_rps: per_sec(completions.len()),
+            goodput_rps: per_sec(in_slo),
             tokens_per_sec: if seconds > 0.0 {
                 total_tokens as f64 / seconds
             } else {
@@ -155,10 +219,50 @@ impl FleetReport {
             latency: Percentiles::from_cycles(&latencies, clock_ghz),
             queue_wait: Percentiles::from_cycles(&waits, clock_ghz),
             ttft: Percentiles::from_cycles(&ttfts, clock_ghz),
+            tbt: Percentiles::from_cycles(&tbts, clock_ghz),
             kv_budget_bytes,
+            class_stats,
             chip_stats,
             completions,
+            rejections,
         }
+    }
+
+    fn class_stats(
+        completions: &[Completion],
+        rejections: &[Rejection],
+        clock_ghz: f64,
+        seconds: f64,
+    ) -> Vec<ClassStats> {
+        let classes = completions
+            .iter()
+            .map(|c| c.class + 1)
+            .chain(rejections.iter().map(|r| r.class + 1))
+            .max()
+            .unwrap_or(0);
+        (0..classes)
+            .map(|class| {
+                let mine: Vec<&Completion> =
+                    completions.iter().filter(|c| c.class == class).collect();
+                let rejected = rejections.iter().filter(|r| r.class == class).count();
+                let in_slo = mine.iter().filter(|c| c.met_deadline()).count();
+                let latencies: Vec<u64> = mine.iter().map(|c| c.latency_cycles()).collect();
+                let tbts: Vec<u64> = mine.iter().filter_map(|c| c.tbt_cycles()).collect();
+                ClassStats {
+                    class,
+                    completed: mine.len(),
+                    rejected,
+                    violations: mine.len() - in_slo,
+                    goodput_rps: if seconds > 0.0 {
+                        in_slo as f64 / seconds
+                    } else {
+                        0.0
+                    },
+                    latency: Percentiles::from_cycles(&latencies, clock_ghz),
+                    tbt: Percentiles::from_cycles(&tbts, clock_ghz),
+                }
+            })
+            .collect()
     }
 
     /// Mean batch occupancy across chips, weighted by busy time.
@@ -185,17 +289,21 @@ impl FleetReport {
                 .u64("max_kv_in_use_bytes", c.max_kv_in_use)
                 .build()
         }));
+        let classes = array(self.class_stats.iter().map(ClassStats::to_json));
         JsonObject::new()
             .str("policy", &self.policy)
             .u64("chips", self.chips as u64)
             .f64("clock_ghz", self.clock_ghz)
             .u64("completed", self.completed as u64)
+            .u64("rejected", self.rejected as u64)
+            .u64("slo_violations", self.slo_violations as u64)
             .u64("makespan_cycles", self.makespan_cycles)
             .f64(
                 "makespan_s",
                 self.makespan_cycles as f64 / (self.clock_ghz * 1e9),
             )
             .f64("throughput_rps", self.throughput_rps)
+            .f64("goodput_rps", self.goodput_rps)
             .f64("tokens_per_sec", self.tokens_per_sec)
             .f64("utilization", self.utilization)
             .f64("mean_batch_occupancy", self.mean_occupancy())
@@ -203,6 +311,8 @@ impl FleetReport {
             .raw("latency", &self.latency.to_json())
             .raw("queue_wait", &self.queue_wait.to_json())
             .raw("ttft", &self.ttft.to_json())
+            .raw("tbt", &self.tbt.to_json())
+            .raw("per_class", &classes)
             .raw("per_chip", &chips)
             .build()
     }
@@ -235,5 +345,57 @@ mod tests {
         let p = Percentiles::from_cycles(&[1_000_000_000], 1.0);
         assert!((p.p50 - 1.0).abs() < 1e-12);
         assert!((p.p99 - 1.0).abs() < 1e-12);
+    }
+
+    fn completion(
+        class: usize,
+        finish: u64,
+        deadline: Option<u64>,
+        generated: usize,
+    ) -> Completion {
+        Completion {
+            id: finish,
+            class,
+            client: None,
+            chip: 0,
+            arrival_cycles: 0,
+            start_cycles: 10,
+            finish_cycles: finish,
+            first_token_cycles: finish.min(1000),
+            deadline_cycles: deadline,
+            prefill_tokens: 64,
+            generated_tokens: generated,
+        }
+    }
+
+    #[test]
+    fn slo_ledger_counts_violations_goodput_and_rejections() {
+        let completions = vec![
+            completion(0, 1_000_000, Some(2_000_000), 0), // met
+            completion(0, 3_000_000, Some(2_000_000), 0), // violated
+            completion(1, 2_000_000, None, 10),           // best-effort
+        ];
+        let rejections = vec![Rejection {
+            id: 99,
+            class: 0,
+            client: None,
+            arrival_cycles: 0,
+            reject_cycles: 500,
+            deadline_cycles: Some(100),
+        }];
+        let r = FleetReport::new("test", 1, 1.0, 0, completions, rejections, vec![]);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.slo_violations, 1);
+        assert!(r.goodput_rps < r.throughput_rps);
+        assert_eq!(r.class_stats.len(), 2);
+        assert_eq!(r.class_stats[0].completed, 2);
+        assert_eq!(r.class_stats[0].rejected, 1);
+        assert_eq!(r.class_stats[0].violations, 1);
+        assert_eq!(r.class_stats[1].violations, 0);
+        // Only the generative class has a decode cadence.
+        assert_eq!(r.class_stats[0].tbt.p99, 0.0);
+        assert!(r.class_stats[1].tbt.p99 > 0.0);
+        assert!(r.tbt.p99 > 0.0);
     }
 }

@@ -1,45 +1,84 @@
-//! Pluggable admission policies.
+//! Pluggable admission policies: who enters a chip's running batch.
 //!
-//! A [`Scheduler`] owns the fleet-wide pending queue. Chips ask it for work
-//! at every round boundary ([`Scheduler::take`]); what it hands back
-//! depends on the policy:
+//! Scheduling is split into two orthogonal policy seams the event loop is
+//! generic over:
 //!
-//! * [`Policy::Fifo`] — strict arrival order, one job per idle chip,
+//! * **Admission** ([`AdmissionPolicy`], this module) — which queued jobs
+//!   join a chip's resident set at a round boundary, under the chip's KV
+//!   budget and batch-slot capacity.
+//! * **Batching** ([`crate::batch::BatchPolicy`]) — how the admitted
+//!   residents share one iteration: whole jobs, uniform chunked-prefill +
+//!   decode interleaving, or decode-prioritized token budgets.
+//!
+//! The bundled policies:
+//!
+//! * [`FifoAdmission`] — strict arrival order, one job per idle chip,
 //!   run-to-completion. The baseline every serving system starts from, and
 //!   the one whose p99 collapses first: a long generation job at the head
 //!   of the queue blocks everything behind it for its entire lifetime.
-//! * [`Policy::Sjf`] — shortest predicted job first (by
-//!   [`CostModel::job_serial_cycles`]), run-to-completion. Fixes mean
-//!   latency, still head-of-line blocks while a long job *executes*, and
-//!   starves long jobs under pressure.
-//! * [`Policy::ContinuousBatching`] — iteration-level scheduling: jobs are
-//!   admitted into a chip's active batch whenever their KV-cache SRAM
-//!   footprint fits ([`CostModel::kv_footprint_bytes`] against
-//!   [`CostModel::kv_budget`]), and the chip interleaves one decode step of
-//!   every resident job per iteration. Arrivals no longer wait for whole
-//!   jobs — only for the current iteration — which is where the p99 win
-//!   comes from. Admission stays in arrival order (no queue jumping), so
-//!   the no-starvation property of FIFO is preserved.
+//! * [`SjfAdmission`] — shortest predicted job first (by
+//!   [`FleetCost::job_serial_on`]), run-to-completion. Fixes mean latency,
+//!   still head-of-line blocks while a long job *executes*, and starves
+//!   long jobs under pressure.
+//! * [`ArrivalOrderAdmission`] — iteration-level admission in strict
+//!   arrival order, bounded by KV footprint: the continuous-batching
+//!   front-end. Stops at the first job that doesn't fit, so FIFO's
+//!   no-starvation property is preserved.
+//! * [`KvAwareAdmission`] — KV-footprint-aware reordering: scans past
+//!   jobs that don't fit the remaining budget and admits later ones that
+//!   do, packing the SRAM tighter under mixed footprints. Every overtake
+//!   increments the skipped job's counter; a job skipped `max_skip` times
+//!   becomes a barrier no one may pass, so starvation is bounded by
+//!   construction.
+//! * [`SloAwareAdmission`] — arrival-order batching plus early rejection:
+//!   a queued job whose deadline can no longer be met *even if it started
+//!   immediately* is shed before it consumes any chip cycles, protecting
+//!   goodput under overload instead of letting every request straggle.
+//!
+//! The [`Policy`] enum names the six canonical (admission, batching)
+//! pairings and builds boxed policy objects for runtime sweeps; the
+//! simulator itself ([`crate::sim::simulate_fleet_with`]) is generic and
+//! accepts any trait implementation.
 
+use crate::batch::{BatchPolicy, DecodePrioritizedBatch, IterationBatch, RunToCompletion};
 use crate::cost::FleetCost;
 use crate::request::Job;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 
-/// The scheduling policy of a fleet.
+/// The six canonical scheduling policies, as (admission, batching) pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Policy {
     /// First-in first-out, run-to-completion.
     Fifo,
     /// Shortest predicted job first, run-to-completion.
     Sjf,
-    /// Continuous batching packed by KV-cache SRAM footprint.
+    /// Continuous batching packed by KV-cache SRAM footprint, uniform
+    /// chunked-prefill + decode iterations.
     ContinuousBatching,
+    /// Continuous batching with Sarathi-style decode-prioritized
+    /// iteration budgets: decode steps are reserved first, leftover
+    /// budget is filled with chunked prefill.
+    DecodePrioritized,
+    /// KV-footprint-aware queue reordering with a per-job starvation
+    /// bound ([`SchedKnobs::max_skip`]).
+    KvAware,
+    /// Continuous batching plus SLO-aware early rejection of jobs whose
+    /// deadline is already unmeetable.
+    SloAware,
 }
 
 impl Policy {
     /// All policies, in the order the bench report lists them.
-    pub const ALL: [Policy; 3] = [Policy::Fifo, Policy::Sjf, Policy::ContinuousBatching];
+    pub const ALL: [Policy; 6] = [
+        Policy::Fifo,
+        Policy::Sjf,
+        Policy::ContinuousBatching,
+        Policy::DecodePrioritized,
+        Policy::KvAware,
+        Policy::SloAware,
+    ];
 
     /// Stable lowercase name for reports.
     pub fn name(&self) -> &'static str {
@@ -47,17 +86,73 @@ impl Policy {
             Policy::Fifo => "fifo",
             Policy::Sjf => "sjf",
             Policy::ContinuousBatching => "continuous-batching",
+            Policy::DecodePrioritized => "decode-prioritized",
+            Policy::KvAware => "kv-aware",
+            Policy::SloAware => "slo-aware",
         }
     }
 
-    /// Whether chips under this policy interleave jobs at iteration
-    /// granularity (vs running each admitted job to completion).
-    pub fn is_batching(&self) -> bool {
-        matches!(self, Policy::ContinuousBatching)
+    /// Builds this policy's admission half.
+    pub fn admission(&self, knobs: &SchedKnobs) -> Box<dyn AdmissionPolicy> {
+        match self {
+            Policy::Fifo => Box::new(FifoAdmission),
+            Policy::Sjf => Box::new(SjfAdmission),
+            Policy::ContinuousBatching | Policy::DecodePrioritized => {
+                Box::new(ArrivalOrderAdmission)
+            }
+            Policy::KvAware => Box::new(KvAwareAdmission {
+                max_skip: knobs.max_skip,
+            }),
+            Policy::SloAware => Box::new(SloAwareAdmission::default()),
+        }
+    }
+
+    /// Builds this policy's batching half.
+    pub fn batch(&self, knobs: &SchedKnobs) -> Box<dyn BatchPolicy> {
+        match self {
+            Policy::Fifo | Policy::Sjf => Box::new(RunToCompletion),
+            Policy::ContinuousBatching | Policy::KvAware | Policy::SloAware => {
+                Box::new(IterationBatch {
+                    prefill_chunk_cycles: knobs.prefill_chunk_cycles,
+                })
+            }
+            Policy::DecodePrioritized => Box::new(DecodePrioritizedBatch {
+                prefill_chunk_cycles: knobs.prefill_chunk_cycles,
+                prefill_budget_cycles: knobs.prefill_budget_cycles,
+            }),
+        }
     }
 }
 
-/// A chip's admission capacity, passed to [`Scheduler::take`].
+/// Tuning knobs shared by the canonical policies. Defaults match the
+/// Table-I serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedKnobs {
+    /// Chunked-prefill quantum: the most serial prefill work one job may
+    /// contribute per iteration (≈ one GPT-2-Small end-to-end decode step
+    /// at 1 GHz), so resident decode jobs never stall behind whole
+    /// multi-millisecond prefill passes.
+    pub prefill_chunk_cycles: u64,
+    /// Decode-prioritized iteration budget for *total* prefill work per
+    /// iteration (shared across all resident prefills, oldest first),
+    /// once every resident decode job has its step reserved.
+    pub prefill_budget_cycles: u64,
+    /// KV-aware reordering starvation bound: the most times one queued
+    /// job may be overtaken before it becomes an admission barrier.
+    pub max_skip: u32,
+}
+
+impl Default for SchedKnobs {
+    fn default() -> Self {
+        Self {
+            prefill_chunk_cycles: 250_000,
+            prefill_budget_cycles: 250_000,
+            max_skip: 4,
+        }
+    }
+}
+
+/// A chip's admission capacity, passed to [`AdmissionPolicy::admit`].
 #[derive(Debug, Clone, Copy)]
 pub struct ChipCapacity {
     /// Jobs currently resident on the chip.
@@ -68,27 +163,339 @@ pub struct ChipCapacity {
     pub slots: usize,
 }
 
-/// The fleet-wide pending queue plus the policy that drains it.
+/// One queued job plus its reordering bookkeeping.
 #[derive(Debug)]
-pub struct Scheduler {
-    policy: Policy,
-    queue: VecDeque<Job>,
+pub struct QueuedJob {
+    /// The pending job.
+    pub job: Job,
+    /// Times a later arrival has been admitted past this job.
+    pub skips: u32,
+}
+
+/// The fleet-wide pending queue, in arrival order. Admission policies
+/// inspect it, remove the jobs they admit or reject, and record overtakes
+/// on the jobs they skip.
+#[derive(Debug, Default)]
+pub struct PendingQueue {
+    jobs: VecDeque<QueuedJob>,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an arrival (queue order is arrival order).
+    pub fn push(&mut self, job: Job) {
+        self.jobs.push_back(QueuedJob { job, skips: 0 });
+    }
+
+    /// Jobs waiting.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The queued job at position `i` (0 = oldest).
+    pub fn get(&self, i: usize) -> &QueuedJob {
+        &self.jobs[i]
+    }
+
+    /// Removes and returns the job at position `i`.
+    pub fn remove(&mut self, i: usize) -> Job {
+        self.jobs.remove(i).expect("queue index in range").job
+    }
+
+    /// Records one overtake of the job at position `i`.
+    pub fn add_skip(&mut self, i: usize) {
+        self.jobs[i].skips += 1;
+    }
+
+    /// Iterates the queue in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.jobs.iter()
+    }
+}
+
+/// What one admission call decided: jobs the chip should admit now, and
+/// jobs shed from the queue (SLO-aware early rejection).
+#[derive(Debug, Default)]
+pub struct Admission {
+    /// Jobs to admit into the calling chip's resident set.
+    pub jobs: Vec<Job>,
+    /// Jobs dropped from the queue without ever touching a chip.
+    pub rejected: Vec<Job>,
+}
+
+/// The admission seam: which pending jobs enter the calling chip's
+/// resident set at a round boundary. Implementations see the whole
+/// queue, the chip's capacity, and the fleet cost oracle (priced against
+/// the *calling* chip, so heterogeneous fleets pack each chip by its own
+/// budget).
+pub trait AdmissionPolicy: fmt::Debug {
+    /// Stable lowercase name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides admissions (and rejections) for logical executor `chip`
+    /// with capacity `cap` at time `now`.
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        now: u64,
+    ) -> Admission;
+}
+
+impl AdmissionPolicy for Box<dyn AdmissionPolicy> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        now: u64,
+    ) -> Admission {
+        self.as_mut().admit(queue, cost, chip, cap, now)
+    }
+}
+
+/// Strict arrival order, one job per idle chip, run-to-completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoAdmission;
+
+impl AdmissionPolicy for FifoAdmission {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        _cost: &mut dyn FleetCost,
+        _chip: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> Admission {
+        let mut out = Admission::default();
+        if cap.active == 0 && !queue.is_empty() {
+            out.jobs.push(queue.remove(0));
+        }
+        out
+    }
+}
+
+/// Shortest predicted job first, run-to-completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SjfAdmission;
+
+impl AdmissionPolicy for SjfAdmission {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> Admission {
+        let mut out = Admission::default();
+        if cap.active == 0 && !queue.is_empty() {
+            let best = (0..queue.len())
+                .min_by_key(|&i| (cost.job_serial_on(chip, &queue.get(i).job.workload), i))
+                .expect("non-empty queue");
+            out.jobs.push(queue.remove(best));
+        }
+        out
+    }
+}
+
+/// Iteration-level admission in strict arrival order, bounded by KV
+/// footprint — the continuous-batching front-end. Stops at the first job
+/// that doesn't fit: skipping ahead would pack tighter but reintroduces
+/// starvation, and the batcher's fairness guarantee matters more than the
+/// last few SRAM bytes (that trade is [`KvAwareAdmission`]'s, with an
+/// explicit bound).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArrivalOrderAdmission;
+
+impl AdmissionPolicy for ArrivalOrderAdmission {
+    fn name(&self) -> &'static str {
+        "continuous-batching"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> Admission {
+        let mut out = Admission::default();
+        let mut kv_free = cap.kv_free;
+        let mut slots = cap.slots;
+        while slots > 0 && !queue.is_empty() {
+            let footprint = cost.footprint_on(chip, &queue.get(0).job.workload);
+            if footprint > kv_free {
+                break;
+            }
+            kv_free -= footprint;
+            slots -= 1;
+            out.jobs.push(queue.remove(0));
+        }
+        out
+    }
+}
+
+/// KV-footprint-aware reordering with an explicit starvation bound: the
+/// scan admits any queued job that fits the remaining budget, jumping
+/// over jobs that don't. Each jump increments the skipped job's counter;
+/// once a job has been overtaken `max_skip` times it becomes a barrier —
+/// nothing behind it is admitted until it fits — so no request waits for
+/// more than `max_skip` queue-jumpers, ever.
+#[derive(Debug, Clone, Copy)]
+pub struct KvAwareAdmission {
+    /// The most times one job may be overtaken.
+    pub max_skip: u32,
+}
+
+impl AdmissionPolicy for KvAwareAdmission {
+    fn name(&self) -> &'static str {
+        "kv-aware"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> Admission {
+        let mut out = Admission::default();
+        let mut kv_free = cap.kv_free;
+        let mut slots = cap.slots;
+        // Queue positions scanned past because they didn't fit. They keep
+        // their positions as later jobs are removed, because every removal
+        // happens at a higher index.
+        let mut passed: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while slots > 0 && i < queue.len() {
+            let q = queue.get(i);
+            let footprint = cost.footprint_on(chip, &q.job.workload);
+            if footprint > kv_free {
+                if q.skips >= self.max_skip {
+                    break; // starvation barrier: nobody may pass this job
+                }
+                passed.push(i);
+                i += 1;
+                continue;
+            }
+            // Admitting past a job that has exhausted its skip allowance
+            // would break the bound — stop instead.
+            if passed.iter().any(|&p| queue.get(p).skips >= self.max_skip) {
+                break;
+            }
+            for &p in &passed {
+                queue.add_skip(p);
+            }
+            kv_free -= footprint;
+            slots -= 1;
+            out.jobs.push(queue.remove(i));
+        }
+        out
+    }
+}
+
+/// Arrival-order batching plus SLO-aware early rejection: a queued job
+/// is shed only when its deadline can no longer be met even by starting
+/// *immediately* on the most favorable chip the fleet has shown this
+/// policy (`now + serial > deadline` on every chip seen) — a guaranteed
+/// loser, not merely a bad fit for the chip that happens to be asking.
+/// Rejected work never consumes chip cycles, so the capacity it would
+/// have wasted on a certain violation serves requests that can still
+/// win.
+#[derive(Debug, Clone, Default)]
+pub struct SloAwareAdmission {
+    /// Every chip index whose admission this policy has handled. All
+    /// chips are polled on each arrival, so after the first event this
+    /// covers the fleet; until a chip has introduced itself its speed is
+    /// unknown and cannot condemn a job.
+    chips_seen: Vec<usize>,
+}
+
+impl AdmissionPolicy for SloAwareAdmission {
+    fn name(&self) -> &'static str {
+        "slo-aware"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        now: u64,
+    ) -> Admission {
+        if !self.chips_seen.contains(&chip) {
+            self.chips_seen.push(chip);
+        }
+        let mut out = Admission::default();
+        // Shed hopeless jobs anywhere in the queue first: hopeless means
+        // no known chip could finish the job by its deadline even if it
+        // started this instant (heterogeneous fleets: a job too slow for
+        // an eighth-scale chip may still win on a full one).
+        let mut i = 0;
+        while i < queue.len() {
+            let job = &queue.get(i).job;
+            let hopeless = job.deadline_cycles.is_some_and(|d| {
+                self.chips_seen
+                    .iter()
+                    .all(|&c| now + cost.job_serial_on(c, &job.workload) > d)
+            });
+            if hopeless {
+                out.rejected.push(queue.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        // Then admit exactly like the arrival-order batcher.
+        let batched = ArrivalOrderAdmission.admit(queue, cost, chip, cap, now);
+        out.jobs = batched.jobs;
+        out
+    }
+}
+
+/// The fleet-wide pending queue plus the admission policy that drains it.
+#[derive(Debug)]
+pub struct Scheduler<A: AdmissionPolicy> {
+    policy: A,
+    queue: PendingQueue,
     admitted: u64,
 }
 
-impl Scheduler {
-    /// An empty scheduler for `policy`.
-    pub fn new(policy: Policy) -> Self {
+impl<A: AdmissionPolicy> Scheduler<A> {
+    /// An empty scheduler driven by `policy`.
+    pub fn new(policy: A) -> Self {
         Self {
             policy,
-            queue: VecDeque::new(),
+            queue: PendingQueue::new(),
             admitted: 0,
         }
-    }
-
-    /// The policy.
-    pub fn policy(&self) -> Policy {
-        self.policy
     }
 
     /// Jobs waiting for a chip.
@@ -103,62 +510,22 @@ impl Scheduler {
 
     /// Enqueues an arrival.
     pub fn on_arrival(&mut self, job: Job) {
-        self.queue.push_back(job);
+        self.queue.push(job);
     }
 
-    /// Hands the calling chip (logical executor `chip`) the jobs it should
-    /// admit right now. The returned jobs are removed from the queue; an
-    /// empty vec means the chip stays as it is. Costs and KV footprints
-    /// are priced against the *calling* chip's configuration, so a
-    /// heterogeneous fleet packs each chip by its own budget.
-    pub fn take<C: FleetCost>(&mut self, cost: &mut C, chip: usize, cap: ChipCapacity) -> Vec<Job> {
-        let picked = match self.policy {
-            Policy::Fifo => {
-                if cap.active == 0 {
-                    self.queue.pop_front().into_iter().collect()
-                } else {
-                    Vec::new()
-                }
-            }
-            Policy::Sjf => {
-                if cap.active == 0 && !self.queue.is_empty() {
-                    let best = self
-                        .queue
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(i, j)| (cost.job_serial_on(chip, &j.workload), *i))
-                        .map(|(i, _)| i)
-                        .expect("non-empty queue");
-                    self.queue.remove(best).into_iter().collect()
-                } else {
-                    Vec::new()
-                }
-            }
-            Policy::ContinuousBatching => {
-                let mut out = Vec::new();
-                let mut kv_free = cap.kv_free;
-                let mut slots = cap.slots;
-                // Strict arrival order: stop at the first job that doesn't
-                // fit. Skipping ahead would pack tighter but reintroduces
-                // starvation, and the batcher's fairness guarantee matters
-                // more than the last few SRAM bytes.
-                while slots > 0 {
-                    let Some(front) = self.queue.front() else {
-                        break;
-                    };
-                    let footprint = cost.footprint_on(chip, &front.workload);
-                    if footprint > kv_free {
-                        break;
-                    }
-                    kv_free -= footprint;
-                    slots -= 1;
-                    out.push(self.queue.pop_front().expect("front exists"));
-                }
-                out
-            }
-        };
-        self.admitted += picked.len() as u64;
-        picked
+    /// Asks the policy what the calling chip should admit right now.
+    /// Admitted and rejected jobs are removed from the queue; an empty
+    /// decision means the chip stays as it is.
+    pub fn take<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        chip: usize,
+        cap: ChipCapacity,
+        now: u64,
+    ) -> Admission {
+        let decision = self.policy.admit(&mut self.queue, cost, chip, cap, now);
+        self.admitted += decision.jobs.len() as u64;
+        decision
     }
 }
 
@@ -178,6 +545,7 @@ mod tests {
             class: 1,
             client: None,
             arrival_cycles: id * 10,
+            deadline_cycles: None,
             workload,
         }
     }
@@ -186,49 +554,47 @@ mod tests {
         CostModel::end_to_end(SpAttenConfig::default(), 8)
     }
 
+    fn idle_cap(slots: usize) -> ChipCapacity {
+        ChipCapacity {
+            active: 0,
+            kv_free: u64::MAX,
+            slots,
+        }
+    }
+
     #[test]
     fn fifo_hands_out_one_job_in_arrival_order() {
-        let mut s = Scheduler::new(Policy::Fifo);
+        let mut s = Scheduler::new(FifoAdmission);
         let mut c = cost();
         for i in 0..3 {
             s.on_arrival(job(i, 64, 4));
         }
-        let cap = ChipCapacity {
-            active: 0,
-            kv_free: u64::MAX,
-            slots: 8,
-        };
-        let got = s.take(&mut c, 0, cap);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].id, 0);
+        let got = s.take(&mut c, 0, idle_cap(8), 0);
+        assert_eq!(got.jobs.len(), 1);
+        assert_eq!(got.jobs[0].id, 0);
         // A busy chip gets nothing.
         let busy = ChipCapacity {
             active: 1,
             kv_free: u64::MAX,
             slots: 7,
         };
-        assert!(s.take(&mut c, 0, busy).is_empty());
+        assert!(s.take(&mut c, 0, busy, 0).jobs.is_empty());
         assert_eq!(s.pending(), 2);
     }
 
     #[test]
     fn sjf_prefers_the_short_job() {
-        let mut s = Scheduler::new(Policy::Sjf);
+        let mut s = Scheduler::new(SjfAdmission);
         let mut c = cost();
         s.on_arrival(job(0, 512, 48)); // long
         s.on_arrival(job(1, 32, 2)); // short
-        let cap = ChipCapacity {
-            active: 0,
-            kv_free: u64::MAX,
-            slots: 8,
-        };
-        let got = s.take(&mut c, 0, cap);
-        assert_eq!(got[0].id, 1);
+        let got = s.take(&mut c, 0, idle_cap(8), 0);
+        assert_eq!(got.jobs[0].id, 1);
     }
 
     #[test]
     fn batcher_fills_until_kv_budget() {
-        let mut s = Scheduler::new(Policy::ContinuousBatching);
+        let mut s = Scheduler::new(ArrivalOrderAdmission);
         let mut c = cost();
         for i in 0..20 {
             s.on_arrival(job(i, 256, 16));
@@ -239,7 +605,7 @@ mod tests {
             kv_free: budget,
             slots: 16,
         };
-        let got = s.take(&mut c, 0, cap);
+        let got = s.take(&mut c, 0, cap, 0).jobs;
         assert!(!got.is_empty());
         assert!(got.len() < 20, "budget must bound the batch");
         let used: u64 = got.iter().map(|j| c.kv_footprint_bytes(&j.workload)).sum();
@@ -253,7 +619,7 @@ mod tests {
 
     #[test]
     fn batcher_respects_slots() {
-        let mut s = Scheduler::new(Policy::ContinuousBatching);
+        let mut s = Scheduler::new(ArrivalOrderAdmission);
         let mut c = cost();
         for i in 0..5 {
             s.on_arrival(job(i, 32, 2));
@@ -263,6 +629,86 @@ mod tests {
             kv_free: u64::MAX,
             slots: 2,
         };
-        assert_eq!(s.take(&mut c, 0, cap).len(), 2);
+        assert_eq!(s.take(&mut c, 0, cap, 0).jobs.len(), 2);
+    }
+
+    #[test]
+    fn kv_aware_jumps_a_stuck_head_and_packs_tighter() {
+        let mut c = cost();
+        // A fat job at the head that won't fit the remaining budget,
+        // followed by slim ones that will.
+        let fat = job(0, 1024, 120);
+        let slim = job(1, 48, 4);
+        let fat_fp = c.kv_footprint_bytes(&fat.workload);
+        let slim_fp = c.kv_footprint_bytes(&slim.workload);
+        assert!(fat_fp > slim_fp);
+        let cap = ChipCapacity {
+            active: 1,
+            kv_free: fat_fp - 1, // fat job doesn't fit, slim jobs do
+            slots: 4,
+        };
+        let mut plain = Scheduler::new(ArrivalOrderAdmission);
+        let mut aware = Scheduler::new(KvAwareAdmission { max_skip: 4 });
+        for s in [&mut plain.queue, &mut aware.queue] {
+            s.push(fat.clone());
+            for i in 1..4 {
+                s.push(job(i, 48, 4));
+            }
+        }
+        assert!(plain.take(&mut c, 0, cap, 0).jobs.is_empty());
+        let got = aware.take(&mut c, 0, cap, 0).jobs;
+        assert_eq!(got.len(), 3, "kv-aware admits the slim jobs");
+        assert!(got.iter().all(|j| j.id != 0));
+        assert_eq!(aware.queue.get(0).skips, 3, "three overtakes recorded");
+    }
+
+    #[test]
+    fn kv_aware_barrier_blocks_at_the_bound() {
+        let mut c = cost();
+        let fat = job(0, 1024, 120);
+        let fat_fp = c.kv_footprint_bytes(&fat.workload);
+        let cap = ChipCapacity {
+            active: 1,
+            kv_free: fat_fp - 1,
+            slots: 2,
+        };
+        let mut s = Scheduler::new(KvAwareAdmission { max_skip: 2 });
+        s.on_arrival(fat);
+        for i in 1..8 {
+            s.on_arrival(job(i, 48, 4));
+        }
+        // First take admits 2 slim jobs (2 overtakes — the bound).
+        assert_eq!(s.take(&mut c, 0, cap, 0).jobs.len(), 2);
+        // The fat job is now a barrier: nothing more is admitted even
+        // though slim jobs still fit.
+        assert!(s.take(&mut c, 0, cap, 0).jobs.is_empty());
+        assert_eq!(s.queue.get(0).skips, 2);
+        // Once the fat job itself fits, the queue unblocks through it.
+        let roomy = ChipCapacity {
+            active: 0,
+            kv_free: u64::MAX,
+            slots: 8,
+        };
+        let got = s.take(&mut c, 0, roomy, 0).jobs;
+        assert_eq!(got[0].id, 0, "barrier job admitted first");
+    }
+
+    #[test]
+    fn slo_aware_sheds_hopeless_jobs_and_admits_the_rest() {
+        let mut c = cost();
+        let mut s = Scheduler::new(SloAwareAdmission::default());
+        let mut hopeless = job(0, 256, 32);
+        hopeless.deadline_cycles = Some(10); // cannot finish by cycle 10
+        let mut winnable = job(1, 64, 4);
+        let serial = c.job_serial_cycles(&winnable.workload);
+        winnable.deadline_cycles = Some(serial * 10);
+        s.on_arrival(hopeless);
+        s.on_arrival(winnable);
+        s.on_arrival(job(2, 64, 4)); // best-effort, never shed
+        let got = s.take(&mut c, 0, idle_cap(8), 0);
+        assert_eq!(got.rejected.len(), 1);
+        assert_eq!(got.rejected[0].id, 0);
+        let ids: Vec<u64> = got.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 2]);
     }
 }

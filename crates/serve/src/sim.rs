@@ -3,17 +3,25 @@
 //! Two event kinds drive the clock: request arrivals (pre-drawn for
 //! open-loop traces, completion-triggered for closed-loop ones) and chip
 //! round boundaries. At every round boundary a chip retires whatever its
-//! round finished, asks the [`Scheduler`] for admissions, and — if it holds
-//! any resident jobs — starts its next round. Idle chips are woken by
-//! arrivals. Everything is deterministic: the event queue breaks time ties
-//! by a monotonic sequence number, chips are polled in index order, and
-//! every stochastic draw happened at trace-generation time.
+//! round finished, asks the admission policy for admissions (and
+//! records anything the policy shed), and — if it holds any resident
+//! jobs — starts the round its batch policy plans. Idle chips are woken
+//! by arrivals. Everything is deterministic: the event queue breaks time
+//! ties by a monotonic sequence number, chips are polled in index order,
+//! and every stochastic draw happened at trace-generation time.
+//!
+//! The loop is generic over three seams: the cost oracle
+//! ([`FleetCost`] — physical chips here, sharded groups in
+//! `spatten-cluster`), the [`AdmissionPolicy`] and the [`BatchPolicy`].
+//! Every policy, canonical or custom, runs through this one event loop —
+//! there are no policy-specific simulators.
 
+use crate::batch::BatchPolicy;
 use crate::chip::Chip;
 use crate::cost::{CostModel, FleetCost};
 use crate::metrics::{ChipStats, FleetReport};
-use crate::request::{Completion, Job};
-use crate::scheduler::{ChipCapacity, Policy, Scheduler};
+use crate::request::{Completion, Job, Rejection};
+use crate::scheduler::{AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler};
 use spatten_core::SpAttenConfig;
 use spatten_workloads::{Trace, TraceRequest};
 use std::cmp::Reverse;
@@ -39,11 +47,9 @@ pub struct FleetConfig {
     /// FC weight bitwidth for end-to-end job costs; `None` prices
     /// attention only.
     pub fc_weight_bits: Option<u32>,
-    /// Chunked-prefill quantum: the most serial prefill work one job may
-    /// contribute per continuous-batching iteration. Sized like a decode
-    /// step so resident decode jobs emit a token every iteration instead
-    /// of stalling behind whole prefill passes.
-    pub prefill_chunk_cycles: u64,
+    /// Policy tuning knobs (prefill chunk quantum, decode-prioritized
+    /// prefill budget, KV-aware starvation bound).
+    pub sched: SchedKnobs,
 }
 
 impl FleetConfig {
@@ -57,9 +63,7 @@ impl FleetConfig {
             policy,
             max_batch: 8,
             fc_weight_bits: Some(8),
-            // ≈ one GPT-2-Small end-to-end decode step at the Table-I
-            // configuration (0.25 ms at 1 GHz).
-            prefill_chunk_cycles: 250_000,
+            sched: SchedKnobs::default(),
         }
     }
 
@@ -109,12 +113,15 @@ fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
     (ns as f64 * clock_ghz).round() as u64
 }
 
-fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64) -> Job {
+fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, clock_ghz: f64) -> Job {
     Job {
         id: req.id,
         class: req.class,
         client,
         arrival_cycles,
+        deadline_cycles: req
+            .slo_ns
+            .map(|slo| arrival_cycles + ns_to_cycles(clock_ghz, slo)),
         workload: req.workload.clone(),
     }
 }
@@ -149,23 +156,24 @@ impl Ord for Event {
     }
 }
 
-struct Fleet<C: FleetCost> {
-    policy: Policy,
+struct Fleet<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> {
+    label: String,
     max_batch: usize,
-    prefill_chunk_cycles: u64,
     clock_ghz: f64,
     cost: C,
-    scheduler: Scheduler,
+    scheduler: Scheduler<A>,
+    batch: B,
     chips: Vec<Chip>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     completions: Vec<Completion>,
+    rejections: Vec<Rejection>,
     /// Closed-loop state: per-client pending queues + think time.
     client_queues: Vec<Vec<TraceRequest>>,
     think_cycles: u64,
 }
 
-impl<C: FleetCost> Fleet<C> {
+impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
     fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -174,42 +182,58 @@ impl<C: FleetCost> Fleet<C> {
 
     /// Offers work to `chip` and starts its next round if it holds any.
     fn kick(&mut self, chip_idx: usize, now: u64) {
-        let batching = self.policy.is_batching();
         let chip = &mut self.chips[chip_idx];
         if chip.is_in_flight() {
             return;
         }
-        let max_batch = if batching { self.max_batch } else { 1 };
         let cap = ChipCapacity {
             active: chip.active_jobs(),
             kv_free: self
                 .cost
                 .budget_on(chip_idx)
                 .saturating_sub(chip.kv_in_use()),
-            slots: max_batch.saturating_sub(chip.active_jobs()),
+            slots: self.max_batch.saturating_sub(chip.active_jobs()),
         };
-        let admitted = self.scheduler.take(&mut self.cost, chip_idx, cap);
-        for job in admitted {
+        let decision = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
+        for job in decision.rejected {
+            self.on_rejection(job, now);
+        }
+        let chip = &mut self.chips[chip_idx];
+        for job in decision.jobs {
             chip.admit(&mut self.cost, job, now);
         }
-        if let Some(cycles) =
-            chip.start_round(&mut self.cost, batching, self.prefill_chunk_cycles, now)
-        {
+        if let Some(cycles) = chip.start_round(&mut self.cost, &mut self.batch, now) {
             self.push(now + cycles, EventKind::RoundEnd(chip_idx));
         }
     }
 
-    fn on_completion(&mut self, done: Completion) {
-        // Closed loop: the finishing client thinks, then issues its next
-        // request.
-        if let Some(client) = done.client {
+    /// A client whose request left the system (completed or rejected)
+    /// thinks, then issues its next request.
+    fn next_client_request(&mut self, client: Option<usize>, freed_at: u64) {
+        if let Some(client) = client {
             if let Some(next) = self.client_queues.get_mut(client).and_then(Vec::pop) {
-                let t = done.finish_cycles + self.think_cycles;
-                let job = job_from(&next, Some(client), t);
+                let t = freed_at + self.think_cycles;
+                let job = job_from(&next, Some(client), t, self.clock_ghz);
                 self.push(t, EventKind::Arrival(job));
             }
         }
+    }
+
+    fn on_completion(&mut self, done: Completion) {
+        self.next_client_request(done.client, done.finish_cycles);
         self.completions.push(done);
+    }
+
+    fn on_rejection(&mut self, job: Job, now: u64) {
+        self.next_client_request(job.client, now);
+        self.rejections.push(Rejection {
+            id: job.id,
+            class: job.class,
+            client: job.client,
+            arrival_cycles: job.arrival_cycles,
+            reject_cycles: now,
+            deadline_cycles: job.deadline_cycles,
+        });
     }
 
     fn run(mut self) -> FleetReport {
@@ -264,11 +288,12 @@ impl<C: FleetCost> Fleet<C> {
             .max()
             .unwrap_or(0);
         FleetReport::new(
-            self.policy.name(),
+            &self.label,
             chips,
             self.clock_ghz,
             budget,
             self.completions,
+            self.rejections,
             chip_stats,
         )
     }
@@ -281,31 +306,59 @@ impl<C: FleetCost> Fleet<C> {
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
 pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
-    simulate_fleet_with(
+    simulate_fleet_policy(
         cfg.cost_model(),
         cfg.chips,
         cfg.policy,
+        &cfg.sched,
         cfg.max_batch,
-        cfg.prefill_chunk_cycles,
         cfg.accel.clock_ghz,
         trace,
     )
 }
 
 /// Simulates `trace` on `chips` logical executors priced by an arbitrary
-/// [`FleetCost`] oracle — the entry point `spatten-cluster` uses to drive
-/// sharded chip *groups* through the same discrete-event loop, schedulers
-/// and metrics as plain chips. Deterministic for fixed inputs.
+/// [`FleetCost`] oracle, under one of the canonical [`Policy`]s — the
+/// runtime-sweep entry point `spatten-cluster` and the bench binaries
+/// use. Builds the policy pair from `policy` and `knobs` and calls
+/// [`simulate_fleet_with`].
+pub fn simulate_fleet_policy<C: FleetCost>(
+    cost: C,
+    chips: usize,
+    policy: Policy,
+    knobs: &SchedKnobs,
+    max_batch: usize,
+    clock_ghz: f64,
+    trace: &Trace,
+) -> FleetReport {
+    simulate_fleet_with(
+        cost,
+        chips,
+        policy.name(),
+        policy.admission(knobs),
+        policy.batch(knobs),
+        max_batch,
+        clock_ghz,
+        trace,
+    )
+}
+
+/// Simulates `trace` on `chips` logical executors priced by an arbitrary
+/// [`FleetCost`] oracle under an arbitrary (admission, batching) policy
+/// pair — the fully generic entry point. `label` names the policy in the
+/// report. Deterministic for fixed inputs.
 ///
 /// # Panics
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
-pub fn simulate_fleet_with<C: FleetCost>(
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
     cost: C,
     chips: usize,
-    policy: Policy,
+    label: &str,
+    admission: A,
+    batch: B,
     max_batch: usize,
-    prefill_chunk_cycles: u64,
     clock_ghz: f64,
     trace: &Trace,
 ) -> FleetReport {
@@ -313,16 +366,17 @@ pub fn simulate_fleet_with<C: FleetCost>(
     assert!(max_batch > 0, "max_batch must be positive");
     let clock = clock_ghz;
     let mut fleet = Fleet {
-        policy,
+        label: label.to_string(),
         max_batch,
-        prefill_chunk_cycles,
         clock_ghz,
         cost,
-        scheduler: Scheduler::new(policy),
+        scheduler: Scheduler::new(admission),
+        batch,
         chips: (0..chips).map(Chip::new).collect(),
         events: BinaryHeap::new(),
         seq: 0,
         completions: Vec::new(),
+        rejections: Vec::new(),
         client_queues: Vec::new(),
         think_cycles: 0,
     };
@@ -330,7 +384,7 @@ pub fn simulate_fleet_with<C: FleetCost>(
         Trace::Open { requests } => {
             for req in requests {
                 let t = ns_to_cycles(clock, req.arrival_ns);
-                let job = job_from(req, None, t);
+                let job = job_from(req, None, t, clock);
                 fleet.push(t, EventKind::Arrival(job));
             }
         }
@@ -343,7 +397,7 @@ pub fn simulate_fleet_with<C: FleetCost>(
                 .collect();
             for client in 0..fleet.client_queues.len() {
                 if let Some(first) = fleet.client_queues[client].pop() {
-                    let job = job_from(&first, Some(client), 0);
+                    let job = job_from(&first, Some(client), 0, clock);
                     fleet.push(0, EventKind::Arrival(job));
                 }
             }
@@ -384,11 +438,13 @@ mod tests {
     #[test]
     fn reports_are_deterministic() {
         let trace = open_trace(100, 1000.0, 7);
-        let cfg = FleetConfig::new(4, Policy::ContinuousBatching);
-        let a = simulate_fleet(&cfg, &trace);
-        let b = simulate_fleet(&cfg, &trace);
-        assert_eq!(a.makespan_cycles, b.makespan_cycles);
-        assert_eq!(a.completions, b.completions);
+        for policy in [Policy::ContinuousBatching, Policy::DecodePrioritized] {
+            let cfg = FleetConfig::new(4, policy);
+            let a = simulate_fleet(&cfg, &trace);
+            let b = simulate_fleet(&cfg, &trace);
+            assert_eq!(a.makespan_cycles, b.makespan_cycles);
+            assert_eq!(a.completions, b.completions);
+        }
     }
 
     #[test]
@@ -428,6 +484,11 @@ mod tests {
         assert!(report.utilization > 0.0 && report.utilization <= 1.0);
         assert!(report.latency.p99 >= report.latency.p50);
         assert!(report.latency.max >= report.latency.p99);
+        // No SLOs in the trace: goodput equals throughput, nothing is
+        // rejected or violated.
+        assert_eq!(report.goodput_rps, report.throughput_rps);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.slo_violations, 0);
     }
 
     #[test]
@@ -454,16 +515,19 @@ mod tests {
     #[test]
     fn kv_high_water_mark_respects_budget() {
         let trace = open_trace(300, 5000.0, 11);
-        let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
-        let report = simulate_fleet(&cfg, &trace);
-        for chip in &report.chip_stats {
-            assert!(
-                chip.max_kv_in_use <= report.kv_budget_bytes,
-                "chip {} used {} of {}",
-                chip.id,
-                chip.max_kv_in_use,
-                report.kv_budget_bytes
-            );
+        for policy in [Policy::ContinuousBatching, Policy::KvAware] {
+            let cfg = FleetConfig::new(2, policy);
+            let report = simulate_fleet(&cfg, &trace);
+            for chip in &report.chip_stats {
+                assert!(
+                    chip.max_kv_in_use <= report.kv_budget_bytes,
+                    "{}: chip {} used {} of {}",
+                    policy.name(),
+                    chip.id,
+                    chip.max_kv_in_use,
+                    report.kv_budget_bytes
+                );
+            }
         }
     }
 
@@ -477,5 +541,46 @@ mod tests {
             "continuous batching should batch: occupancy {}",
             report.mean_occupancy()
         );
+    }
+
+    #[test]
+    fn decode_prioritized_tightens_decode_cadence_under_prefill_pressure() {
+        // A prefill-heavy mixed stream at high offered load: plain
+        // continuous batching lets every resident prefill inject a full
+        // chunk per iteration, stretching resident decode jobs' token
+        // cadence; decode-prioritized budgets cap that.
+        let trace = open_trace(400, 6000.0, 29);
+        let cb = simulate_fleet(&FleetConfig::new(2, Policy::ContinuousBatching), &trace);
+        let dp = simulate_fleet(&FleetConfig::new(2, Policy::DecodePrioritized), &trace);
+        assert_eq!(dp.completed, 400);
+        assert!(
+            dp.tbt.p99 < cb.tbt.p99,
+            "decode-prioritized tbt p99 {} should beat continuous batching's {}",
+            dp.tbt.p99,
+            cb.tbt.p99
+        );
+    }
+
+    #[test]
+    fn slo_rejections_free_capacity_and_are_accounted() {
+        let mut spec = TraceSpec::mixed(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 4000.0,
+                requests: 200,
+            },
+            31,
+        );
+        // Tight-but-feasible SLO on the BERT class: under overload some
+        // queued jobs become hopeless and are shed.
+        spec.classes[0] = spec.classes[0].clone().with_slo(0.002);
+        let trace = spec.generate();
+        let report = simulate_fleet(&FleetConfig::new(1, Policy::SloAware), &trace);
+        assert_eq!(report.completed + report.rejected, 200);
+        assert!(report.rejected > 0, "overload should shed something");
+        // Rejected ids never completed.
+        for r in &report.rejections {
+            assert!(report.completions.iter().all(|c| c.id != r.id));
+            assert_eq!(r.class, 0, "only the SLO class is shed");
+        }
     }
 }

@@ -80,6 +80,97 @@ proptest! {
         }
     }
 
+    /// The KV-aware reorderer's starvation bound holds end to end: no
+    /// request is ever overtaken by more than `max_skip` later arrivals.
+    /// An overtake is a job that arrived strictly later but started
+    /// executing strictly earlier — exactly the events the policy's
+    /// per-job skip counter charges, so the global bound must survive
+    /// multi-chip admission races too.
+    #[test]
+    fn kv_aware_starvation_bound_is_never_exceeded(
+        requests in 30usize..120,
+        chips in 1usize..5,
+        rate in 500.0f64..6000.0,
+        seed in 0u64..1000,
+        max_skip in 0u32..6,
+    ) {
+        let trace = open_trace(requests, rate, seed);
+        let mut cfg = FleetConfig::new(chips, Policy::KvAware);
+        cfg.sched.max_skip = max_skip;
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        for c in &report.completions {
+            let overtakes = report
+                .completions
+                .iter()
+                .filter(|o| {
+                    o.arrival_cycles > c.arrival_cycles && o.start_cycles < c.start_cycles
+                })
+                .count();
+            prop_assert!(
+                overtakes as u32 <= max_skip,
+                "job {} was overtaken {} times against a bound of {}",
+                c.id, overtakes, max_skip
+            );
+        }
+    }
+
+    /// SLO-rejected requests never consume chip cycles: every trace
+    /// request either completes or is rejected (never both), and with an
+    /// unmeetable SLO on every class the chips stay entirely idle.
+    #[test]
+    fn slo_rejections_never_consume_chip_cycles(
+        requests in 20usize..80,
+        chips in 1usize..4,
+        rate in 200.0f64..3000.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = TraceSpec::mixed(
+            ArrivalSpec::OpenPoisson { rate_rps: rate, requests },
+            seed,
+        );
+
+        // Feasible-but-tight SLOs: completions and rejections partition
+        // the trace, and no rejected id ever reaches a chip.
+        let mut tight = spec.clone();
+        for class in &mut tight.classes {
+            *class = class.clone().with_slo(0.005);
+        }
+        let report = simulate_fleet(
+            &FleetConfig::new(chips, Policy::SloAware),
+            &tight.generate(),
+        );
+        prop_assert_eq!(report.completed + report.rejected, requests);
+        let mut ids: Vec<u64> = report
+            .completions
+            .iter()
+            .map(|c| c.id)
+            .chain(report.rejections.iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        // Equal lengths after dedup ⇒ no request both completed and was
+        // rejected.
+        prop_assert_eq!(ids.len(), requests);
+
+        // Unmeetable SLOs: everything is shed at arrival and the fleet
+        // never executes a single cycle.
+        let mut hopeless = spec;
+        for class in &mut hopeless.classes {
+            *class = class.clone().with_slo(1e-9);
+        }
+        let report = simulate_fleet(
+            &FleetConfig::new(chips, Policy::SloAware),
+            &hopeless.generate(),
+        );
+        prop_assert_eq!(report.rejected, requests);
+        prop_assert_eq!(report.completed, 0);
+        for chip in &report.chip_stats {
+            prop_assert_eq!(chip.busy_cycles, 0);
+            prop_assert_eq!(chip.rounds, 0);
+        }
+    }
+
     /// Timestamps are causally ordered for every completion, under every
     /// policy: arrival <= start <= first token <= finish.
     #[test]

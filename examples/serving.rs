@@ -1,9 +1,11 @@
 //! Serving a mixed request stream across a SpAtten fleet.
 //!
 //! Generates an open-loop Poisson trace of BERT summarization and GPT-2
-//! generation jobs, serves it on a 4-chip fleet under each scheduler
-//! policy, and prints the throughput / utilization / tail-latency
-//! comparison plus the continuous-batching JSON report.
+//! generation jobs, serves it on a 4-chip fleet under each of the six
+//! scheduling policies (run-to-completion FIFO/SJF, continuous batching,
+//! decode-prioritized token budgets, KV-aware reordering, SLO-aware
+//! early rejection), and prints the throughput / utilization /
+//! tail-latency comparison plus the continuous-batching JSON report.
 //!
 //! Run with: `cargo run --release --example serving`
 
