@@ -1,7 +1,9 @@
-//! Scheduling-policy benchmark: sweeps all six (admission, batching)
+//! Scheduling-policy benchmark: sweeps all seven (admission, batching)
 //! policies through the one generic event loop, on a single chip and on a
 //! planner-placed sharded cluster, under Poisson and bursty MMPP
-//! arrivals, and reports tail latency, decode cadence and SLO goodput.
+//! arrivals, and reports tail latency, decode cadence and SLO goodput —
+//! then runs a **preemption × priority × routing grid** on a mixed
+//! full/eighth-scale fleet.
 //!
 //! Protocol, per fleet:
 //!
@@ -13,15 +15,31 @@
 //!    under every [`Policy`]. Same trace, same fleet — only the policy
 //!    differs. Poisson arrivals first, then MMPP bursts at the same
 //!    average offered load.
+//! 3. **Mixed-fleet grid** — a two-tier trace (high-priority interactive
+//!    over low-priority batch) on 2 Table-I + 2 eighth-scale chips, swept
+//!    over {continuous batching, priority admission} × {no preemption,
+//!    priority preemption} × {shared queue, fastest-chip, least-KV,
+//!    hash-affinity routing}, at **two load points**: the
+//!    loaded-but-not-saturated *placement band* (~70 % of probed
+//!    capacity), where routing decides the tail, and the overloaded
+//!    *contention band* (2× capacity, batch-heavy mix), where chips stay
+//!    packed with low-priority residents and priority admission +
+//!    preemption decide whether interactive traffic lives or dies.
 //!
-//! Headline invariant (enforced outside `--smoke`): **decode-prioritized
-//! batching beats plain continuous batching on decode p99 (p99
-//! time-between-tokens) at equal offered load** — reserving decode steps
-//! first and capping per-iteration prefill keeps iterations short no
-//! matter how many prefill passes are in flight.
+//! Headline invariants (enforced outside `--smoke`):
 //!
-//! The JSON report goes to stdout; a human-readable summary goes to
-//! stderr. Usage:
+//! * **decode-prioritized batching beats plain continuous batching on
+//!   decode p99 (p99 time-between-tokens) at equal offered load** —
+//!   reserving decode steps first and capping per-iteration prefill
+//!   keeps iterations short no matter how many prefills are in flight;
+//! * **preemptive priority scheduling beats non-preemptive continuous
+//!   batching on high-priority p99** at equal load on the mixed fleet;
+//! * **fastest-chip routing beats the chip-agnostic shared queue on
+//!   fleet p99** on the mixed fleet.
+//!
+//! The JSON report goes to stdout (every run records the `SchedKnobs`
+//! and trace seed it used, so any row is reproducible from the report
+//! alone); a human-readable summary goes to stderr. Usage:
 //!
 //! ```text
 //! sched_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
@@ -32,8 +50,11 @@
 //! check that the binary still runs end to end.
 
 use spatten_cluster::{ClusterConfig, ShardStrategy};
+use spatten_core::SpAttenConfig;
 use spatten_serve::json::{array, JsonObject};
-use spatten_serve::{simulate_fleet, FleetConfig, FleetReport, Policy};
+use spatten_serve::{
+    simulate_fleet, FleetConfig, FleetReport, Policy, PreemptSpec, RouteSpec, SchedKnobs,
+};
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{ArrivalSpec, Benchmark, Trace, TraceSpec};
 
@@ -115,6 +136,18 @@ impl Fleet {
     }
 }
 
+/// Serializes the knobs a run used — the report alone reproduces the run.
+fn knobs_json(k: &SchedKnobs) -> String {
+    JsonObject::new()
+        .u64("prefill_chunk_cycles", k.prefill_chunk_cycles)
+        .u64("prefill_budget_cycles", k.prefill_budget_cycles)
+        .u64("max_skip", u64::from(k.max_skip))
+        .str("route", k.route.name())
+        .str("preempt", k.preempt.name())
+        .u64("max_preemptions", u64::from(k.max_preemptions))
+        .build()
+}
+
 fn policy_json(r: &FleetReport) -> String {
     JsonObject::new()
         .str("policy", &r.policy)
@@ -134,10 +167,18 @@ struct Scenario {
     fleet: &'static str,
     arrival: &'static str,
     offered_rps: f64,
+    seed: u64,
+    knobs: SchedKnobs,
     reports: Vec<FleetReport>,
 }
 
-fn sweep(fleet: &Fleet, arrival_name: &'static str, trace: &Trace, offered_rps: f64) -> Scenario {
+fn sweep(
+    fleet: &Fleet,
+    arrival_name: &'static str,
+    trace: &Trace,
+    offered_rps: f64,
+    seed: u64,
+) -> Scenario {
     eprintln!(
         "\n{} / {} arrivals: {} requests at {:.0} req/s offered",
         fleet.name(),
@@ -170,8 +211,83 @@ fn sweep(fleet: &Fleet, arrival_name: &'static str, trace: &Trace, offered_rps: 
         fleet: fleet.name(),
         arrival: arrival_name,
         offered_rps,
+        seed,
+        knobs: SchedKnobs::default(),
         reports,
     }
+}
+
+/// One cell of a mixed-fleet preemption × priority × routing sweep.
+struct GridRun {
+    policy: Policy,
+    route: RouteSpec,
+    preempt: PreemptSpec,
+    knobs: SchedKnobs,
+    report: FleetReport,
+}
+
+impl GridRun {
+    fn label(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.policy.name(),
+            self.route.name(),
+            self.preempt.name()
+        )
+    }
+
+    /// End-to-end p99 of the high-priority class (class 0 in the tiered
+    /// spec).
+    fn high_priority_p99(&self) -> f64 {
+        self.report.class_stats[0].latency.p99
+    }
+}
+
+/// Runs one (policy, route, preempt) grid over the same trace and fleet.
+fn grid_sweep(
+    label: &str,
+    chips: &[SpAttenConfig],
+    cells: &[(Policy, RouteSpec, PreemptSpec)],
+    trace: &Trace,
+    offered_rps: f64,
+) -> Vec<GridRun> {
+    eprintln!(
+        "\nmixed-fleet {label} (2 full + 2 eighth chips): {} requests at {:.0} req/s offered",
+        trace.len(),
+        offered_rps
+    );
+    cells
+        .iter()
+        .copied()
+        .map(|(policy, route, preempt)| {
+            let mut cfg = FleetConfig::with_chips(chips.to_vec(), policy);
+            cfg.sched.route = route;
+            cfg.sched.preempt = preempt;
+            let report = simulate_fleet(&cfg, trace);
+            assert_eq!(
+                report.completed + report.rejected,
+                trace.len(),
+                "{}: lost requests",
+                policy.name()
+            );
+            let run = GridRun {
+                policy,
+                route,
+                preempt,
+                knobs: cfg.sched,
+                report,
+            };
+            eprintln!(
+                "{:<45} p99 {:>9.3} ms   hi-pri p99 {:>9.3} ms   preempt {:>4}   goodput {:>5.0} req/s",
+                run.label(),
+                run.report.latency.p99 * 1e3,
+                run.high_priority_p99() * 1e3,
+                run.report.preemptions,
+                run.report.goodput_rps
+            );
+            run
+        })
+        .collect()
 }
 
 fn main() {
@@ -220,7 +336,7 @@ fn main() {
             args.seed,
         )
         .generate();
-        scenarios.push(sweep(fleet, "poisson", &poisson, rate));
+        scenarios.push(sweep(fleet, "poisson", &poisson, rate, args.seed));
 
         // MMPP at the same average offered load: calm at half the rate,
         // bursts at 4x, dwell-weighted back to `rate` on average.
@@ -235,8 +351,129 @@ fn main() {
             args.seed ^ 0xBEEF,
         )
         .generate();
-        scenarios.push(sweep(fleet, "mmpp", &mmpp, rate));
+        scenarios.push(sweep(fleet, "mmpp", &mmpp, rate, args.seed ^ 0xBEEF));
     }
+
+    // Mixed-fleet preemption × priority × routing grids: a two-tier
+    // trace (interactive traffic at priority 2 over the batch tier) on
+    // 2 full + 2 eighth-scale chips, at two load points.
+    //
+    // *Placement band* (~70 % of probed shared-queue capacity): chips are
+    // loaded but queues stay finite, so where a job lands decides its
+    // tail — the routing regime. *Contention band* (2× capacity,
+    // batch-heavy 25/75 mix): every chip stays packed with long
+    // low-priority generations, so whether an interactive arrival can
+    // jump the queue and displace a resident decides its tail — the
+    // priority + preemption regime. Past saturation placement stops
+    // mattering (every queue grows without bound), which is exactly why
+    // the two claims need two load points.
+    let mixed_chips = vec![
+        SpAttenConfig::default(),
+        SpAttenConfig::default(),
+        SpAttenConfig::eighth(),
+        SpAttenConfig::eighth(),
+    ];
+    let probe_trace = TraceSpec::mixed(
+        ArrivalSpec::ClosedLoop {
+            clients: 32,
+            think_s: 0.0,
+            requests: 256.min(args.requests),
+        },
+        args.seed ^ 0xCAFE,
+    )
+    .generate();
+    let mixed_capacity = simulate_fleet(
+        &FleetConfig::with_chips(mixed_chips.clone(), Policy::ContinuousBatching),
+        &probe_trace,
+    )
+    .throughput_rps;
+    eprintln!("\nmixed fleet: capacity probe sustains {mixed_capacity:.0} req/s");
+    let grid_rate = mixed_capacity * args.rate_frac * 0.7;
+    let grid_seed = args.seed ^ 0xD00D;
+    let mut tiered = slo_spec(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: grid_rate,
+            requests: args.requests,
+        },
+        grid_seed,
+    );
+    tiered.classes[0] = tiered.classes[0].clone().with_priority(2);
+    let grid = grid_sweep(
+        "routing grid (placement band)",
+        &mixed_chips,
+        &[
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::SharedQueue,
+                PreemptSpec::None,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::FastestChip,
+                PreemptSpec::None,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::LeastKvLoaded,
+                PreemptSpec::None,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::HashAffinity,
+                PreemptSpec::None,
+            ),
+            (Policy::Priority, RouteSpec::SharedQueue, PreemptSpec::None),
+            (
+                Policy::Priority,
+                RouteSpec::SharedQueue,
+                PreemptSpec::Priority,
+            ),
+            (
+                Policy::Priority,
+                RouteSpec::FastestChip,
+                PreemptSpec::Priority,
+            ),
+        ],
+        &tiered.generate(),
+        grid_rate,
+    );
+
+    let burst_rate = mixed_capacity * 2.0;
+    let burst_seed = args.seed ^ 0xF1EE;
+    let mut contended = slo_spec(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: burst_rate,
+            requests: args.requests,
+        },
+        burst_seed,
+    );
+    contended.classes[0] = contended.classes[0].clone().with_priority(2);
+    contended.classes[0].weight = 0.25;
+    contended.classes[1].weight = 0.75;
+    let burst_grid = grid_sweep(
+        "preemption grid (contention band)",
+        &mixed_chips,
+        &[
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::SharedQueue,
+                PreemptSpec::None,
+            ),
+            (Policy::Priority, RouteSpec::SharedQueue, PreemptSpec::None),
+            (
+                Policy::Priority,
+                RouteSpec::SharedQueue,
+                PreemptSpec::Priority,
+            ),
+            (
+                Policy::Priority,
+                RouteSpec::FastestChip,
+                PreemptSpec::Priority,
+            ),
+        ],
+        &contended.generate(),
+        burst_rate,
+    );
 
     // Headline: decode-prioritized vs continuous batching on decode p99.
     let tbt_p99 = |s: &Scenario, p: Policy| {
@@ -255,11 +492,54 @@ fn main() {
         cb / dp
     );
 
+    // Grid headliners.
+    fn cell(runs: &[GridRun], policy: Policy, route: RouteSpec, preempt: PreemptSpec) -> &GridRun {
+        runs.iter()
+            .find(|r| r.policy == policy && r.route == route && r.preempt == preempt)
+            .expect("grid cell simulated")
+    }
+    let routed_base = cell(
+        &grid,
+        Policy::ContinuousBatching,
+        RouteSpec::SharedQueue,
+        PreemptSpec::None,
+    );
+    let routed = cell(
+        &grid,
+        Policy::ContinuousBatching,
+        RouteSpec::FastestChip,
+        PreemptSpec::None,
+    );
+    let burst_base = cell(
+        &burst_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::SharedQueue,
+        PreemptSpec::None,
+    );
+    let preemptive = cell(
+        &burst_grid,
+        Policy::Priority,
+        RouteSpec::SharedQueue,
+        PreemptSpec::Priority,
+    );
+    eprintln!(
+        "\npreemptive priority scheduling improves high-priority p99 {:.2}x over \
+         non-preemptive continuous batching (mixed fleet, contention band, equal \
+         offered load, {} evictions)",
+        burst_base.high_priority_p99() / preemptive.high_priority_p99(),
+        preemptive.report.preemptions
+    );
+    eprintln!(
+        "fastest-chip routing improves fleet p99 {:.2}x over the chip-agnostic \
+         shared queue (mixed fleet, placement band, equal offered load)",
+        routed_base.report.latency.p99 / routed.report.latency.p99
+    );
+
     let json = JsonObject::new()
         .str("benchmark", "spatten-serve scheduling-policy comparison")
         .str(
             "paper",
-            "SpAtten (HPCA 2021) — scheduling-layer extension (PR 3)",
+            "SpAtten (HPCA 2021) — scheduling-layer extension (PRs 3-4)",
         )
         .u64("requests", args.requests as u64)
         .u64("seed", args.seed)
@@ -267,6 +547,14 @@ fn main() {
         .f64("continuous_batching_tbt_p99_s", cb)
         .f64("decode_prioritized_tbt_p99_s", dp)
         .f64("tbt_p99_speedup_dp_over_cb", cb / dp)
+        .f64(
+            "high_priority_p99_speedup_preempt_over_cb",
+            burst_base.high_priority_p99() / preemptive.high_priority_p99(),
+        )
+        .f64(
+            "fleet_p99_speedup_routed_over_shared",
+            routed_base.report.latency.p99 / routed.report.latency.p99,
+        )
         .raw(
             "scenarios",
             &array(scenarios.iter().map(|s| {
@@ -274,9 +562,50 @@ fn main() {
                     .str("fleet", s.fleet)
                     .str("arrival", s.arrival)
                     .f64("offered_rps", s.offered_rps)
+                    .u64("seed", s.seed)
+                    .raw("sched_knobs", &knobs_json(&s.knobs))
                     .raw("policies", &array(s.reports.iter().map(policy_json)))
                     .build()
             })),
+        )
+        .raw(
+            "mixed_fleet_grids",
+            &array(
+                [
+                    ("placement-band", grid_rate, grid_seed, &grid),
+                    ("contention-band", burst_rate, burst_seed, &burst_grid),
+                ]
+                .into_iter()
+                .map(|(band, rate, seed, runs)| {
+                    JsonObject::new()
+                        .str("band", band)
+                        .f64("capacity_rps", mixed_capacity)
+                        .f64("offered_rps", rate)
+                        .u64("seed", seed)
+                        .raw(
+                            "runs",
+                            &array(runs.iter().map(|r| {
+                                JsonObject::new()
+                                    .str("policy", r.policy.name())
+                                    .str("route", r.route.name())
+                                    .str("preempt", r.preempt.name())
+                                    .u64("seed", seed)
+                                    .raw("sched_knobs", &knobs_json(&r.knobs))
+                                    .f64("p99_s", r.report.latency.p99)
+                                    .f64("high_priority_p99_s", r.high_priority_p99())
+                                    .f64("low_priority_p99_s", r.report.class_stats[1].latency.p99)
+                                    .u64("preemptions", r.report.preemptions)
+                                    .f64("goodput_rps", r.report.goodput_rps)
+                                    .u64(
+                                        "swap_cycles",
+                                        r.report.chip_stats.iter().map(|c| c.swap_cycles).sum(),
+                                    )
+                                    .build()
+                            })),
+                        )
+                        .build()
+                }),
+            ),
         )
         .build();
     println!("{json}");
@@ -288,6 +617,27 @@ fn main() {
         eprintln!(
             "error: decode-prioritized batching must beat continuous batching on \
              decode (tbt) p99 at equal offered load (dp {dp}s vs cb {cb}s)"
+        );
+        std::process::exit(1);
+    }
+    if !args.smoke && preemptive.high_priority_p99() >= burst_base.high_priority_p99() {
+        eprintln!(
+            "error: preemptive priority scheduling must beat non-preemptive continuous \
+             batching on high-priority p99 at equal offered load ({}s vs {}s)",
+            preemptive.high_priority_p99(),
+            burst_base.high_priority_p99()
+        );
+        std::process::exit(1);
+    }
+    if !args.smoke && preemptive.report.preemptions == 0 {
+        eprintln!("error: the contention band must actually evict (0 preemptions recorded)");
+        std::process::exit(1);
+    }
+    if !args.smoke && routed.report.latency.p99 >= routed_base.report.latency.p99 {
+        eprintln!(
+            "error: fastest-chip routing must beat the chip-agnostic shared queue on \
+             fleet p99 on a mixed fleet ({}s vs {}s)",
+            routed.report.latency.p99, routed_base.report.latency.p99
         );
         std::process::exit(1);
     }

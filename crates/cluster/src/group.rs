@@ -128,6 +128,7 @@ pub struct ClusterCostModel {
     prefill_memo: HashMap<(usize, ClassKey, usize), StepCost>,
     decode_memo: HashMap<(usize, ClassKey, usize, u64), StepCost>,
     footprint_memo: HashMap<(usize, ClassKey, usize), u64>,
+    swap_memo: HashMap<(usize, ClassKey, usize), u64>,
 }
 
 impl ClusterCostModel {
@@ -160,6 +161,7 @@ impl ClusterCostModel {
             prefill_memo: HashMap::new(),
             decode_memo: HashMap::new(),
             footprint_memo: HashMap::new(),
+            swap_memo: HashMap::new(),
         }
     }
 
@@ -363,6 +365,35 @@ impl FleetCost for ClusterCostModel {
             .map(|c| 2 * c.kv_sram_bytes)
             .min()
             .unwrap_or(0)
+    }
+
+    fn swap_cycles_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        let bucket = tokens.div_ceil(CTX_BUCKET) * CTX_BUCKET;
+        let key = (self.slots[chip], ClassKey::of(w), bucket);
+        if let Some(&c) = self.swap_memo.get(&key) {
+            return c;
+        }
+        // Each shard drains its own KV slice through its own chip's HBM
+        // concurrently, so the group pays the slowest shard. The
+        // representative at the *present* context sizes the slice (a
+        // preempted job has only built the KV it has seen).
+        let rep = representative(w, bucket);
+        let g = &self.groups[chip];
+        let cycles = (0..g.strategy.shards())
+            .map(|s| {
+                let cfg = &g.chips[s];
+                let bytes = shard_kv_footprint(cfg, &rep, &g.strategy, s);
+                let per_hbm_cycle = (cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle).max(1);
+                let hbm_cycles = bytes.div_ceil(per_hbm_cycle);
+                (hbm_cycles as f64 * cfg.clock_ghz / cfg.hbm.clock_ghz).ceil() as u64
+            })
+            .max()
+            .unwrap_or(0);
+        self.swap_memo.insert(key, cycles);
+        cycles
     }
 
     fn note_batch(&mut self, chip: usize, resident: usize) {

@@ -61,6 +61,30 @@ pub struct ResidentView {
 }
 
 /// The batching seam: plans one round for a chip's resident set.
+///
+/// ```
+/// use spatten_serve::{BatchPolicy, ResidentView, RoundStep};
+///
+/// /// Decode-only rounds: prefills wait until no decode job is resident.
+/// #[derive(Debug)]
+/// struct DecodeOnly;
+/// impl BatchPolicy for DecodeOnly {
+///     fn name(&self) -> &'static str {
+///         "decode-only"
+///     }
+///     fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
+///         let any_decode = residents.iter().any(|r| r.prefilled);
+///         residents
+///             .iter()
+///             .map(|r| match (r.prefilled, any_decode) {
+///                 (true, _) => RoundStep::Decode,
+///                 (false, true) => RoundStep::Idle,
+///                 (false, false) => RoundStep::Prefill { chunk_cycles: 250_000 },
+///             })
+///             .collect()
+///     }
+/// }
+/// ```
 pub trait BatchPolicy: fmt::Debug {
     /// Stable lowercase name for reports.
     fn name(&self) -> &'static str;

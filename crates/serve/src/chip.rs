@@ -21,10 +21,20 @@
 //! ([`spatten_core::StepCost::weight_dram_cycles`]) — the batched-matvec →
 //! matmul effect that makes batched decode profitable at all. Per-request
 //! KV traffic stays private and still serializes across the batch.
+//!
+//! Chips are also **preemptible** at round boundaries: the event loop may
+//! [`Chip::evict`] resident jobs (chosen by a
+//! [`crate::preempt::PreemptionPolicy`]), draining their KV state to HBM,
+//! and a later [`Chip::admit`] of the same job restores it. Both
+//! directions are priced by [`FleetCost::swap_cycles_on`] and charged to
+//! the *next* round the chip starts — swaps occupy the SRAM ports and
+//! HBM channels just like real work, so they extend the chip's busy time
+//! rather than happening for free between rounds.
 
 use crate::batch::{BatchPolicy, ResidentView, RoundStep};
 use crate::cost::FleetCost;
-use crate::request::{Completion, Job};
+use crate::preempt::VictimView;
+use crate::request::{Completion, Job, ResumeState};
 use spatten_core::StepCost;
 use spatten_nn::ModelConfig;
 use std::collections::HashMap;
@@ -65,6 +75,14 @@ pub struct Chip {
     pub occupancy_area: u128,
     /// High-water mark of KV SRAM bytes in use.
     pub max_kv_in_use: u64,
+    /// Preemption evictions performed.
+    pub evictions: u64,
+    /// Cycles spent swapping KV state to and from HBM (subset of
+    /// [`Chip::busy_cycles`]).
+    pub swap_cycles: u64,
+    /// Swap cycles accrued since the last round started; charged to the
+    /// next round.
+    pending_swap_cycles: u64,
 }
 
 impl Chip {
@@ -80,6 +98,9 @@ impl Chip {
             rounds: 0,
             occupancy_area: 0,
             max_kv_in_use: 0,
+            evictions: 0,
+            swap_cycles: 0,
+            pending_swap_cycles: 0,
         }
     }
 
@@ -98,26 +119,104 @@ impl Chip {
         self.in_flight
     }
 
-    /// Admits a job into the resident set at time `now`.
+    /// Admits a job into the resident set at time `now`. A job carrying
+    /// [`Job::resume`] state (it was preempted earlier) restores its KV
+    /// prefix from HBM — the swap-in is priced by
+    /// [`FleetCost::swap_cycles_on`] and charged to the next round — and
+    /// resumes exactly where it stopped.
     ///
     /// # Panics
     ///
     /// Panics if called while a round is in flight (admission happens only
     /// at round boundaries).
-    pub fn admit<C: FleetCost>(&mut self, cost: &mut C, job: Job, now: u64) {
+    pub fn admit<C: FleetCost>(&mut self, cost: &mut C, mut job: Job, now: u64) {
         assert!(!self.in_flight, "admission mid-round");
         let footprint = cost.footprint_on(self.id, &job.workload);
         self.kv_in_use += footprint;
         self.max_kv_in_use = self.max_kv_in_use.max(self.kv_in_use);
-        self.active.push(Active {
-            job,
-            footprint,
-            start_cycles: now,
-            first_token_cycles: None,
-            prefill_progress: 0,
-            prefilled: false,
-            steps_done: 0,
-        });
+        let active = match job.resume.take() {
+            Some(r) => {
+                let w = &job.workload;
+                let tokens = r.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
+                self.pending_swap_cycles += cost.swap_cycles_on(self.id, w, tokens);
+                Active {
+                    footprint,
+                    start_cycles: r.start_cycles,
+                    first_token_cycles: r.first_token_cycles,
+                    prefill_progress: r.prefill_progress,
+                    prefilled: r.prefilled,
+                    steps_done: r.steps_done,
+                    job,
+                }
+            }
+            None => Active {
+                job,
+                footprint,
+                start_cycles: now,
+                first_token_cycles: None,
+                prefill_progress: 0,
+                prefilled: false,
+                steps_done: 0,
+            },
+        };
+        self.active.push(active);
+    }
+
+    /// The preemption policy's view of the resident set, in resident
+    /// order (the indices [`Chip::evict`] expects).
+    pub fn victim_views(&self) -> Vec<VictimView> {
+        self.active
+            .iter()
+            .map(|a| VictimView {
+                priority: a.job.priority,
+                preemptions: a.job.preemptions,
+                kv_footprint: a.footprint,
+                prefilled: a.prefilled,
+                steps_done: a.steps_done,
+                gen_steps: a.job.workload.gen_steps,
+                arrival_cycles: a.job.arrival_cycles,
+            })
+            .collect()
+    }
+
+    /// Evicts the residents at `victims` (indices into the resident set),
+    /// returning them as re-queueable jobs carrying their
+    /// [`ResumeState`]. Each victim's KV working set is drained to HBM:
+    /// the swap-out is priced by [`FleetCost::swap_cycles_on`] and
+    /// charged to the chip's next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a round is in flight, or if an index is out
+    /// of range.
+    pub fn evict<C: FleetCost>(&mut self, cost: &mut C, victims: &[usize], _now: u64) -> Vec<Job> {
+        assert!(!self.in_flight, "eviction mid-round");
+        let mut order: Vec<usize> = victims.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        let mut out = Vec::new();
+        // Highest index first keeps the remaining indices valid.
+        for &i in order.iter().rev() {
+            let a = self.active.remove(i);
+            self.kv_in_use -= a.footprint;
+            let resume = ResumeState {
+                prefill_progress: a.prefill_progress,
+                prefilled: a.prefilled,
+                steps_done: a.steps_done,
+                start_cycles: a.start_cycles,
+                first_token_cycles: a.first_token_cycles,
+            };
+            let w = &a.job.workload;
+            let tokens = resume.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
+            self.pending_swap_cycles += cost.swap_cycles_on(self.id, w, tokens);
+            self.evictions += 1;
+            let mut job = a.job;
+            job.preemptions += 1;
+            job.resume = Some(resume);
+            out.push(job);
+        }
+        out.reverse(); // resident order, for stable re-queueing
+        out
     }
 
     /// Starts the next round at time `now`, executing whatever `batch`
@@ -180,6 +279,11 @@ impl Chip {
         } else {
             self.start_iteration(cost, &plan, now)
         };
+        // KV swaps accrued since the last round (evictions, resumed
+        // admissions) execute at the head of this one.
+        let swap = std::mem::take(&mut self.pending_swap_cycles);
+        self.swap_cycles += swap;
+        let cycles = cycles + swap;
         self.in_flight = true;
         self.busy_cycles += cycles;
         self.rounds += 1;
@@ -206,7 +310,9 @@ impl Chip {
         let w = &a.job.workload;
         let total = cost.job_serial_on(self.id, w);
         let ttft = cost.first_token_on(self.id, w);
-        a.first_token_cycles = Some(now + ttft);
+        if a.first_token_cycles.is_none() {
+            a.first_token_cycles = Some(now + ttft);
+        }
         self.kv_in_use -= a.footprint;
         self.finished
             .push(Self::completion(&a, self.id, now + total, w.gen_steps));
@@ -311,6 +417,7 @@ impl Chip {
         Completion {
             id: a.job.id,
             class: a.job.class,
+            priority: a.job.priority,
             client: a.job.client,
             chip,
             arrival_cycles: a.job.arrival_cycles,
@@ -318,8 +425,130 @@ impl Chip {
             finish_cycles: finish,
             first_token_cycles: a.first_token_cycles.unwrap_or(finish),
             deadline_cycles: a.job.deadline_cycles,
+            preemptions: a.job.preemptions,
             prefill_tokens: a.job.workload.seq_len,
             generated_tokens: generated,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::IterationBatch;
+    use crate::cost::CostModel;
+    use spatten_core::SpAttenConfig;
+    use spatten_workloads::Benchmark;
+
+    fn job(id: u64, seq_len: usize, gen_steps: usize) -> Job {
+        let mut workload = Benchmark::gpt2_small_wikitext2().workload();
+        workload.seq_len = seq_len;
+        workload.gen_steps = gen_steps;
+        Job {
+            id,
+            class: 0,
+            priority: 0,
+            client: None,
+            arrival_cycles: 0,
+            deadline_cycles: None,
+            preemptions: 0,
+            resume: None,
+            workload,
+        }
+    }
+
+    /// Run `chip` through rounds until its resident set drains, returning
+    /// total cycles.
+    fn run_dry(chip: &mut Chip, cost: &mut CostModel, batch: &mut IterationBatch) -> u64 {
+        let mut now = 0;
+        while let Some(cycles) = chip.start_round(cost, batch, now) {
+            now += cycles;
+            chip.end_round();
+        }
+        now
+    }
+
+    #[test]
+    fn eviction_charges_swap_cycles_and_preserves_progress() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX, // whole prefill in one round
+        };
+
+        // Uninterrupted baseline.
+        let mut plain = Chip::new(0);
+        plain.admit(&mut cost, job(0, 128, 6), 0);
+        let baseline = run_dry(&mut plain, &mut cost, &mut batch);
+        assert_eq!(plain.swap_cycles, 0);
+        let plain_rounds = plain.rounds;
+
+        // Same job, evicted after 2 decode steps and re-admitted.
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, job(0, 128, 6), 0);
+        let mut now = 0;
+        for _ in 0..3 {
+            // prefill round + 2 decode rounds
+            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            chip.end_round();
+        }
+        let evicted = chip.evict(&mut cost, &[0], now);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(chip.active_jobs(), 0);
+        assert_eq!(chip.kv_in_use(), 0, "eviction releases KV");
+        let resume = evicted[0].resume.expect("resume state rides along");
+        assert!(resume.prefilled);
+        assert_eq!(resume.steps_done, 2);
+        assert_eq!(evicted[0].preemptions, 1);
+
+        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        let mut done = Vec::new();
+        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+            now += cycles;
+            done.extend(chip.end_round());
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].generated_tokens, 6, "no decoded work lost");
+        assert_eq!(done[0].preemptions, 1);
+        // Work rounds match the baseline (progress resumed, not redone),
+        // and the swap is charged on top of the baseline's cycles.
+        assert_eq!(chip.rounds, plain_rounds);
+        assert!(chip.swap_cycles > 0, "swap-out + swap-in must be priced");
+        assert_eq!(
+            chip.busy_cycles,
+            baseline + chip.swap_cycles,
+            "busy time = baseline work + swap cost, nothing redone"
+        );
+    }
+
+    #[test]
+    fn mid_prefill_eviction_keeps_prefill_progress() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: 10_000, // force many prefill rounds
+        };
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, job(0, 256, 0), 0);
+        let mut now = 0;
+        for _ in 0..2 {
+            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            chip.end_round();
+        }
+        let evicted = chip.evict(&mut cost, &[0], now);
+        let resume = evicted[0].resume.expect("resume state");
+        assert!(!resume.prefilled);
+        assert_eq!(resume.prefill_progress, 20_000);
+        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        // The resumed job finishes the remaining prefill only.
+        let total = cost.prefill_on(0, &job(0, 256, 0).workload).serial_cycles;
+        let mut remaining_rounds = 0;
+        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+            now += cycles;
+            chip.end_round();
+            remaining_rounds += 1;
+        }
+        assert_eq!(
+            remaining_rounds,
+            total.saturating_sub(20_000).div_ceil(10_000)
+        );
     }
 }

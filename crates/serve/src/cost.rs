@@ -156,6 +156,23 @@ impl CfgKey {
 /// physical chip for [`CostModel`], a sharded chip group for
 /// `spatten-cluster` — so heterogeneous fleets can price the same job
 /// differently per executor.
+///
+/// ```
+/// use spatten_core::SpAttenConfig;
+/// use spatten_serve::{CostModel, FleetCost};
+/// use spatten_workloads::Benchmark;
+///
+/// // A full-size chip next to an eighth-scale one: same job, two prices.
+/// let mut cost = CostModel::heterogeneous(
+///     vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+///     Some(8),
+/// );
+/// let w = Benchmark::gpt2_small_wikitext2().workload();
+/// assert!(cost.job_serial_on(1, &w) > cost.job_serial_on(0, &w));
+/// assert!(cost.footprint_on(0, &w) <= cost.budget_on(0));
+/// // Preemption swap: moving less KV costs fewer cycles.
+/// assert!(cost.swap_cycles_on(0, &w, 64) <= cost.swap_cycles_on(0, &w, 512));
+/// ```
 pub trait FleetCost {
     /// Cost of `w`'s summarization/prefill pass on `chip`.
     fn prefill_on(&mut self, chip: usize, w: &Workload) -> StepCost;
@@ -169,6 +186,16 @@ pub trait FleetCost {
 
     /// The KV packing budget of `chip`.
     fn budget_on(&self, chip: usize) -> u64;
+
+    /// Cycles to move the KV state of a `tokens`-token context of `w`
+    /// through `chip`'s HBM **one way** — the price preemption pays per
+    /// direction: a swap-out at eviction (KV drained from the SRAMs to
+    /// HBM) and a swap-in at re-admission (restored). Charged at the
+    /// chip's aggregate DRAM bandwidth; the bytes follow the same
+    /// deepest-layer-survivors-at-MSB-precision convention as
+    /// [`FleetCost::footprint_on`], so a job swaps exactly the working
+    /// set it pins.
+    fn swap_cycles_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64;
 
     /// Hints the oracle at the live resident-batch size on `chip` before a
     /// round is priced. The chip event loop calls this at every round
@@ -200,6 +227,18 @@ pub trait FleetCost {
     }
 }
 
+/// KV-cache bytes of a `tokens`-token context of `w` on `cfg`: the
+/// deepest-layer survivor set, K and V planes at the workload's MSB
+/// storage precision. The single working-set convention
+/// [`FleetCost::footprint_on`] (clamped to the budget) and
+/// [`FleetCost::swap_cycles_on`] (unclamped) share — change it here and
+/// both stay consistent.
+fn kv_working_set_bytes(cfg: &SpAttenConfig, w: &Workload, tokens: usize) -> u64 {
+    let deepest = surviving_tokens(cfg, w, w.model.layers - 1, tokens.max(1));
+    let bits = u64::from(w.quant.scheme.msb_bits());
+    deepest as u64 * 2 * (w.model.hidden as u64 * bits).div_ceil(8)
+}
+
 /// Memoized cost oracle for a fleet of (possibly heterogeneous) chips.
 #[derive(Debug)]
 pub struct CostModel {
@@ -213,6 +252,7 @@ pub struct CostModel {
     prefill_memo: HashMap<(CfgKey, ClassKey, usize), StepCost>,
     decode_memo: HashMap<(CfgKey, ClassKey, usize), StepCost>,
     footprint_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
+    swap_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
 }
 
 impl CostModel {
@@ -227,6 +267,7 @@ impl CostModel {
             prefill_memo: HashMap::new(),
             decode_memo: HashMap::new(),
             footprint_memo: HashMap::new(),
+            swap_memo: HashMap::new(),
         }
     }
 
@@ -365,16 +406,43 @@ impl FleetCost for CostModel {
             return b;
         }
         let cfg = &self.chip_cfgs[slot];
-        let deepest = surviving_tokens(cfg, w, w.model.layers - 1, max_ctx);
-        let bits = u64::from(w.quant.scheme.msb_bits());
-        let per_token = 2 * (w.model.hidden as u64 * bits).div_ceil(8);
-        let bytes = (deepest as u64 * per_token).min(self.budget_on(chip));
+        let bytes = kv_working_set_bytes(cfg, w, max_ctx).min(self.budget_on(chip));
         self.footprint_memo.insert(key, bytes);
         bytes
     }
 
     fn budget_on(&self, chip: usize) -> u64 {
         2 * self.chip_cfgs[self.slot(chip)].kv_sram_bytes
+    }
+
+    fn swap_cycles_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        let slot = self.slot(chip);
+        // Bucket like decode costs: swap prices move well under the
+        // scheduling noise floor within a bucket, and preemption storms
+        // would otherwise fill the memo with per-token entries.
+        let bucket = tokens.div_ceil(CTX_BUCKET) * CTX_BUCKET;
+        let key = (self.chip_keys[slot], ClassKey::of(w), bucket);
+        if let Some(&c) = self.swap_memo.get(&key) {
+            return c;
+        }
+        let cfg = &self.chip_cfgs[slot];
+        // Same working-set convention as `footprint_on`, at the *present*
+        // context rather than the maximum one (a job evicted mid-run has
+        // only built the KV it has seen), and unclamped: an oversized job
+        // streams its whole working set through HBM even though it only
+        // ever holds a budget's worth resident.
+        let bytes = kv_working_set_bytes(cfg, w, bucket);
+        // Aggregate HBM bandwidth in core cycles: `channels ×
+        // bytes_per_cycle` per HBM cycle, rescaled across the clock
+        // domains the way the fleet event queue ticks (core cycles).
+        let per_hbm_cycle = (cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle).max(1);
+        let hbm_cycles = bytes.div_ceil(per_hbm_cycle);
+        let cycles = (hbm_cycles as f64 * cfg.clock_ghz / cfg.hbm.clock_ghz).ceil() as u64;
+        self.swap_memo.insert(key, cycles);
+        cycles
     }
 }
 

@@ -16,15 +16,24 @@
 //!   shares cached costs across hardware. The [`FleetCost`] trait is the
 //!   chip-indexed interface the rest of the crate programs against —
 //!   `spatten-cluster` implements it for sharded multi-chip groups.
+//! * [`route`] — the **routing seam**: [`RoutingPolicy`] assigns each
+//!   arriving job to a chip *at arrival time* — cost-model-probed
+//!   fastest-chip, least-KV-loaded, hash-affinity — replacing the
+//!   chip-agnostic shared queue on heterogeneous fleets.
 //! * [`scheduler`] — the **admission seam**: [`AdmissionPolicy`] decides
 //!   who enters a chip's running batch under the KV budget. Bundled:
 //!   FIFO, shortest-job-first, arrival-order continuous batching,
-//!   KV-footprint-aware reordering with an explicit starvation bound,
-//!   and SLO-aware early rejection.
+//!   priority-ordered admission, KV-footprint-aware reordering with an
+//!   explicit starvation bound, and SLO-aware early rejection.
 //! * [`batch`] — the **batching seam**: [`BatchPolicy`] decides how one
 //!   iteration's budget splits between chunked prefill and decode steps.
 //!   Bundled: run-to-completion, uniform iterations, and Sarathi-style
 //!   decode-prioritized token budgets.
+//! * [`preempt`] — the **preemption seam**: [`PreemptionPolicy`] may
+//!   evict resident jobs at round boundaries for higher-priority queued
+//!   work. Victims' KV state swaps through HBM (priced by
+//!   [`FleetCost::swap_cycles_on`]) and their progress is preserved —
+//!   preemption trades the victim's latency, never its work.
 //! * [`chip`] — the per-chip event loop: queue wait, execution
 //!   serialization, and HBM-bandwidth-aware co-scheduling (one job's
 //!   compute overlaps another's KV/weight streaming; each resource
@@ -35,7 +44,8 @@
 //!   diurnal) and closed-loop traces from `spatten_workloads::trace`.
 //! * [`metrics`] — throughput (req/s, tokens/s), goodput, utilization,
 //!   p50/p95/p99 latency / queue-wait / TTFT / time-between-tokens, and
-//!   per-class SLO accounting, with a JSON report writer.
+//!   per-class SLO, priority and preemption accounting, with a JSON
+//!   report writer.
 //!
 //! # Quick start
 //!
@@ -59,7 +69,9 @@ pub mod chip;
 pub mod cost;
 pub mod json;
 pub mod metrics;
+pub mod preempt;
 pub mod request;
+pub mod route;
 pub mod scheduler;
 pub mod sim;
 
@@ -68,10 +80,15 @@ pub use batch::{
 };
 pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
 pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
-pub use request::{Completion, Job, Rejection};
+pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};
+pub use request::{Completion, Job, Rejection, ResumeState};
+pub use route::{
+    ChipLoad, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting, RoutingPolicy,
+    SharedQueueRouting,
+};
 pub use scheduler::{
     Admission, AdmissionPolicy, ArrivalOrderAdmission, ChipCapacity, FifoAdmission,
-    KvAwareAdmission, PendingQueue, Policy, QueuedJob, SchedKnobs, Scheduler, SjfAdmission,
-    SloAwareAdmission,
+    KvAwareAdmission, PendingQueue, Policy, PreemptSpec, PriorityAdmission, QueuedJob, RouteSpec,
+    SchedKnobs, Scheduler, SjfAdmission, SloAwareAdmission,
 };
 pub use sim::{simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig};

@@ -74,6 +74,11 @@ pub struct ChipStats {
     pub mean_occupancy: f64,
     /// High-water mark of KV SRAM bytes in use.
     pub max_kv_in_use: u64,
+    /// Preemption evictions this chip performed.
+    pub evictions: u64,
+    /// Cycles spent swapping preempted KV state to and from HBM (a
+    /// subset of `busy_cycles`).
+    pub swap_cycles: u64,
 }
 
 /// Per-request-class accounting: latency, decode cadence, and the SLO
@@ -83,12 +88,18 @@ pub struct ChipStats {
 pub struct ClassStats {
     /// Index into the trace spec's class list.
     pub class: usize,
+    /// The scheduling priority tier the class's requests carried.
+    pub priority: u8,
     /// Requests of this class that completed.
     pub completed: usize,
     /// Requests shed by SLO-aware early rejection.
     pub rejected: usize,
     /// Completions that finished past their deadline.
     pub violations: usize,
+    /// Completions that were preempted at least once on the way.
+    pub preempted: usize,
+    /// Total preemption events the class's requests absorbed.
+    pub preemptions: u64,
     /// Deadline-meeting completions per second of simulated time (equals
     /// the class's throughput when it carries no SLO).
     pub goodput_rps: f64,
@@ -103,9 +114,12 @@ impl ClassStats {
     fn to_json(&self) -> String {
         JsonObject::new()
             .u64("class", self.class as u64)
+            .u64("priority", u64::from(self.priority))
             .u64("completed", self.completed as u64)
             .u64("rejected", self.rejected as u64)
             .u64("violations", self.violations as u64)
+            .u64("preempted", self.preempted as u64)
+            .u64("preemptions", self.preemptions)
             .f64("goodput_rps", self.goodput_rps)
             .raw("latency", &self.latency.to_json())
             .raw("tbt", &self.tbt.to_json())
@@ -128,6 +142,8 @@ pub struct FleetReport {
     pub rejected: usize,
     /// Completions that finished past their deadline.
     pub slo_violations: usize,
+    /// Preemption eviction events across the fleet.
+    pub preemptions: u64,
     /// Simulated makespan in cycles (last completion).
     pub makespan_cycles: u64,
     /// Completed requests per second of simulated time.
@@ -186,6 +202,7 @@ impl FleetReport {
             .filter_map(Completion::tbt_cycles)
             .collect();
         let in_slo = completions.iter().filter(|c| c.met_deadline()).count();
+        let preemptions: u64 = completions.iter().map(|c| u64::from(c.preemptions)).sum();
         let busy: u64 = chip_stats.iter().map(|c| c.busy_cycles).sum();
         let utilization = if makespan_cycles == 0 {
             0.0
@@ -207,6 +224,7 @@ impl FleetReport {
             completed: completions.len(),
             rejected: rejections.len(),
             slo_violations: completions.len() - in_slo,
+            preemptions,
             makespan_cycles,
             throughput_rps: per_sec(completions.len()),
             goodput_rps: per_sec(in_slo),
@@ -248,11 +266,24 @@ impl FleetReport {
                 let in_slo = mine.iter().filter(|c| c.met_deadline()).count();
                 let latencies: Vec<u64> = mine.iter().map(|c| c.latency_cycles()).collect();
                 let tbts: Vec<u64> = mine.iter().filter_map(|c| c.tbt_cycles()).collect();
+                let priority = mine
+                    .first()
+                    .map(|c| c.priority)
+                    .or_else(|| {
+                        rejections
+                            .iter()
+                            .find(|r| r.class == class)
+                            .map(|r| r.priority)
+                    })
+                    .unwrap_or(0);
                 ClassStats {
                     class,
+                    priority,
                     completed: mine.len(),
                     rejected,
                     violations: mine.len() - in_slo,
+                    preempted: mine.iter().filter(|c| c.preemptions > 0).count(),
+                    preemptions: mine.iter().map(|c| u64::from(c.preemptions)).sum(),
                     goodput_rps: if seconds > 0.0 {
                         in_slo as f64 / seconds
                     } else {
@@ -287,6 +318,8 @@ impl FleetReport {
                 .u64("rounds", c.rounds)
                 .f64("mean_occupancy", c.mean_occupancy)
                 .u64("max_kv_in_use_bytes", c.max_kv_in_use)
+                .u64("evictions", c.evictions)
+                .u64("swap_cycles", c.swap_cycles)
                 .build()
         }));
         let classes = array(self.class_stats.iter().map(ClassStats::to_json));
@@ -297,6 +330,7 @@ impl FleetReport {
             .u64("completed", self.completed as u64)
             .u64("rejected", self.rejected as u64)
             .u64("slo_violations", self.slo_violations as u64)
+            .u64("preemptions", self.preemptions)
             .u64("makespan_cycles", self.makespan_cycles)
             .f64(
                 "makespan_s",
@@ -356,6 +390,7 @@ mod tests {
         Completion {
             id: finish,
             class,
+            priority: class as u8,
             client: None,
             chip: 0,
             arrival_cycles: 0,
@@ -363,6 +398,7 @@ mod tests {
             finish_cycles: finish,
             first_token_cycles: finish.min(1000),
             deadline_cycles: deadline,
+            preemptions: if class == 1 { 2 } else { 0 },
             prefill_tokens: 64,
             generated_tokens: generated,
         }
@@ -378,6 +414,7 @@ mod tests {
         let rejections = vec![Rejection {
             id: 99,
             class: 0,
+            priority: 0,
             client: None,
             arrival_cycles: 0,
             reject_cycles: 500,
@@ -397,5 +434,11 @@ mod tests {
         assert_eq!(r.class_stats[0].tbt.p99, 0.0);
         assert!(r.class_stats[1].tbt.p99 > 0.0);
         assert!(r.tbt.p99 > 0.0);
+        // Priority and the preemption ledger ride per class.
+        assert_eq!(r.class_stats[0].priority, 0);
+        assert_eq!(r.class_stats[1].priority, 1);
+        assert_eq!(r.class_stats[1].preempted, 1);
+        assert_eq!(r.class_stats[1].preemptions, 2);
+        assert_eq!(r.preemptions, 2);
     }
 }

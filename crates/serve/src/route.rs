@@ -1,0 +1,348 @@
+//! Pluggable routing policies: which chip a job is assigned to at
+//! *arrival* time.
+//!
+//! The default serving front-end is one shared queue: every chip pulls
+//! from it at its round boundaries, so jobs land wherever a chip happens
+//! to free up. That is work-conserving but **chip-agnostic** — on a
+//! heterogeneous fleet an eighth-scale chip will happily grab a job the
+//! full-size chip next to it would have finished 8× sooner, and the tail
+//! pays for it. A [`RoutingPolicy`] runs *ahead of admission*: the moment
+//! a job arrives it is assigned to one chip's private queue (or left in
+//! the shared queue), using the cost oracle and a live load snapshot of
+//! every chip. Admission then drains a chip's private queue first, the
+//! shared queue second, under the same [`AdmissionPolicy`] either way.
+//!
+//! Bundled policies:
+//!
+//! * [`SharedQueueRouting`] — no routing; every job stays in the shared
+//!   queue (the PR 1–3 behavior, and the right choice for homogeneous
+//!   fleets where work conservation beats placement).
+//! * [`FastestChipRouting`] — probes the cost model: the job goes to the
+//!   chip minimizing `queued backlog + this job's serial cycles on that
+//!   chip`. On a mixed full/eighth fleet this sends work to full-size
+//!   chips until their backlog exceeds the speed differential — exactly
+//!   the placement-aware balance a blind shared queue cannot express.
+//! * [`LeastKvLoadedRouting`] — the job goes to the chip with the lowest
+//!   fractional KV pressure (resident + queued footprints over budget),
+//!   maximizing batching headroom on big-SRAM chips.
+//! * [`HashAffinityRouting`] — deterministic hash of the client (or the
+//!   request id for open-loop traffic) onto the fleet: a session's
+//!   requests always land on the same chip, the stateless-front-end
+//!   baseline real serving tiers use for cache affinity.
+//!
+//! [`AdmissionPolicy`]: crate::scheduler::AdmissionPolicy
+
+use crate::cost::FleetCost;
+use crate::request::Job;
+use std::fmt;
+
+/// A live load snapshot of one chip, assembled by the event loop at every
+/// arrival and handed to [`RoutingPolicy::route`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChipLoad {
+    /// Jobs currently resident (executing) on the chip.
+    pub active: usize,
+    /// KV SRAM bytes resident jobs currently pin.
+    pub kv_in_use: u64,
+    /// The chip's KV packing budget.
+    pub kv_budget: u64,
+    /// Jobs queued in the chip's private (routed) queue.
+    pub pending_jobs: usize,
+    /// Serial-cycle estimate of the chip's private queue (each routed
+    /// job's whole-job cost on this chip, summed).
+    pub pending_cycles: u64,
+    /// KV footprint estimate of the chip's private queue.
+    pub pending_kv: u64,
+}
+
+/// The routing seam: assigns an arriving job to a chip, or leaves it in
+/// the shared queue.
+///
+/// Routing happens once, at arrival; admission (who *enters the batch*,
+/// and when) still happens at round boundaries under the
+/// [`AdmissionPolicy`](crate::scheduler::AdmissionPolicy). Returning
+/// `Some(c)` places the job in chip `c`'s private queue; `None` leaves it
+/// in the shared queue that any chip may drain.
+///
+/// ```
+/// use spatten_serve::{ChipLoad, CostModel, FleetCost, Job, RoutingPolicy};
+/// use spatten_core::SpAttenConfig;
+///
+/// /// Route everything to the last chip (a toy policy).
+/// #[derive(Debug)]
+/// struct LastChip;
+/// impl RoutingPolicy for LastChip {
+///     fn name(&self) -> &'static str {
+///         "last-chip"
+///     }
+///     fn route(
+///         &mut self,
+///         _job: &Job,
+///         _cost: &mut dyn FleetCost,
+///         loads: &[ChipLoad],
+///         _now: u64,
+///     ) -> Option<usize> {
+///         Some(loads.len() - 1)
+///     }
+/// }
+/// ```
+pub trait RoutingPolicy: fmt::Debug {
+    /// Stable lowercase name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this policy ever routes. The event loop skips building
+    /// the per-arrival [`ChipLoad`] snapshot when this is `false`, so
+    /// the default shared-queue configuration pays nothing for the
+    /// seam. Override only for always-`None` policies.
+    fn routes(&self) -> bool {
+        true
+    }
+
+    /// Picks the chip for `job` at time `now`, given one [`ChipLoad`] per
+    /// chip. `None` = shared queue.
+    fn route(
+        &mut self,
+        job: &Job,
+        cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        now: u64,
+    ) -> Option<usize>;
+}
+
+impl RoutingPolicy for Box<dyn RoutingPolicy> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn routes(&self) -> bool {
+        self.as_ref().routes()
+    }
+
+    fn route(
+        &mut self,
+        job: &Job,
+        cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        now: u64,
+    ) -> Option<usize> {
+        self.as_mut().route(job, cost, loads, now)
+    }
+}
+
+/// No routing: every job waits in the shared queue and lands on whichever
+/// chip's admission drains it first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedQueueRouting;
+
+impl RoutingPolicy for SharedQueueRouting {
+    fn name(&self) -> &'static str {
+        "shared-queue"
+    }
+
+    fn routes(&self) -> bool {
+        false
+    }
+
+    fn route(
+        &mut self,
+        _job: &Job,
+        _cost: &mut dyn FleetCost,
+        _loads: &[ChipLoad],
+        _now: u64,
+    ) -> Option<usize> {
+        None
+    }
+}
+
+/// Cost-model-probed routing: the job goes to the chip that minimizes
+/// `pending queue backlog + the job's own serial cycles on that chip` —
+/// an estimated-completion greedy that prices the *job on the hardware*,
+/// not just the queue length. Fast chips absorb most of the traffic;
+/// slow chips only receive work once the fast chips' backlog exceeds the
+/// hardware speed gap. Ties break toward the lower chip index, so
+/// routing is deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastestChipRouting;
+
+impl RoutingPolicy for FastestChipRouting {
+    fn name(&self) -> &'static str {
+        "fastest-chip"
+    }
+
+    fn route(
+        &mut self,
+        job: &Job,
+        cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        _now: u64,
+    ) -> Option<usize> {
+        (0..loads.len()).min_by_key(|&c| {
+            (
+                loads[c]
+                    .pending_cycles
+                    .saturating_add(cost.job_serial_on(c, &job.workload)),
+                c,
+            )
+        })
+    }
+}
+
+/// KV-pressure routing: the job goes to the chip with the lowest
+/// fractional KV load — resident plus already-queued footprints, over
+/// that chip's own budget — keeping batching headroom even across
+/// different SRAM sizes. Ties break toward the lower chip index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastKvLoadedRouting;
+
+impl RoutingPolicy for LeastKvLoadedRouting {
+    fn name(&self) -> &'static str {
+        "least-kv-loaded"
+    }
+
+    fn route(
+        &mut self,
+        _job: &Job,
+        _cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        _now: u64,
+    ) -> Option<usize> {
+        // Compare load fractions exactly in integers: a/b < c/d  ⇔
+        // a·d < c·b (budgets are nonzero for any chip with SRAM).
+        (0..loads.len()).min_by(|&a, &b| {
+            let (la, lb) = (&loads[a], &loads[b]);
+            let fa = (la.kv_in_use + la.pending_kv) as u128 * lb.kv_budget.max(1) as u128;
+            let fb = (lb.kv_in_use + lb.pending_kv) as u128 * la.kv_budget.max(1) as u128;
+            fa.cmp(&fb).then(a.cmp(&b))
+        })
+    }
+}
+
+/// Session-affinity routing: a deterministic hash of the issuing client
+/// (or the request id, for open-loop traffic without client identity)
+/// picks the chip. Requests from one session always land on the same
+/// chip — no load feedback at all, the baseline that shows what routing
+/// *without* a cost model costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashAffinityRouting;
+
+/// SplitMix64 — a tiny, well-mixed integer hash (deterministic across
+/// runs, unlike `std`'s `RandomState`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl RoutingPolicy for HashAffinityRouting {
+    fn name(&self) -> &'static str {
+        "hash-affinity"
+    }
+
+    fn route(
+        &mut self,
+        job: &Job,
+        _cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        _now: u64,
+    ) -> Option<usize> {
+        if loads.is_empty() {
+            return None;
+        }
+        let key = match job.client {
+            Some(client) => client as u64 | 1 << 63,
+            None => job.id,
+        };
+        Some((splitmix64(key) % loads.len() as u64) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use spatten_core::SpAttenConfig;
+    use spatten_workloads::{Benchmark, Workload};
+
+    fn job(id: u64, client: Option<usize>) -> Job {
+        let workload: Workload = Benchmark::gpt2_small_wikitext2().workload();
+        Job {
+            id,
+            class: 0,
+            priority: 0,
+            client,
+            arrival_cycles: 0,
+            deadline_cycles: None,
+            preemptions: 0,
+            resume: None,
+            workload,
+        }
+    }
+
+    fn idle(kv_budget: u64) -> ChipLoad {
+        ChipLoad {
+            active: 0,
+            kv_in_use: 0,
+            kv_budget,
+            pending_jobs: 0,
+            pending_cycles: 0,
+            pending_kv: 0,
+        }
+    }
+
+    #[test]
+    fn fastest_chip_prefers_the_full_size_chip_until_backlog_balances() {
+        let mut cost = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let mut r = FastestChipRouting;
+        let mut loads = vec![idle(cost.budget_on(0)), idle(cost.budget_on(1))];
+        // Idle fleet: the full chip wins outright.
+        assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(0));
+        // Pile backlog onto the full chip until the eighth chip's raw
+        // serial cost is the cheaper estimated completion.
+        let eighth_serial = cost.job_serial_on(1, &job(0, None).workload);
+        loads[0].pending_cycles = eighth_serial * 2;
+        assert_eq!(r.route(&job(1, None), &mut cost, &loads, 0), Some(1));
+    }
+
+    #[test]
+    fn least_kv_loaded_balances_fractions_not_bytes() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut r = LeastKvLoadedRouting;
+        // Chip 0: half full of a small budget. Chip 1: a quarter full of a
+        // budget twice the size. Chip 1 is the lower *fraction*.
+        let mut a = idle(1000);
+        a.kv_in_use = 500;
+        let mut b = idle(2000);
+        b.kv_in_use = 500;
+        assert_eq!(r.route(&job(0, None), &mut cost, &[a, b], 0), Some(1));
+    }
+
+    #[test]
+    fn hash_affinity_is_sticky_per_client_and_deterministic() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut r = HashAffinityRouting;
+        let loads = vec![idle(1); 4];
+        let first = r.route(&job(0, Some(7)), &mut cost, &loads, 0);
+        for id in 1..20 {
+            assert_eq!(r.route(&job(id, Some(7)), &mut cost, &loads, 0), first);
+        }
+        // Different clients spread across chips.
+        let chips: std::collections::BTreeSet<_> = (0..64)
+            .map(|c| r.route(&job(0, Some(c)), &mut cost, &loads, 0).unwrap())
+            .collect();
+        assert!(chips.len() > 1, "64 clients must not all hash to one chip");
+    }
+
+    #[test]
+    fn shared_queue_routes_nothing() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let loads = vec![idle(1); 4];
+        assert_eq!(
+            SharedQueueRouting.route(&job(0, None), &mut cost, &loads, 0),
+            None
+        );
+    }
+}

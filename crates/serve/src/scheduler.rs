@@ -1,16 +1,23 @@
 //! Pluggable admission policies: who enters a chip's running batch.
 //!
-//! Scheduling is split into two orthogonal policy seams the event loop is
-//! generic over:
+//! Scheduling is split into four orthogonal policy seams the event loop
+//! is generic over:
 //!
+//! * **Routing** ([`crate::route::RoutingPolicy`]) — which chip an
+//!   arriving job is assigned to, *at arrival time*, before it ever
+//!   queues: cost-model-probed fastest-chip, least-KV-loaded, or
+//!   hash-affinity placement ahead of the chip-agnostic shared queue.
 //! * **Admission** ([`AdmissionPolicy`], this module) — which queued jobs
 //!   join a chip's resident set at a round boundary, under the chip's KV
 //!   budget and batch-slot capacity.
 //! * **Batching** ([`crate::batch::BatchPolicy`]) — how the admitted
 //!   residents share one iteration: whole jobs, uniform chunked-prefill +
 //!   decode interleaving, or decode-prioritized token budgets.
+//! * **Preemption** ([`crate::preempt::PreemptionPolicy`]) — whether
+//!   resident jobs can be evicted mid-decode for higher-priority queued
+//!   work, with KV swap costs charged and progress preserved.
 //!
-//! The bundled policies:
+//! The bundled admission policies:
 //!
 //! * [`FifoAdmission`] — strict arrival order, one job per idle chip,
 //!   run-to-completion. The baseline every serving system starts from, and
@@ -24,6 +31,13 @@
 //!   arrival order, bounded by KV footprint: the continuous-batching
 //!   front-end. Stops at the first job that doesn't fit, so FIFO's
 //!   no-starvation property is preserved.
+//! * [`PriorityAdmission`] — iteration-level admission in priority order
+//!   (higher [`crate::request::Job::priority`] first, oldest first within
+//!   a tier), bounded by KV footprint. The front-end of preemptive
+//!   priority scheduling: paired with
+//!   [`crate::preempt::PriorityPreemption`], a
+//!   latency-critical arrival both jumps the queue *and* can displace a
+//!   resident batch job.
 //! * [`KvAwareAdmission`] — KV-footprint-aware reordering: scans past
 //!   jobs that don't fit the remaining budget and admits later ones that
 //!   do, packing the SRAM tighter under mixed footprints. Every overtake
@@ -35,19 +49,41 @@
 //!   immediately* is shed before it consumes any chip cycles, protecting
 //!   goodput under overload instead of letting every request straggle.
 //!
-//! The [`Policy`] enum names the six canonical (admission, batching)
-//! pairings and builds boxed policy objects for runtime sweeps; the
-//! simulator itself ([`crate::sim::simulate_fleet_with`]) is generic and
-//! accepts any trait implementation.
+//! The [`Policy`] enum names the seven canonical (admission, batching)
+//! pairings and builds boxed policy objects for runtime sweeps; routing
+//! and preemption compose with *any* of them through
+//! [`SchedKnobs::route`] and [`SchedKnobs::preempt`]. The simulator
+//! itself ([`crate::sim::simulate_fleet_with`]) is generic and accepts
+//! any trait implementation.
 
 use crate::batch::{BatchPolicy, DecodePrioritizedBatch, IterationBatch, RunToCompletion};
 use crate::cost::FleetCost;
+use crate::preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption};
 use crate::request::Job;
+use crate::route::{
+    ChipLoad, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting, RoutingPolicy,
+    SharedQueueRouting,
+};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::collections::VecDeque;
 use std::fmt;
 
-/// The six canonical scheduling policies, as (admission, batching) pairs.
+/// The seven canonical scheduling policies, as (admission, batching)
+/// pairs. Routing and preemption are orthogonal: any policy composes
+/// with any [`SchedKnobs::route`] / [`SchedKnobs::preempt`] setting.
+///
+/// ```
+/// use spatten_serve::{Policy, SchedKnobs};
+///
+/// let knobs = SchedKnobs::default();
+/// for policy in Policy::ALL {
+///     // Every canonical policy builds a boxed (admission, batching) pair.
+///     let _admission = policy.admission(&knobs);
+///     let _batch = policy.batch(&knobs);
+/// }
+/// assert_eq!(Policy::DecodePrioritized.name(), "decode-prioritized");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Policy {
     /// First-in first-out, run-to-completion.
@@ -67,17 +103,23 @@ pub enum Policy {
     /// Continuous batching plus SLO-aware early rejection of jobs whose
     /// deadline is already unmeetable.
     SloAware,
+    /// Priority-ordered continuous batching: the queue drains highest
+    /// priority first (oldest first within a tier). Pair with
+    /// [`PreemptSpec::Priority`] for fully preemptive priority
+    /// scheduling.
+    Priority,
 }
 
 impl Policy {
     /// All policies, in the order the bench report lists them.
-    pub const ALL: [Policy; 6] = [
+    pub const ALL: [Policy; 7] = [
         Policy::Fifo,
         Policy::Sjf,
         Policy::ContinuousBatching,
         Policy::DecodePrioritized,
         Policy::KvAware,
         Policy::SloAware,
+        Policy::Priority,
     ];
 
     /// Stable lowercase name for reports.
@@ -89,6 +131,7 @@ impl Policy {
             Policy::DecodePrioritized => "decode-prioritized",
             Policy::KvAware => "kv-aware",
             Policy::SloAware => "slo-aware",
+            Policy::Priority => "priority",
         }
     }
 
@@ -104,6 +147,7 @@ impl Policy {
                 max_skip: knobs.max_skip,
             }),
             Policy::SloAware => Box::new(SloAwareAdmission::default()),
+            Policy::Priority => Box::new(PriorityAdmission),
         }
     }
 
@@ -111,7 +155,7 @@ impl Policy {
     pub fn batch(&self, knobs: &SchedKnobs) -> Box<dyn BatchPolicy> {
         match self {
             Policy::Fifo | Policy::Sjf => Box::new(RunToCompletion),
-            Policy::ContinuousBatching | Policy::KvAware | Policy::SloAware => {
+            Policy::ContinuousBatching | Policy::KvAware | Policy::SloAware | Policy::Priority => {
                 Box::new(IterationBatch {
                     prefill_chunk_cycles: knobs.prefill_chunk_cycles,
                 })
@@ -124,8 +168,100 @@ impl Policy {
     }
 }
 
+/// The canonical routing policies, as a serializable knob — any
+/// [`Policy`] composes with any of them (see [`SchedKnobs::route`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouteSpec {
+    /// No routing: one shared queue any chip may drain (the default, and
+    /// the work-conserving choice for homogeneous fleets).
+    #[default]
+    SharedQueue,
+    /// Cost-model-probed: minimize queued backlog plus the job's own
+    /// serial cycles on the target chip
+    /// ([`crate::route::FastestChipRouting`]).
+    FastestChip,
+    /// Lowest fractional KV pressure
+    /// ([`crate::route::LeastKvLoadedRouting`]).
+    LeastKvLoaded,
+    /// Deterministic client/request hash
+    /// ([`crate::route::HashAffinityRouting`]).
+    HashAffinity,
+}
+
+impl RouteSpec {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouteSpec::SharedQueue => "shared-queue",
+            RouteSpec::FastestChip => "fastest-chip",
+            RouteSpec::LeastKvLoaded => "least-kv-loaded",
+            RouteSpec::HashAffinity => "hash-affinity",
+        }
+    }
+
+    /// Builds the boxed routing policy this spec names.
+    pub fn build(&self) -> Box<dyn RoutingPolicy> {
+        match self {
+            RouteSpec::SharedQueue => Box::new(SharedQueueRouting),
+            RouteSpec::FastestChip => Box::new(FastestChipRouting),
+            RouteSpec::LeastKvLoaded => Box::new(LeastKvLoadedRouting),
+            RouteSpec::HashAffinity => Box::new(HashAffinityRouting),
+        }
+    }
+}
+
+/// The canonical preemption policies, as a serializable knob — any
+/// [`Policy`] composes with any of them (see [`SchedKnobs::preempt`]).
+/// Note that run-to-completion policies ([`Policy::Fifo`] /
+/// [`Policy::Sjf`]) never trigger eviction: their single resident
+/// always leaves free batch slots, so no queued job ever looks blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PreemptSpec {
+    /// No eviction: admitted jobs keep their slot to completion.
+    #[default]
+    None,
+    /// Priority-driven eviction with the
+    /// [`SchedKnobs::max_preemptions`] fairness bound
+    /// ([`crate::preempt::PriorityPreemption`]).
+    Priority,
+}
+
+impl PreemptSpec {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreemptSpec::None => "none",
+            PreemptSpec::Priority => "priority",
+        }
+    }
+
+    /// Builds the boxed preemption policy this spec names.
+    pub fn build(&self, knobs: &SchedKnobs) -> Box<dyn PreemptionPolicy> {
+        match self {
+            PreemptSpec::None => Box::new(NoPreemption),
+            PreemptSpec::Priority => Box::new(PriorityPreemption {
+                fairness: knobs.max_preemptions,
+            }),
+        }
+    }
+}
+
 /// Tuning knobs shared by the canonical policies. Defaults match the
-/// Table-I serving configuration.
+/// Table-I serving configuration and reproduce the pre-routing,
+/// non-preemptive behavior exactly.
+///
+/// ```
+/// use spatten_serve::{PreemptSpec, RouteSpec, SchedKnobs};
+///
+/// // Preemptive priority scheduling with fastest-chip routing:
+/// let knobs = SchedKnobs {
+///     route: RouteSpec::FastestChip,
+///     preempt: PreemptSpec::Priority,
+///     ..SchedKnobs::default()
+/// };
+/// assert_eq!(knobs.route.build().name(), "fastest-chip");
+/// assert_eq!(knobs.preempt.build(&knobs).name(), "priority");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedKnobs {
     /// Chunked-prefill quantum: the most serial prefill work one job may
@@ -140,6 +276,14 @@ pub struct SchedKnobs {
     /// KV-aware reordering starvation bound: the most times one queued
     /// job may be overtaken before it becomes an admission barrier.
     pub max_skip: u32,
+    /// Admission-time routing across the fleet (default: the
+    /// chip-agnostic shared queue).
+    pub route: RouteSpec,
+    /// Preemption of resident jobs (default: none).
+    pub preempt: PreemptSpec,
+    /// Preemption fairness bound: the most times any one job may be
+    /// evicted before it becomes immune.
+    pub max_preemptions: u32,
 }
 
 impl Default for SchedKnobs {
@@ -148,11 +292,15 @@ impl Default for SchedKnobs {
             prefill_chunk_cycles: 250_000,
             prefill_budget_cycles: 250_000,
             max_skip: 4,
+            route: RouteSpec::SharedQueue,
+            preempt: PreemptSpec::None,
+            max_preemptions: 4,
         }
     }
 }
 
-/// A chip's admission capacity, passed to [`AdmissionPolicy::admit`].
+/// A chip's admission capacity, passed to [`AdmissionPolicy::admit`] and
+/// [`PreemptionPolicy::victims`].
 #[derive(Debug, Clone, Copy)]
 pub struct ChipCapacity {
     /// Jobs currently resident on the chip.
@@ -172,9 +320,10 @@ pub struct QueuedJob {
     pub skips: u32,
 }
 
-/// The fleet-wide pending queue, in arrival order. Admission policies
-/// inspect it, remove the jobs they admit or reject, and record overtakes
-/// on the jobs they skip.
+/// A pending queue in arrival order — the shared fleet-wide queue, or
+/// one chip's private routed queue. Admission policies inspect it,
+/// remove the jobs they admit or reject, and record overtakes on the
+/// jobs they skip.
 #[derive(Debug, Default)]
 pub struct PendingQueue {
     jobs: VecDeque<QueuedJob>,
@@ -189,6 +338,12 @@ impl PendingQueue {
     /// Appends an arrival (queue order is arrival order).
     pub fn push(&mut self, job: Job) {
         self.jobs.push_back(QueuedJob { job, skips: 0 });
+    }
+
+    /// Prepends a job — used to re-queue preempted jobs, which arrived
+    /// before anything currently queued and must not lose their place.
+    pub fn push_front(&mut self, job: Job) {
+        self.jobs.push_front(QueuedJob { job, skips: 0 });
     }
 
     /// Jobs waiting.
@@ -237,6 +392,35 @@ pub struct Admission {
 /// queue, the chip's capacity, and the fleet cost oracle (priced against
 /// the *calling* chip, so heterogeneous fleets pack each chip by its own
 /// budget).
+///
+/// ```
+/// use spatten_serve::{
+///     Admission, AdmissionPolicy, ChipCapacity, FleetCost, PendingQueue,
+/// };
+///
+/// /// Admit the newest arrival first (a toy LIFO policy).
+/// #[derive(Debug)]
+/// struct Lifo;
+/// impl AdmissionPolicy for Lifo {
+///     fn name(&self) -> &'static str {
+///         "lifo"
+///     }
+///     fn admit(
+///         &mut self,
+///         queue: &mut PendingQueue,
+///         _cost: &mut dyn FleetCost,
+///         _chip: usize,
+///         cap: ChipCapacity,
+///         _now: u64,
+///     ) -> Admission {
+///         let mut out = Admission::default();
+///         if cap.slots > 0 && !queue.is_empty() {
+///             out.jobs.push(queue.remove(queue.len() - 1));
+///         }
+///         out
+///     }
+/// }
+/// ```
 pub trait AdmissionPolicy: fmt::Debug {
     /// Stable lowercase name for reports.
     fn name(&self) -> &'static str;
@@ -361,6 +545,52 @@ impl AdmissionPolicy for ArrivalOrderAdmission {
     }
 }
 
+/// Iteration-level admission in **priority order**: the queue drains
+/// highest-[`Job::priority`] first, oldest first within a tier, bounded
+/// by KV footprint and batch slots. Stops at the first candidate that
+/// doesn't fit (no skipping within or across tiers), so with uniform
+/// priorities it degenerates exactly to [`ArrivalOrderAdmission`].
+/// Low-priority starvation under a sustained high-priority flood is
+/// inherent to strict priority queues; the preemption fairness bound
+/// ([`SchedKnobs::max_preemptions`]) protects jobs that already made it
+/// on chip, and the flood has to end before the backlog drains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityAdmission;
+
+impl AdmissionPolicy for PriorityAdmission {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn admit(
+        &mut self,
+        queue: &mut PendingQueue,
+        cost: &mut dyn FleetCost,
+        chip: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> Admission {
+        let mut out = Admission::default();
+        let mut kv_free = cap.kv_free;
+        let mut slots = cap.slots;
+        while slots > 0 && !queue.is_empty() {
+            // Highest priority; the smallest index within a tier is the
+            // oldest arrival (queue order is arrival order).
+            let best = (0..queue.len())
+                .max_by_key(|&i| (queue.get(i).job.priority, Reverse(i)))
+                .expect("non-empty queue");
+            let footprint = cost.footprint_on(chip, &queue.get(best).job.workload);
+            if footprint > kv_free {
+                break;
+            }
+            kv_free -= footprint;
+            slots -= 1;
+            out.jobs.push(queue.remove(best));
+        }
+        out
+    }
+}
+
 /// KV-footprint-aware reordering with an explicit starvation bound: the
 /// scan admits any queued job that fits the remaining budget, jumping
 /// over jobs that don't. Each jump increments the skipped job's counter;
@@ -480,27 +710,67 @@ impl AdmissionPolicy for SloAwareAdmission {
     }
 }
 
-/// The fleet-wide pending queue plus the admission policy that drains it.
+/// The fleet-wide pending queues plus the routing policy that splits
+/// arrivals across them and the admission policy that drains them.
+///
+/// Without routing ([`SharedQueueRouting`], the default) every arrival
+/// lands in one shared queue and behavior is identical to the
+/// single-queue scheduler of PRs 1–3. With routing, each chip owns a
+/// private queue the router fills at arrival time; admission drains a
+/// chip's private queue first and the shared queue second, under the
+/// same policy. Preempted jobs are re-queued at the front of the
+/// evicting chip's private queue (routing active — their KV prefix was
+/// drained into that chip's HBM) or of the shared queue (shared-queue
+/// routing — so the admission order across them and the job they were
+/// evicted for stays priority-consistent).
 #[derive(Debug)]
-pub struct Scheduler<A: AdmissionPolicy> {
+pub struct Scheduler<A: AdmissionPolicy, R: RoutingPolicy = SharedQueueRouting> {
     policy: A,
-    queue: PendingQueue,
+    router: R,
+    shared: PendingQueue,
+    routed: Vec<PendingQueue>,
+    /// Serial-cycle backlog estimate per private queue (each routed job's
+    /// whole-job cost on its chip) — the load signal
+    /// [`FastestChipRouting`] balances on.
+    pending_cycles: Vec<u64>,
+    /// KV footprint estimate per private queue.
+    pending_kv: Vec<u64>,
     admitted: u64,
 }
 
-impl<A: AdmissionPolicy> Scheduler<A> {
-    /// An empty scheduler driven by `policy`.
-    pub fn new(policy: A) -> Self {
+impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
+    /// An empty scheduler for `chips` executors, admitting with `policy`
+    /// and routing with `router`.
+    pub fn new(policy: A, router: R, chips: usize) -> Self {
         Self {
             policy,
-            queue: PendingQueue::new(),
+            router,
+            shared: PendingQueue::new(),
+            routed: (0..chips).map(|_| PendingQueue::new()).collect(),
+            pending_cycles: vec![0; chips],
+            pending_kv: vec![0; chips],
             admitted: 0,
         }
     }
 
-    /// Jobs waiting for a chip.
+    /// Jobs waiting for a chip (shared + every private queue).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.shared.len() + self.routed.iter().map(PendingQueue::len).sum::<usize>()
+    }
+
+    /// Jobs waiting in `chip`'s private queue.
+    pub fn pending_on(&self, chip: usize) -> usize {
+        self.routed[chip].len()
+    }
+
+    /// Serial-cycle backlog estimate of `chip`'s private queue.
+    pub fn pending_cycles_on(&self, chip: usize) -> u64 {
+        self.pending_cycles[chip]
+    }
+
+    /// KV footprint estimate of `chip`'s private queue.
+    pub fn pending_kv_on(&self, chip: usize) -> u64 {
+        self.pending_kv[chip]
     }
 
     /// Total jobs handed to chips so far.
@@ -508,14 +778,75 @@ impl<A: AdmissionPolicy> Scheduler<A> {
         self.admitted
     }
 
-    /// Enqueues an arrival.
-    pub fn on_arrival(&mut self, job: Job) {
-        self.queue.push(job);
+    /// Whether the routing policy ever places jobs (the event loop skips
+    /// building load snapshots when it doesn't).
+    pub fn routes(&self) -> bool {
+        self.router.routes()
     }
 
-    /// Asks the policy what the calling chip should admit right now.
-    /// Admitted and rejected jobs are removed from the queue; an empty
-    /// decision means the chip stays as it is.
+    /// Enqueues an arrival, letting the router place it: into a chip's
+    /// private queue, or the shared queue when the router abstains.
+    pub fn on_arrival<C: FleetCost>(
+        &mut self,
+        job: Job,
+        cost: &mut C,
+        loads: &[ChipLoad],
+        now: u64,
+    ) {
+        match self.router.route(&job, cost, loads, now) {
+            Some(chip) => {
+                self.charge(chip, &job, cost);
+                self.routed[chip].push(job);
+            }
+            None => self.shared.push(job),
+        }
+    }
+
+    /// Re-queues a preempted job at the front of the queue it will be
+    /// admitted from: the evicting chip's private queue when routing is
+    /// active (its KV lives in that chip's HBM), the shared queue
+    /// otherwise. The front, because the victim arrived before anything
+    /// still waiting; the *shared* queue under shared-queue routing,
+    /// because the private queue drains first and a victim parked there
+    /// would outrank every shared-queue job — including the
+    /// higher-priority one it was just evicted for.
+    pub fn requeue<C: FleetCost>(&mut self, chip: usize, job: Job, cost: &mut C) {
+        if self.router.routes() {
+            self.charge(chip, &job, cost);
+            self.routed[chip].push_front(job);
+        } else {
+            self.shared.push_front(job);
+        }
+    }
+
+    /// The jobs `chip` could admit, in admission-scan order: its private
+    /// queue first, then the shared queue, each oldest first.
+    pub fn queued_for(&self, chip: usize) -> Vec<&Job> {
+        self.routed[chip]
+            .iter()
+            .chain(self.shared.iter())
+            .map(|q| &q.job)
+            .collect()
+    }
+
+    fn charge<C: FleetCost>(&mut self, chip: usize, job: &Job, cost: &mut C) {
+        self.pending_cycles[chip] += cost.job_serial_on(chip, &job.workload);
+        self.pending_kv[chip] += cost.footprint_on(chip, &job.workload);
+    }
+
+    fn discharge<C: FleetCost>(&mut self, chip: usize, job: &Job, cost: &mut C) {
+        // Recomputed, not stored: the oracle memoizes, so the value is
+        // identical to what `charge` added.
+        self.pending_cycles[chip] =
+            self.pending_cycles[chip].saturating_sub(cost.job_serial_on(chip, &job.workload));
+        self.pending_kv[chip] =
+            self.pending_kv[chip].saturating_sub(cost.footprint_on(chip, &job.workload));
+    }
+
+    /// Asks the policy what the calling chip should admit right now: its
+    /// private queue first, then the shared queue against whatever
+    /// capacity remains. Admitted and rejected jobs are removed from
+    /// their queue; an empty decision means the chip stays as it is.
     pub fn take<C: FleetCost>(
         &mut self,
         cost: &mut C,
@@ -523,9 +854,25 @@ impl<A: AdmissionPolicy> Scheduler<A> {
         cap: ChipCapacity,
         now: u64,
     ) -> Admission {
-        let decision = self.policy.admit(&mut self.queue, cost, chip, cap, now);
-        self.admitted += decision.jobs.len() as u64;
-        decision
+        let mut out = self
+            .policy
+            .admit(&mut self.routed[chip], cost, chip, cap, now);
+        for job in out.jobs.iter().chain(out.rejected.iter()) {
+            self.discharge(chip, job, cost);
+        }
+        let mut cap = cap;
+        for job in &out.jobs {
+            cap.active += 1;
+            cap.slots = cap.slots.saturating_sub(1);
+            cap.kv_free = cap
+                .kv_free
+                .saturating_sub(cost.footprint_on(chip, &job.workload));
+        }
+        let more = self.policy.admit(&mut self.shared, cost, chip, cap, now);
+        out.jobs.extend(more.jobs);
+        out.rejected.extend(more.rejected);
+        self.admitted += out.jobs.len() as u64;
+        out
     }
 }
 
@@ -543,15 +890,22 @@ mod tests {
         Job {
             id,
             class: 1,
+            priority: 0,
             client: None,
             arrival_cycles: id * 10,
             deadline_cycles: None,
+            preemptions: 0,
+            resume: None,
             workload,
         }
     }
 
     fn cost() -> CostModel {
         CostModel::end_to_end(SpAttenConfig::default(), 8)
+    }
+
+    fn sched<A: AdmissionPolicy>(policy: A) -> Scheduler<A> {
+        Scheduler::new(policy, SharedQueueRouting, 1)
     }
 
     fn idle_cap(slots: usize) -> ChipCapacity {
@@ -564,10 +918,10 @@ mod tests {
 
     #[test]
     fn fifo_hands_out_one_job_in_arrival_order() {
-        let mut s = Scheduler::new(FifoAdmission);
+        let mut s = sched(FifoAdmission);
         let mut c = cost();
         for i in 0..3 {
-            s.on_arrival(job(i, 64, 4));
+            s.on_arrival(job(i, 64, 4), &mut c, &[], 0);
         }
         let got = s.take(&mut c, 0, idle_cap(8), 0);
         assert_eq!(got.jobs.len(), 1);
@@ -584,20 +938,20 @@ mod tests {
 
     #[test]
     fn sjf_prefers_the_short_job() {
-        let mut s = Scheduler::new(SjfAdmission);
+        let mut s = sched(SjfAdmission);
         let mut c = cost();
-        s.on_arrival(job(0, 512, 48)); // long
-        s.on_arrival(job(1, 32, 2)); // short
+        s.on_arrival(job(0, 512, 48), &mut c, &[], 0); // long
+        s.on_arrival(job(1, 32, 2), &mut c, &[], 0); // short
         let got = s.take(&mut c, 0, idle_cap(8), 0);
         assert_eq!(got.jobs[0].id, 1);
     }
 
     #[test]
     fn batcher_fills_until_kv_budget() {
-        let mut s = Scheduler::new(ArrivalOrderAdmission);
+        let mut s = sched(ArrivalOrderAdmission);
         let mut c = cost();
         for i in 0..20 {
-            s.on_arrival(job(i, 256, 16));
+            s.on_arrival(job(i, 256, 16), &mut c, &[], 0);
         }
         let budget = c.kv_budget();
         let cap = ChipCapacity {
@@ -619,10 +973,10 @@ mod tests {
 
     #[test]
     fn batcher_respects_slots() {
-        let mut s = Scheduler::new(ArrivalOrderAdmission);
+        let mut s = sched(ArrivalOrderAdmission);
         let mut c = cost();
         for i in 0..5 {
-            s.on_arrival(job(i, 32, 2));
+            s.on_arrival(job(i, 32, 2), &mut c, &[], 0);
         }
         let cap = ChipCapacity {
             active: 2,
@@ -630,6 +984,57 @@ mod tests {
             slots: 2,
         };
         assert_eq!(s.take(&mut c, 0, cap, 0).jobs.len(), 2);
+    }
+
+    #[test]
+    fn priority_admission_drains_highest_tier_oldest_first() {
+        let mut s = sched(PriorityAdmission);
+        let mut c = cost();
+        let mut batch = job(0, 64, 4);
+        batch.priority = 0;
+        let mut inter_a = job(1, 64, 4);
+        inter_a.priority = 2;
+        let mut inter_b = job(2, 64, 4);
+        inter_b.priority = 2;
+        for j in [batch, inter_a, inter_b] {
+            s.on_arrival(j, &mut c, &[], 0);
+        }
+        let got = s.take(&mut c, 0, idle_cap(8), 0).jobs;
+        let ids: Vec<u64> = got.iter().map(|j| j.id).collect();
+        assert_eq!(
+            ids,
+            vec![1, 2, 0],
+            "priority tier first, oldest first within it"
+        );
+    }
+
+    #[test]
+    fn priority_admission_with_uniform_priorities_is_arrival_order() {
+        let mut by_priority = sched(PriorityAdmission);
+        let mut by_arrival = sched(ArrivalOrderAdmission);
+        let mut c = cost();
+        for i in 0..6 {
+            by_priority.on_arrival(job(i, 96, 8), &mut c, &[], 0);
+            by_arrival.on_arrival(job(i, 96, 8), &mut c, &[], 0);
+        }
+        let cap = ChipCapacity {
+            active: 0,
+            kv_free: c.kv_budget(),
+            slots: 4,
+        };
+        let a: Vec<u64> = by_priority
+            .take(&mut c, 0, cap, 0)
+            .jobs
+            .iter()
+            .map(|j| j.id)
+            .collect();
+        let b: Vec<u64> = by_arrival
+            .take(&mut c, 0, cap, 0)
+            .jobs
+            .iter()
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -647,9 +1052,9 @@ mod tests {
             kv_free: fat_fp - 1, // fat job doesn't fit, slim jobs do
             slots: 4,
         };
-        let mut plain = Scheduler::new(ArrivalOrderAdmission);
-        let mut aware = Scheduler::new(KvAwareAdmission { max_skip: 4 });
-        for s in [&mut plain.queue, &mut aware.queue] {
+        let mut plain = sched(ArrivalOrderAdmission);
+        let mut aware = sched(KvAwareAdmission { max_skip: 4 });
+        for s in [&mut plain.shared, &mut aware.shared] {
             s.push(fat.clone());
             for i in 1..4 {
                 s.push(job(i, 48, 4));
@@ -659,7 +1064,7 @@ mod tests {
         let got = aware.take(&mut c, 0, cap, 0).jobs;
         assert_eq!(got.len(), 3, "kv-aware admits the slim jobs");
         assert!(got.iter().all(|j| j.id != 0));
-        assert_eq!(aware.queue.get(0).skips, 3, "three overtakes recorded");
+        assert_eq!(aware.shared.get(0).skips, 3, "three overtakes recorded");
     }
 
     #[test]
@@ -672,17 +1077,17 @@ mod tests {
             kv_free: fat_fp - 1,
             slots: 2,
         };
-        let mut s = Scheduler::new(KvAwareAdmission { max_skip: 2 });
-        s.on_arrival(fat);
+        let mut s = sched(KvAwareAdmission { max_skip: 2 });
+        s.on_arrival(fat, &mut c, &[], 0);
         for i in 1..8 {
-            s.on_arrival(job(i, 48, 4));
+            s.on_arrival(job(i, 48, 4), &mut c, &[], 0);
         }
         // First take admits 2 slim jobs (2 overtakes — the bound).
         assert_eq!(s.take(&mut c, 0, cap, 0).jobs.len(), 2);
         // The fat job is now a barrier: nothing more is admitted even
         // though slim jobs still fit.
         assert!(s.take(&mut c, 0, cap, 0).jobs.is_empty());
-        assert_eq!(s.queue.get(0).skips, 2);
+        assert_eq!(s.shared.get(0).skips, 2);
         // Once the fat job itself fits, the queue unblocks through it.
         let roomy = ChipCapacity {
             active: 0,
@@ -696,19 +1101,90 @@ mod tests {
     #[test]
     fn slo_aware_sheds_hopeless_jobs_and_admits_the_rest() {
         let mut c = cost();
-        let mut s = Scheduler::new(SloAwareAdmission::default());
+        let mut s = sched(SloAwareAdmission::default());
         let mut hopeless = job(0, 256, 32);
         hopeless.deadline_cycles = Some(10); // cannot finish by cycle 10
         let mut winnable = job(1, 64, 4);
         let serial = c.job_serial_cycles(&winnable.workload);
         winnable.deadline_cycles = Some(serial * 10);
-        s.on_arrival(hopeless);
-        s.on_arrival(winnable);
-        s.on_arrival(job(2, 64, 4)); // best-effort, never shed
+        s.on_arrival(hopeless, &mut c, &[], 0);
+        s.on_arrival(winnable, &mut c, &[], 0);
+        s.on_arrival(job(2, 64, 4), &mut c, &[], 0); // best-effort, never shed
         let got = s.take(&mut c, 0, idle_cap(8), 0);
         assert_eq!(got.rejected.len(), 1);
         assert_eq!(got.rejected[0].id, 0);
         let ids: Vec<u64> = got.jobs.iter().map(|j| j.id).collect();
         assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn routed_arrivals_fill_private_queues_and_drain_before_shared() {
+        use crate::route::FastestChipRouting;
+        let mut c = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
+        let loads = [
+            ChipLoad {
+                active: 0,
+                kv_in_use: 0,
+                kv_budget: c.budget_on(0),
+                pending_jobs: 0,
+                pending_cycles: 0,
+                pending_kv: 0,
+            },
+            ChipLoad {
+                active: 0,
+                kv_in_use: 0,
+                kv_budget: c.budget_on(1),
+                pending_jobs: 0,
+                pending_cycles: 0,
+                pending_kv: 0,
+            },
+        ];
+        // An idle heterogeneous pair: the full-size chip 0 wins the probe.
+        s.on_arrival(job(0, 64, 4), &mut c, &loads, 0);
+        assert_eq!(s.pending_on(0), 1);
+        assert_eq!(s.pending_on(1), 0);
+        assert!(s.pending_cycles_on(0) > 0);
+        assert!(s.pending_kv_on(0) > 0);
+        // Chip 1 finds nothing (its private queue and the shared queue are
+        // both empty of admissible work it may claim — the routed job is
+        // chip 0's).
+        assert!(s.take(&mut c, 1, idle_cap(8), 0).jobs.is_empty());
+        let got = s.take(&mut c, 0, idle_cap(8), 0).jobs;
+        assert_eq!(got.len(), 1);
+        assert_eq!(s.pending_cycles_on(0), 0, "backlog estimate drained");
+        assert_eq!(s.pending_kv_on(0), 0);
+    }
+
+    #[test]
+    fn requeued_jobs_take_the_front_of_their_queue() {
+        // Shared-queue routing: the victim returns to the shared queue's
+        // front (oldest arrival), not to a private queue that would let
+        // it outrank higher-priority shared work.
+        let mut c = cost();
+        let mut s = sched(ArrivalOrderAdmission);
+        s.on_arrival(job(5, 64, 4), &mut c, &[], 0);
+        let mut evicted = job(1, 64, 4);
+        evicted.preemptions = 1;
+        s.requeue(0, evicted, &mut c);
+        assert_eq!(s.pending_on(0), 0, "no private queue without routing");
+        let got = s.take(&mut c, 0, idle_cap(8), 0).jobs;
+        assert_eq!(got[0].id, 1);
+        assert_eq!(got[1].id, 5);
+
+        // Active routing: the victim returns to its chip's private queue
+        // (KV affinity) and drains before shared work.
+        use crate::route::FastestChipRouting;
+        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
+        let mut evicted = job(2, 64, 4);
+        evicted.preemptions = 1;
+        s.requeue(1, evicted, &mut c);
+        assert_eq!(s.pending_on(1), 1);
+        assert!(s.pending_cycles_on(1) > 0);
+        let got = s.take(&mut c, 1, idle_cap(8), 0).jobs;
+        assert_eq!(got[0].id, 2);
     }
 }

@@ -10,9 +10,11 @@
 //! ties by a monotonic sequence number, chips are polled in index order,
 //! and every stochastic draw happened at trace-generation time.
 //!
-//! The loop is generic over three seams: the cost oracle
+//! The loop is generic over five seams: the cost oracle
 //! ([`FleetCost`] — physical chips here, sharded groups in
-//! `spatten-cluster`), the [`AdmissionPolicy`] and the [`BatchPolicy`].
+//! `spatten-cluster`), the [`RoutingPolicy`] (arrival-time chip
+//! assignment), the [`AdmissionPolicy`], the [`BatchPolicy`] and the
+//! [`PreemptionPolicy`] (round-boundary eviction with KV swap costs).
 //! Every policy, canonical or custom, runs through this one event loop —
 //! there are no policy-specific simulators.
 
@@ -20,7 +22,9 @@ use crate::batch::BatchPolicy;
 use crate::chip::Chip;
 use crate::cost::{CostModel, FleetCost};
 use crate::metrics::{ChipStats, FleetReport};
+use crate::preempt::PreemptionPolicy;
 use crate::request::{Completion, Job, Rejection};
+use crate::route::{ChipLoad, RoutingPolicy};
 use crate::scheduler::{AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler};
 use spatten_core::SpAttenConfig;
 use spatten_workloads::{Trace, TraceRequest};
@@ -117,18 +121,21 @@ fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, cloc
     Job {
         id: req.id,
         class: req.class,
+        priority: req.priority,
         client,
         arrival_cycles,
         deadline_cycles: req
             .slo_ns
             .map(|slo| arrival_cycles + ns_to_cycles(clock_ghz, slo)),
+        preemptions: 0,
+        resume: None,
         workload: req.workload.clone(),
     }
 }
 
 #[derive(Debug)]
 enum EventKind {
-    Arrival(Job),
+    Arrival(Box<Job>),
     RoundEnd(usize),
 }
 
@@ -156,13 +163,20 @@ impl Ord for Event {
     }
 }
 
-struct Fleet<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> {
+struct Fleet<
+    C: FleetCost,
+    A: AdmissionPolicy,
+    B: BatchPolicy,
+    R: RoutingPolicy,
+    P: PreemptionPolicy,
+> {
     label: String,
     max_batch: usize,
     clock_ghz: f64,
     cost: C,
-    scheduler: Scheduler<A>,
+    scheduler: Scheduler<A, R>,
     batch: B,
+    preempt: P,
     chips: Vec<Chip>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
@@ -173,35 +187,107 @@ struct Fleet<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> {
     think_cycles: u64,
 }
 
-impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
+impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: PreemptionPolicy>
+    Fleet<C, A, B, R, P>
+{
     fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
-    /// Offers work to `chip` and starts its next round if it holds any.
-    fn kick(&mut self, chip_idx: usize, now: u64) {
-        let chip = &mut self.chips[chip_idx];
-        if chip.is_in_flight() {
-            return;
-        }
-        let cap = ChipCapacity {
+    fn capacity(&self, chip_idx: usize) -> ChipCapacity {
+        let chip = &self.chips[chip_idx];
+        ChipCapacity {
             active: chip.active_jobs(),
             kv_free: self
                 .cost
                 .budget_on(chip_idx)
                 .saturating_sub(chip.kv_in_use()),
             slots: self.max_batch.saturating_sub(chip.active_jobs()),
+        }
+    }
+
+    /// The per-chip load snapshot the routing policy sees at an arrival.
+    fn loads(&self) -> Vec<ChipLoad> {
+        (0..self.chips.len())
+            .map(|i| {
+                let chip = &self.chips[i];
+                ChipLoad {
+                    active: chip.active_jobs(),
+                    kv_in_use: chip.kv_in_use(),
+                    kv_budget: self.cost.budget_on(i),
+                    pending_jobs: self.scheduler.pending_on(i),
+                    pending_cycles: self.scheduler.pending_cycles_on(i),
+                    pending_kv: self.scheduler.pending_kv_on(i),
+                }
+            })
+            .collect()
+    }
+
+    /// Offers work to `chip` — possibly evicting residents for queued
+    /// higher-priority work first — and starts its next round if it holds
+    /// any.
+    fn kick(&mut self, chip_idx: usize, now: u64) {
+        if self.chips[chip_idx].is_in_flight() {
+            return;
+        }
+        // Preemption runs before admission: the policy sees the chip's
+        // candidates (private + shared queue) and its resident set, and
+        // may clear room. The snapshot is skipped outright when the
+        // policy never evicts, or there is nothing to evict or nothing
+        // queued to evict for — this path runs on every kick.
+        let victims = if self.preempt.may_preempt()
+            && self.chips[chip_idx].active_jobs() > 0
+            && self.scheduler.pending() > 0
+        {
+            let cap = self.capacity(chip_idx);
+            let views = self.chips[chip_idx].victim_views();
+            let queued = self.scheduler.queued_for(chip_idx);
+            self.preempt
+                .victims(&queued, &views, &mut self.cost, chip_idx, cap, now)
+        } else {
+            Vec::new()
         };
+        let evicted = if victims.is_empty() {
+            Vec::new()
+        } else {
+            self.chips[chip_idx].evict(&mut self.cost, &victims, now)
+        };
+        // Admission runs while the victims are OFF the queue: the first
+        // claim on the freed capacity belongs to the blocked job
+        // preemption served. Re-queueing the victims before this call
+        // would hand the space straight back to them and the eviction
+        // would be pure swap churn.
+        let had_evictions = !evicted.is_empty();
+        let cap = self.capacity(chip_idx);
         let decision = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
         for job in decision.rejected {
             self.on_rejection(job, now);
         }
-        let chip = &mut self.chips[chip_idx];
         for job in decision.jobs {
-            chip.admit(&mut self.cost, job, now);
+            self.chips[chip_idx].admit(&mut self.cost, job, now);
         }
+        if had_evictions {
+            for job in evicted.into_iter().rev() {
+                self.scheduler.requeue(chip_idx, job, &mut self.cost);
+            }
+            // Refill: whatever freed capacity the blocked job did not
+            // claim goes back to the victims (or anyone else queued)
+            // rather than idling for a round — and a chip that admitted
+            // nothing must never strand re-queued work with no future
+            // round to claim it. Capacity is recomputed after the first
+            // wave's admissions, so the refill sees the true remainder.
+            let cap = self.capacity(chip_idx);
+            let refill = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
+            for job in refill.rejected {
+                self.on_rejection(job, now);
+            }
+            for job in refill.jobs {
+                self.chips[chip_idx].admit(&mut self.cost, job, now);
+            }
+        }
+        let chip = &mut self.chips[chip_idx];
         if let Some(cycles) = chip.start_round(&mut self.cost, &mut self.batch, now) {
             self.push(now + cycles, EventKind::RoundEnd(chip_idx));
         }
@@ -214,7 +300,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
             if let Some(next) = self.client_queues.get_mut(client).and_then(Vec::pop) {
                 let t = freed_at + self.think_cycles;
                 let job = job_from(&next, Some(client), t, self.clock_ghz);
-                self.push(t, EventKind::Arrival(job));
+                self.push(t, EventKind::Arrival(Box::new(job)));
             }
         }
     }
@@ -229,6 +315,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
         self.rejections.push(Rejection {
             id: job.id,
             class: job.class,
+            priority: job.priority,
             client: job.client,
             arrival_cycles: job.arrival_cycles,
             reject_cycles: now,
@@ -241,7 +328,14 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
             let now = ev.time;
             match ev.kind {
                 EventKind::Arrival(job) => {
-                    self.scheduler.on_arrival(job);
+                    // The load snapshot exists for the router; the
+                    // default shared queue never reads it.
+                    let loads = if self.scheduler.routes() {
+                        self.loads()
+                    } else {
+                        Vec::new()
+                    };
+                    self.scheduler.on_arrival(*job, &mut self.cost, &loads, now);
                     for chip_idx in 0..self.chips.len() {
                         self.kick(chip_idx, now);
                     }
@@ -280,6 +374,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy> Fleet<C, A, B> {
                     c.occupancy_area as f64 / c.busy_cycles as f64
                 },
                 max_kv_in_use: c.max_kv_in_use,
+                evictions: c.evictions,
+                swap_cycles: c.swap_cycles,
             })
             .collect();
         let chips = self.chips.len();
@@ -320,8 +416,9 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
 /// Simulates `trace` on `chips` logical executors priced by an arbitrary
 /// [`FleetCost`] oracle, under one of the canonical [`Policy`]s — the
 /// runtime-sweep entry point `spatten-cluster` and the bench binaries
-/// use. Builds the policy pair from `policy` and `knobs` and calls
-/// [`simulate_fleet_with`].
+/// use. Builds the (admission, batching) pair from `policy`, and the
+/// routing and preemption policies from [`SchedKnobs::route`] /
+/// [`SchedKnobs::preempt`], then calls [`simulate_fleet_with`].
 pub fn simulate_fleet_policy<C: FleetCost>(
     cost: C,
     chips: usize,
@@ -337,6 +434,8 @@ pub fn simulate_fleet_policy<C: FleetCost>(
         policy.name(),
         policy.admission(knobs),
         policy.batch(knobs),
+        knobs.route.build(),
+        knobs.preempt.build(knobs),
         max_batch,
         clock_ghz,
         trace,
@@ -344,20 +443,29 @@ pub fn simulate_fleet_policy<C: FleetCost>(
 }
 
 /// Simulates `trace` on `chips` logical executors priced by an arbitrary
-/// [`FleetCost`] oracle under an arbitrary (admission, batching) policy
-/// pair — the fully generic entry point. `label` names the policy in the
-/// report. Deterministic for fixed inputs.
+/// [`FleetCost`] oracle under an arbitrary (admission, batching,
+/// routing, preemption) policy quadruple — the fully generic entry
+/// point. `label` names the policy in the report. Deterministic for
+/// fixed inputs.
 ///
 /// # Panics
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
 #[allow(clippy::too_many_arguments)]
-pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
+pub fn simulate_fleet_with<
+    C: FleetCost,
+    A: AdmissionPolicy,
+    B: BatchPolicy,
+    R: RoutingPolicy,
+    P: PreemptionPolicy,
+>(
     cost: C,
     chips: usize,
     label: &str,
     admission: A,
     batch: B,
+    routing: R,
+    preempt: P,
     max_batch: usize,
     clock_ghz: f64,
     trace: &Trace,
@@ -370,8 +478,9 @@ pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
         max_batch,
         clock_ghz,
         cost,
-        scheduler: Scheduler::new(admission),
+        scheduler: Scheduler::new(admission, routing, chips),
         batch,
+        preempt,
         chips: (0..chips).map(Chip::new).collect(),
         events: BinaryHeap::new(),
         seq: 0,
@@ -385,7 +494,7 @@ pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
             for req in requests {
                 let t = ns_to_cycles(clock, req.arrival_ns);
                 let job = job_from(req, None, t, clock);
-                fleet.push(t, EventKind::Arrival(job));
+                fleet.push(t, EventKind::Arrival(Box::new(job)));
             }
         }
         Trace::Closed { clients, think_ns } => {
@@ -398,7 +507,7 @@ pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
             for client in 0..fleet.client_queues.len() {
                 if let Some(first) = fleet.client_queues[client].pop() {
                     let job = job_from(&first, Some(client), 0, clock);
-                    fleet.push(0, EventKind::Arrival(job));
+                    fleet.push(0, EventKind::Arrival(Box::new(job)));
                 }
             }
         }
@@ -409,6 +518,7 @@ pub fn simulate_fleet_with<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::{PreemptSpec, RouteSpec};
     use spatten_workloads::{ArrivalSpec, TraceSpec};
 
     fn open_trace(n: usize, rate: f64, seed: u64) -> Trace {
@@ -559,6 +669,118 @@ mod tests {
             dp.tbt.p99,
             cb.tbt.p99
         );
+    }
+
+    /// Two-tier spec: interactive high-priority traffic over a
+    /// low-priority batch tier.
+    fn tiered_spec(arrival: ArrivalSpec, seed: u64) -> TraceSpec {
+        let mut spec = TraceSpec::mixed(arrival, seed);
+        spec.classes[0] = spec.classes[0].clone().with_priority(2);
+        spec
+    }
+
+    #[test]
+    fn priority_preemption_evicts_and_still_completes_everything() {
+        let trace = tiered_spec(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 6000.0,
+                requests: 300,
+            },
+            41,
+        )
+        .generate();
+        let mut cfg = FleetConfig::new(1, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 300, "preemption must not lose jobs");
+        assert!(
+            report.preemptions > 0,
+            "an overloaded two-tier chip must evict at least once"
+        );
+        // The ledger is consistent: fleet preemptions = chip evictions =
+        // per-class preemptions, and only the batch tier is ever evicted.
+        let chip_evictions: u64 = report.chip_stats.iter().map(|c| c.evictions).sum();
+        assert_eq!(report.preemptions, chip_evictions);
+        assert_eq!(report.class_stats[0].preemptions, 0);
+        assert_eq!(report.class_stats[1].preemptions, report.preemptions);
+        // Swap time is charged wherever evictions happened.
+        for chip in &report.chip_stats {
+            assert_eq!(chip.evictions > 0, chip.swap_cycles > 0);
+            assert!(chip.swap_cycles <= chip.busy_cycles);
+        }
+        // Determinism survives preemption.
+        let again = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completions, again.completions);
+    }
+
+    #[test]
+    fn preemption_improves_high_priority_tail_latency() {
+        let trace = tiered_spec(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 6000.0,
+                requests: 400,
+            },
+            43,
+        )
+        .generate();
+        let base = simulate_fleet(&FleetConfig::new(1, Policy::ContinuousBatching), &trace);
+        let mut cfg = FleetConfig::new(1, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let pre = simulate_fleet(&cfg, &trace);
+        assert!(pre.preemptions > 0);
+        assert!(
+            pre.class_stats[0].latency.p99 < base.class_stats[0].latency.p99,
+            "high-priority p99 {} must beat non-preemptive {}",
+            pre.class_stats[0].latency.p99,
+            base.class_stats[0].latency.p99
+        );
+    }
+
+    #[test]
+    fn fastest_chip_routing_beats_the_shared_queue_on_a_mixed_fleet() {
+        // 150 req/s keeps the mixed fleet in the loaded-but-not-saturated
+        // band where placement matters; at saturation every queue grows
+        // without bound and work conservation is all that counts.
+        let trace = open_trace(400, 150.0, 47);
+        let chips = vec![
+            SpAttenConfig::default(),
+            SpAttenConfig::default(),
+            SpAttenConfig::eighth(),
+            SpAttenConfig::eighth(),
+        ];
+        let shared = simulate_fleet(
+            &FleetConfig::with_chips(chips.clone(), Policy::ContinuousBatching),
+            &trace,
+        );
+        let mut routed_cfg = FleetConfig::with_chips(chips, Policy::ContinuousBatching);
+        routed_cfg.sched.route = RouteSpec::FastestChip;
+        let routed = simulate_fleet(&routed_cfg, &trace);
+        assert_eq!(routed.completed, 400);
+        assert!(
+            routed.latency.p99 < shared.latency.p99,
+            "routed p99 {} must beat the chip-agnostic shared queue's {}",
+            routed.latency.p99,
+            shared.latency.p99
+        );
+    }
+
+    #[test]
+    fn every_routing_policy_conserves_requests() {
+        let trace = open_trace(200, 2000.0, 53);
+        let chips = vec![SpAttenConfig::default(), SpAttenConfig::eighth()];
+        for route in [
+            RouteSpec::SharedQueue,
+            RouteSpec::FastestChip,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+        ] {
+            let mut cfg = FleetConfig::with_chips(chips.clone(), Policy::ContinuousBatching);
+            cfg.sched.route = route;
+            let report = simulate_fleet(&cfg, &trace);
+            assert_eq!(report.completed, 200, "{}", route.name());
+            let a = simulate_fleet(&cfg, &trace);
+            assert_eq!(report.completions, a.completions, "{}", route.name());
+        }
     }
 
     #[test]

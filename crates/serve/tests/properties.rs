@@ -3,11 +3,19 @@
 //! end-to-end smoke test.
 
 use proptest::prelude::*;
-use spatten_serve::{simulate_fleet, FleetConfig, Policy};
+use spatten_serve::{simulate_fleet, FleetConfig, Policy, PreemptSpec};
 use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
 
 fn open_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
     TraceSpec::mixed(ArrivalSpec::OpenPoisson { rate_rps, requests }, seed).generate()
+}
+
+/// A two-tier trace: the BERT class rides a high priority over the
+/// low-priority GPT-2 batch tier.
+fn tiered_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
+    let mut spec = TraceSpec::mixed(ArrivalSpec::OpenPoisson { rate_rps, requests }, seed);
+    spec.classes[0] = spec.classes[0].clone().with_priority(3);
+    spec.generate()
 }
 
 proptest! {
@@ -168,6 +176,76 @@ proptest! {
         for chip in &report.chip_stats {
             prop_assert_eq!(chip.busy_cycles, 0);
             prop_assert_eq!(chip.rounds, 0);
+        }
+    }
+
+    /// Preemption never starves anyone: under an adversarial
+    /// high-priority flood every evicted job still completes, and no job
+    /// is ever evicted more often than the fairness bound allows.
+    #[test]
+    fn preempted_jobs_always_complete_within_the_fairness_bound(
+        requests in 40usize..160,
+        chips in 1usize..4,
+        rate in 2000.0f64..8000.0,
+        seed in 0u64..1000,
+        fairness in 1u32..5,
+    ) {
+        let trace = tiered_trace(requests, rate, seed);
+        let mut cfg = FleetConfig::new(chips, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.max_preemptions = fairness;
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        for c in &report.completions {
+            prop_assert!(
+                c.preemptions <= fairness,
+                "job {} evicted {} times against a bound of {}",
+                c.id, c.preemptions, fairness
+            );
+        }
+    }
+
+    /// Preserved-prefix conservation: a preemptive run moves exactly the
+    /// tokens a non-preemptive run moves — same completion set, same
+    /// per-job generated counts — and whenever evictions occurred, the
+    /// swap traffic was charged to chip busy time.
+    #[test]
+    fn preemption_conserves_tokens_and_charges_swaps(
+        requests in 40usize..120,
+        chips in 1usize..4,
+        rate in 100.0f64..6000.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = tiered_trace(requests, rate, seed);
+        let base = simulate_fleet(&FleetConfig::new(chips, Policy::Priority), &trace);
+        let mut cfg = FleetConfig::new(chips, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let pre = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(pre.completed, base.completed);
+        let tokens = |r: &spatten_serve::FleetReport| -> Vec<(u64, usize)> {
+            let mut t: Vec<(u64, usize)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.prefill_tokens + c.generated_tokens))
+                .collect();
+            t.sort_unstable();
+            t
+        };
+        prop_assert_eq!(tokens(&pre), tokens(&base));
+        // Swap cycles are real work: every chip that evicted charged
+        // nonzero swap time into its busy cycles, and chips that never
+        // evicted charged none.
+        prop_assert_eq!(
+            pre.preemptions,
+            pre.chip_stats.iter().map(|c| c.evictions).sum::<u64>()
+        );
+        for chip in &pre.chip_stats {
+            prop_assert_eq!(chip.evictions > 0, chip.swap_cycles > 0);
+            prop_assert!(chip.swap_cycles <= chip.busy_cycles);
+        }
+        for chip in &base.chip_stats {
+            prop_assert_eq!(chip.evictions, 0);
+            prop_assert_eq!(chip.swap_cycles, 0);
         }
     }
 

@@ -124,7 +124,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `f` [`ITERS`] times and records the mean wall time.
+    /// Runs `f` `ITERS` times and records the mean wall time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let start = Instant::now();
         for _ in 0..ITERS {

@@ -198,7 +198,7 @@ pub mod prop {
             VecStrategy { element, sizes }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             sizes: Range<usize>,
