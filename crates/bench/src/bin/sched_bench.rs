@@ -18,15 +18,22 @@
 //! 3. **Mixed-fleet grid** — a two-tier trace (high-priority interactive
 //!    over low-priority batch) on 2 Table-I + 2 eighth-scale chips, swept
 //!    over {continuous batching, priority admission} × {no preemption,
-//!    priority preemption} × {shared queue, fastest-chip, least-KV,
-//!    hash-affinity routing}, at **two load points**: the
-//!    loaded-but-not-saturated *placement band* (~70 % of probed
-//!    capacity), where routing decides the tail, and the overloaded
-//!    *contention band* (2× capacity, batch-heavy mix), where chips stay
-//!    packed with low-priority residents and priority admission +
-//!    preemption decide whether interactive traffic lives or dies.
+//!    priority preemption} × {shared queue, fastest-chip, churn-aware,
+//!    least-KV, hash-affinity routing} × {stealing off, costliest-fit},
+//!    at **three load points**: the loaded-but-not-saturated *placement
+//!    band* (~70 % of probed capacity), where routing decides the tail;
+//!    the overloaded *contention band* (2× capacity, batch-heavy mix),
+//!    where chips stay packed with low-priority residents and priority
+//!    admission + preemption decide whether interactive traffic lives or
+//!    dies; and the **saturation band** (1.5× capacity, uniform
+//!    priorities), where the PR 4 routing estimator broke — queued-only
+//!    backlog goes blind once private queues drain into resident sets —
+//!    and where work-stealing has to rescue deliberately adversarial
+//!    hash-affinity placement.
 //!
-//! Headline invariants (enforced outside `--smoke`):
+//! Headline invariants (the saturation-band pair is enforced in `--smoke`
+//! too — it is the regression this bench exists to pin down; the rest
+//! need full-size traces for a stable p99):
 //!
 //! * **decode-prioritized batching beats plain continuous batching on
 //!   decode p99 (p99 time-between-tokens) at equal offered load** —
@@ -35,7 +42,12 @@
 //! * **preemptive priority scheduling beats non-preemptive continuous
 //!   batching on high-priority p99** at equal load on the mixed fleet;
 //! * **fastest-chip routing beats the chip-agnostic shared queue on
-//!   fleet p99** on the mixed fleet.
+//!   fleet p99** on the mixed fleet in the placement band;
+//! * **in-service-aware fastest-chip routing no longer loses to the
+//!   shared queue at saturation** (the PR 4 defect: it regressed there);
+//! * **work-stealing recovers ≥ 1.5× fleet p99 under adversarial
+//!   hash-affinity routing at saturation** (≥ 1.2× in `--smoke`, where
+//!   90-request p99s are near-max statistics).
 //!
 //! The JSON report goes to stdout (every run records the `SchedKnobs`
 //! and trace seed it used, so any row is reproducible from the report
@@ -45,15 +57,16 @@
 //! sched_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
 //! ```
 //!
-//! `--smoke` caps the trace at 90 requests and skips the enforcement
-//! (p99-of-tbt over a tiny sample is a near-max statistic) — a fast CI
-//! check that the binary still runs end to end.
+//! `--smoke` caps the trace at 90 requests and skips all enforcement
+//! except the saturation-band checks above — a fast CI gate that the
+//! binary still runs end to end and the saturation regression cannot
+//! silently return.
 
 use spatten_cluster::{ClusterConfig, ShardStrategy};
 use spatten_core::SpAttenConfig;
 use spatten_serve::json::{array, JsonObject};
 use spatten_serve::{
-    simulate_fleet, FleetConfig, FleetReport, Policy, PreemptSpec, RouteSpec, SchedKnobs,
+    simulate_fleet, FleetConfig, FleetReport, Policy, PreemptSpec, RouteSpec, SchedKnobs, StealSpec,
 };
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{ArrivalSpec, Benchmark, Trace, TraceSpec};
@@ -143,6 +156,7 @@ fn knobs_json(k: &SchedKnobs) -> String {
         .u64("prefill_budget_cycles", k.prefill_budget_cycles)
         .u64("max_skip", u64::from(k.max_skip))
         .str("route", k.route.name())
+        .str("steal", k.steal.name())
         .str("preempt", k.preempt.name())
         .u64("max_preemptions", u64::from(k.max_preemptions))
         .build()
@@ -217,23 +231,29 @@ fn sweep(
     }
 }
 
-/// One cell of a mixed-fleet preemption × priority × routing sweep.
+/// One cell of a mixed-fleet preemption × priority × routing × stealing
+/// sweep.
 struct GridRun {
     policy: Policy,
     route: RouteSpec,
     preempt: PreemptSpec,
+    steal: StealSpec,
     knobs: SchedKnobs,
     report: FleetReport,
 }
 
 impl GridRun {
     fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}+{}+{}",
             self.policy.name(),
             self.route.name(),
             self.preempt.name()
-        )
+        );
+        if self.steal != StealSpec::Off {
+            label.push_str("+steal");
+        }
+        label
     }
 
     /// End-to-end p99 of the high-priority class (class 0 in the tiered
@@ -241,13 +261,19 @@ impl GridRun {
     fn high_priority_p99(&self) -> f64 {
         self.report.class_stats[0].latency.p99
     }
+
+    /// Jobs stolen across the fleet.
+    fn steals(&self) -> u64 {
+        self.report.chip_stats.iter().map(|c| c.steals).sum()
+    }
 }
 
-/// Runs one (policy, route, preempt) grid over the same trace and fleet.
+/// Runs one (policy, route, preempt, steal) grid over the same trace and
+/// fleet.
 fn grid_sweep(
     label: &str,
     chips: &[SpAttenConfig],
-    cells: &[(Policy, RouteSpec, PreemptSpec)],
+    cells: &[(Policy, RouteSpec, PreemptSpec, StealSpec)],
     trace: &Trace,
     offered_rps: f64,
 ) -> Vec<GridRun> {
@@ -259,10 +285,11 @@ fn grid_sweep(
     cells
         .iter()
         .copied()
-        .map(|(policy, route, preempt)| {
+        .map(|(policy, route, preempt, steal)| {
             let mut cfg = FleetConfig::with_chips(chips.to_vec(), policy);
             cfg.sched.route = route;
             cfg.sched.preempt = preempt;
+            cfg.sched.steal = steal;
             let report = simulate_fleet(&cfg, trace);
             assert_eq!(
                 report.completed + report.rejected,
@@ -274,15 +301,17 @@ fn grid_sweep(
                 policy,
                 route,
                 preempt,
+                steal,
                 knobs: cfg.sched,
                 report,
             };
             eprintln!(
-                "{:<45} p99 {:>9.3} ms   hi-pri p99 {:>9.3} ms   preempt {:>4}   goodput {:>5.0} req/s",
+                "{:<45} p99 {:>9.3} ms   hi-pri p99 {:>9.3} ms   preempt {:>4}   steals {:>4}   goodput {:>5.0} req/s",
                 run.label(),
                 run.report.latency.p99 * 1e3,
                 run.high_priority_p99() * 1e3,
                 run.report.preemptions,
+                run.steals(),
                 run.report.goodput_rps
             );
             run
@@ -406,32 +435,43 @@ fn main() {
                 Policy::ContinuousBatching,
                 RouteSpec::SharedQueue,
                 PreemptSpec::None,
+                StealSpec::Off,
             ),
             (
                 Policy::ContinuousBatching,
                 RouteSpec::FastestChip,
                 PreemptSpec::None,
+                StealSpec::Off,
             ),
             (
                 Policy::ContinuousBatching,
                 RouteSpec::LeastKvLoaded,
                 PreemptSpec::None,
+                StealSpec::Off,
             ),
             (
                 Policy::ContinuousBatching,
                 RouteSpec::HashAffinity,
                 PreemptSpec::None,
+                StealSpec::Off,
             ),
-            (Policy::Priority, RouteSpec::SharedQueue, PreemptSpec::None),
+            (
+                Policy::Priority,
+                RouteSpec::SharedQueue,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
             (
                 Policy::Priority,
                 RouteSpec::SharedQueue,
                 PreemptSpec::Priority,
+                StealSpec::Off,
             ),
             (
                 Policy::Priority,
                 RouteSpec::FastestChip,
                 PreemptSpec::Priority,
+                StealSpec::Off,
             ),
         ],
         &tiered.generate(),
@@ -458,21 +498,99 @@ fn main() {
                 Policy::ContinuousBatching,
                 RouteSpec::SharedQueue,
                 PreemptSpec::None,
+                StealSpec::Off,
             ),
-            (Policy::Priority, RouteSpec::SharedQueue, PreemptSpec::None),
+            (
+                Policy::Priority,
+                RouteSpec::SharedQueue,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
             (
                 Policy::Priority,
                 RouteSpec::SharedQueue,
                 PreemptSpec::Priority,
+                StealSpec::Off,
             ),
             (
                 Policy::Priority,
                 RouteSpec::FastestChip,
                 PreemptSpec::Priority,
+                StealSpec::Off,
+            ),
+            (
+                Policy::Priority,
+                RouteSpec::ChurnAware,
+                PreemptSpec::Priority,
+                StealSpec::Off,
             ),
         ],
         &contended.generate(),
         burst_rate,
+    );
+
+    // Saturation band: 1.5× probed capacity, uniform priorities — the
+    // regime where PR 4's queued-only backlog estimate went blind and
+    // fastest-chip routing *lost* to the shared queue. Two claims are
+    // pinned here: (1) the in-service-aware estimator keeps fixed routing
+    // at least even with the work-conserving shared queue, and (2)
+    // work-stealing recovers most of the tail that deliberately
+    // adversarial hash-affinity routing gives away. Both are enforced
+    // even in --smoke (with slack — tiny-trace p99 is a near-max
+    // statistic) so the regression this grid exists for can never
+    // silently return.
+    let sat_rate = mixed_capacity * 1.5;
+    let sat_seed = args.seed ^ 0x5A77;
+    let saturated = slo_spec(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: sat_rate,
+            requests: args.requests,
+        },
+        sat_seed,
+    );
+    let sat_grid = grid_sweep(
+        "saturation grid (1.5x capacity)",
+        &mixed_chips,
+        &[
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::SharedQueue,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::FastestChip,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::FastestChip,
+                PreemptSpec::None,
+                StealSpec::CostliestFit,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::LeastKvLoaded,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::HashAffinity,
+                PreemptSpec::None,
+                StealSpec::Off,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::HashAffinity,
+                PreemptSpec::None,
+                StealSpec::CostliestFit,
+            ),
+        ],
+        &saturated.generate(),
+        sat_rate,
     );
 
     // Headline: decode-prioritized vs continuous batching on decode p99.
@@ -493,9 +611,17 @@ fn main() {
     );
 
     // Grid headliners.
-    fn cell(runs: &[GridRun], policy: Policy, route: RouteSpec, preempt: PreemptSpec) -> &GridRun {
+    fn cell(
+        runs: &[GridRun],
+        policy: Policy,
+        route: RouteSpec,
+        preempt: PreemptSpec,
+        steal: StealSpec,
+    ) -> &GridRun {
         runs.iter()
-            .find(|r| r.policy == policy && r.route == route && r.preempt == preempt)
+            .find(|r| {
+                r.policy == policy && r.route == route && r.preempt == preempt && r.steal == steal
+            })
             .expect("grid cell simulated")
     }
     let routed_base = cell(
@@ -503,24 +629,56 @@ fn main() {
         Policy::ContinuousBatching,
         RouteSpec::SharedQueue,
         PreemptSpec::None,
+        StealSpec::Off,
     );
     let routed = cell(
         &grid,
         Policy::ContinuousBatching,
         RouteSpec::FastestChip,
         PreemptSpec::None,
+        StealSpec::Off,
     );
     let burst_base = cell(
         &burst_grid,
         Policy::ContinuousBatching,
         RouteSpec::SharedQueue,
         PreemptSpec::None,
+        StealSpec::Off,
     );
     let preemptive = cell(
         &burst_grid,
         Policy::Priority,
         RouteSpec::SharedQueue,
         PreemptSpec::Priority,
+        StealSpec::Off,
+    );
+    let sat_shared = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::SharedQueue,
+        PreemptSpec::None,
+        StealSpec::Off,
+    );
+    let sat_fastest = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::FastestChip,
+        PreemptSpec::None,
+        StealSpec::Off,
+    );
+    let sat_hash = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::HashAffinity,
+        PreemptSpec::None,
+        StealSpec::Off,
+    );
+    let sat_hash_steal = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::HashAffinity,
+        PreemptSpec::None,
+        StealSpec::CostliestFit,
     );
     eprintln!(
         "\npreemptive priority scheduling improves high-priority p99 {:.2}x over \
@@ -533,6 +691,24 @@ fn main() {
         "fastest-chip routing improves fleet p99 {:.2}x over the chip-agnostic \
          shared queue (mixed fleet, placement band, equal offered load)",
         routed_base.report.latency.p99 / routed.report.latency.p99
+    );
+    eprintln!(
+        "at saturation (1.5x capacity) in-service-aware fastest-chip routing \
+         holds {:.2}x vs the shared queue (PR 4's queued-only estimate lost \
+         this band)",
+        sat_shared.report.latency.p99 / sat_fastest.report.latency.p99
+    );
+    eprintln!(
+        "work-stealing recovers {:.2}x fleet p99 under adversarial hash-affinity \
+         routing at saturation ({} steals, {} cycles relieved)",
+        sat_hash.report.latency.p99 / sat_hash_steal.report.latency.p99,
+        sat_hash_steal.steals(),
+        sat_hash_steal
+            .report
+            .chip_stats
+            .iter()
+            .map(|c| c.stolen_cycles)
+            .sum::<u64>()
     );
 
     let json = JsonObject::new()
@@ -555,6 +731,15 @@ fn main() {
             "fleet_p99_speedup_routed_over_shared",
             routed_base.report.latency.p99 / routed.report.latency.p99,
         )
+        .f64(
+            "saturation_p99_ratio_shared_over_fastest",
+            sat_shared.report.latency.p99 / sat_fastest.report.latency.p99,
+        )
+        .f64(
+            "saturation_p99_recovery_steal_over_hash",
+            sat_hash.report.latency.p99 / sat_hash_steal.report.latency.p99,
+        )
+        .u64("saturation_steals", sat_hash_steal.steals())
         .raw(
             "scenarios",
             &array(scenarios.iter().map(|s| {
@@ -574,6 +759,7 @@ fn main() {
                 [
                     ("placement-band", grid_rate, grid_seed, &grid),
                     ("contention-band", burst_rate, burst_seed, &burst_grid),
+                    ("saturation-band", sat_rate, sat_seed, &sat_grid),
                 ]
                 .into_iter()
                 .map(|(band, rate, seed, runs)| {
@@ -589,16 +775,22 @@ fn main() {
                                     .str("policy", r.policy.name())
                                     .str("route", r.route.name())
                                     .str("preempt", r.preempt.name())
+                                    .str("steal", r.steal.name())
                                     .u64("seed", seed)
                                     .raw("sched_knobs", &knobs_json(&r.knobs))
                                     .f64("p99_s", r.report.latency.p99)
                                     .f64("high_priority_p99_s", r.high_priority_p99())
                                     .f64("low_priority_p99_s", r.report.class_stats[1].latency.p99)
                                     .u64("preemptions", r.report.preemptions)
+                                    .u64("steals", r.steals())
                                     .f64("goodput_rps", r.report.goodput_rps)
                                     .u64(
                                         "swap_cycles",
                                         r.report.chip_stats.iter().map(|c| c.swap_cycles).sum(),
+                                    )
+                                    .u64(
+                                        "stolen_cycles",
+                                        r.report.chip_stats.iter().map(|c| c.stolen_cycles).sum(),
                                     )
                                     .build()
                             })),
@@ -639,6 +831,34 @@ fn main() {
              fleet p99 on a mixed fleet ({}s vs {}s)",
             routed.report.latency.p99, routed_base.report.latency.p99
         );
+        std::process::exit(1);
+    }
+    // The saturation-band pair is enforced in --smoke too (with slack:
+    // a 90-request p99 is a near-max statistic): this is the regression
+    // this bench exists to pin down, so the fast CI gate must see it.
+    let sat_slack = if args.smoke { 1.10 } else { 1.0 };
+    if sat_fastest.report.latency.p99 > sat_shared.report.latency.p99 * sat_slack {
+        eprintln!(
+            "error: in-service-aware fastest-chip routing must not lose to the \
+             shared queue at saturation (1.5x capacity): routed p99 {}s vs shared \
+             {}s (the PR 4 queued-only estimator regressed exactly here)",
+            sat_fastest.report.latency.p99, sat_shared.report.latency.p99
+        );
+        std::process::exit(1);
+    }
+    let steal_floor = if args.smoke { 1.2 } else { 1.5 };
+    let recovery = sat_hash.report.latency.p99 / sat_hash_steal.report.latency.p99;
+    if recovery < steal_floor {
+        eprintln!(
+            "error: work-stealing must recover >= {steal_floor}x fleet p99 under \
+             adversarial hash-affinity routing at saturation (got {recovery:.2}x: \
+             {}s stealing vs {}s stuck)",
+            sat_hash_steal.report.latency.p99, sat_hash.report.latency.p99
+        );
+        std::process::exit(1);
+    }
+    if sat_hash_steal.steals() == 0 {
+        eprintln!("error: the saturation band must actually steal (0 steals recorded)");
         std::process::exit(1);
     }
 }

@@ -67,3 +67,10 @@ pub use shard::{
 };
 pub use sim::{simulate_cluster, unsharded_cluster, ClusterConfig};
 pub use topology::{Interconnect, Topology};
+
+// The scheduling knobs a cluster run composes with, re-exported so
+// cluster users configure routing / stealing / preemption without
+// depending on `spatten-serve` directly (the generic simulation path is
+// unchanged — `ClusterConfig::sched` carries these into
+// `simulate_fleet_policy`).
+pub use spatten_serve::{Policy, PreemptSpec, RouteSpec, SchedKnobs, StealSpec};

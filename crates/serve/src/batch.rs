@@ -93,6 +93,19 @@ pub trait BatchPolicy: fmt::Debug {
     /// least one directive must advance a job (the chip panics on an
     /// all-[`RoundStep::Idle`] plan — it would be a zero-length round).
     fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep>;
+
+    /// Whether this policy runs whole jobs to completion (a solitary
+    /// resident per chip). Run-to-completion chips always leave free
+    /// batch slots, so round-boundary preemption never sees a blocked
+    /// job and silently does nothing — the report surfaces that
+    /// combination as [`FleetReport::preemption_inert`]. Override only
+    /// for [`RoundStep::WholeJob`] planners.
+    ///
+    /// [`FleetReport::preemption_inert`]:
+    ///     crate::metrics::FleetReport::preemption_inert
+    fn run_to_completion(&self) -> bool {
+        false
+    }
 }
 
 impl BatchPolicy for Box<dyn BatchPolicy> {
@@ -102,6 +115,10 @@ impl BatchPolicy for Box<dyn BatchPolicy> {
 
     fn plan(&mut self, residents: &[ResidentView]) -> Vec<RoundStep> {
         self.as_mut().plan(residents)
+    }
+
+    fn run_to_completion(&self) -> bool {
+        self.as_ref().run_to_completion()
     }
 }
 
@@ -121,6 +138,10 @@ impl BatchPolicy for RunToCompletion {
             "run-to-completion chips hold exactly one job"
         );
         vec![RoundStep::WholeJob]
+    }
+
+    fn run_to_completion(&self) -> bool {
+        true
     }
 }
 

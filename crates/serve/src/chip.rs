@@ -35,9 +35,17 @@ use crate::batch::{BatchPolicy, ResidentView, RoundStep};
 use crate::cost::FleetCost;
 use crate::preempt::VictimView;
 use crate::request::{Completion, Job, ResumeState};
+use crate::scheduler::remaining_cycles_on;
 use spatten_core::StepCost;
 use spatten_nn::ModelConfig;
 use std::collections::HashMap;
+
+/// Half life, in core cycles, of the per-chip eviction-churn counter
+/// behind [`crate::route::ChipLoad::recent_evictions`] (10 ms at the
+/// Table-I 1 GHz clock): long enough that a preemption storm is visible
+/// to routing for many arrivals, short enough that a chip that stopped
+/// evicting stops being penalized.
+pub const CHURN_HALF_LIFE_CYCLES: u64 = 10_000_000;
 
 /// A job resident on a chip.
 #[derive(Debug, Clone)]
@@ -54,6 +62,14 @@ struct Active {
     prefilled: bool,
     /// Decode steps completed so far.
     steps_done: usize,
+    /// Remaining estimated serial cycles of this job, charged at
+    /// admission ([`remaining_cycles_on`]) and drawn down as each round
+    /// dispatches its work — the per-resident term behind
+    /// [`Chip::in_service_cycles`]. Exact by construction: admission and
+    /// execution price steps through the same memoized oracle queries,
+    /// so the estimate reaches 0 at completion ([`Chip::est_drift`]
+    /// records any violation).
+    est_remaining: u64,
 }
 
 /// One accelerator's event-loop state.
@@ -83,6 +99,15 @@ pub struct Chip {
     /// Swap cycles accrued since the last round started; charged to the
     /// next round.
     pending_swap_cycles: u64,
+    /// Accumulated mismatch between the in-service estimate charged at
+    /// admission and the work actually executed, observed when jobs
+    /// retire. The estimator is exact by construction, so any nonzero
+    /// value is a bookkeeping bug — the simulator asserts it stays 0.
+    pub est_drift: u64,
+    /// Decayed eviction-churn counter (see [`CHURN_HALF_LIFE_CYCLES`]).
+    churn: f64,
+    /// Time the churn counter was last folded down.
+    churn_seen: u64,
 }
 
 impl Chip {
@@ -101,6 +126,9 @@ impl Chip {
             evictions: 0,
             swap_cycles: 0,
             pending_swap_cycles: 0,
+            est_drift: 0,
+            churn: 0.0,
+            churn_seen: 0,
         }
     }
 
@@ -112,6 +140,21 @@ impl Chip {
     /// KV SRAM bytes currently reserved.
     pub fn kv_in_use(&self) -> u64 {
         self.kv_in_use
+    }
+
+    /// Remaining estimated serial cycles of the resident set — the
+    /// in-service backlog [`crate::route::ChipLoad`] reports to routing.
+    /// Summed on demand from the per-resident estimates, so it can never
+    /// drift from them.
+    pub fn in_service_cycles(&self) -> u64 {
+        self.active.iter().map(|a| a.est_remaining).sum()
+    }
+
+    /// The eviction-churn counter decayed to time `now`: each eviction
+    /// adds 1, and the total halves every [`CHURN_HALF_LIFE_CYCLES`].
+    pub fn recent_evictions(&self, now: u64) -> f64 {
+        let dt = now.saturating_sub(self.churn_seen);
+        self.churn * 0.5f64.powf(dt as f64 / CHURN_HALF_LIFE_CYCLES as f64)
     }
 
     /// Whether a round is executing right now.
@@ -128,14 +171,24 @@ impl Chip {
     /// # Panics
     ///
     /// Panics if called while a round is in flight (admission happens only
-    /// at round boundaries).
+    /// at round boundaries), or if `job` carries a [`ResumeState`] pinned
+    /// to a *different* chip — its swapped-out KV prefix lives in that
+    /// chip's HBM, so routing or work-stealing migrating it here would
+    /// silently corrupt the swap accounting.
     pub fn admit<C: FleetCost>(&mut self, cost: &mut C, mut job: Job, now: u64) {
         assert!(!self.in_flight, "admission mid-round");
+        let est_remaining = remaining_cycles_on(cost, self.id, &job);
         let footprint = cost.footprint_on(self.id, &job.workload);
         self.kv_in_use += footprint;
         self.max_kv_in_use = self.max_kv_in_use.max(self.kv_in_use);
         let active = match job.resume.take() {
             Some(r) => {
+                assert_eq!(
+                    r.chip, self.id,
+                    "preempted job {} is pinned to chip {} (its KV prefix \
+                     lives in that chip's HBM) but was admitted to chip {}",
+                    job.id, r.chip, self.id
+                );
                 let w = &job.workload;
                 let tokens = r.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
                 self.pending_swap_cycles += cost.swap_cycles_on(self.id, w, tokens);
@@ -146,6 +199,7 @@ impl Chip {
                     prefill_progress: r.prefill_progress,
                     prefilled: r.prefilled,
                     steps_done: r.steps_done,
+                    est_remaining,
                     job,
                 }
             }
@@ -157,6 +211,7 @@ impl Chip {
                 prefill_progress: 0,
                 prefilled: false,
                 steps_done: 0,
+                est_remaining,
             },
         };
         self.active.push(active);
@@ -189,17 +244,23 @@ impl Chip {
     ///
     /// Panics if called while a round is in flight, or if an index is out
     /// of range.
-    pub fn evict<C: FleetCost>(&mut self, cost: &mut C, victims: &[usize], _now: u64) -> Vec<Job> {
+    pub fn evict<C: FleetCost>(&mut self, cost: &mut C, victims: &[usize], now: u64) -> Vec<Job> {
         assert!(!self.in_flight, "eviction mid-round");
         let mut order: Vec<usize> = victims.to_vec();
         order.sort_unstable();
         order.dedup();
+        if !order.is_empty() {
+            // Fold the churn counter down to `now`, then count the storm.
+            self.churn = self.recent_evictions(now) + order.len() as f64;
+            self.churn_seen = now;
+        }
         let mut out = Vec::new();
         // Highest index first keeps the remaining indices valid.
         for &i in order.iter().rev() {
             let a = self.active.remove(i);
             self.kv_in_use -= a.footprint;
             let resume = ResumeState {
+                chip: self.id,
                 prefill_progress: a.prefill_progress,
                 prefilled: a.prefilled,
                 steps_done: a.steps_done,
@@ -313,6 +374,9 @@ impl Chip {
         if a.first_token_cycles.is_none() {
             a.first_token_cycles = Some(now + ttft);
         }
+        // The whole job retires in one round: the in-service estimate
+        // charged at admission must be spent exactly.
+        self.est_drift += a.est_remaining.abs_diff(total);
         self.kv_in_use -= a.footprint;
         self.finished
             .push(Self::completion(&a, self.id, now + total, w.gen_steps));
@@ -342,6 +406,11 @@ impl Chip {
         let id = self.id;
         for (i, (a, directive)) in self.active.iter_mut().zip(plan).enumerate() {
             let w = &a.job.workload;
+            // The serial quantum this directive consumes, drawn off the
+            // job's in-service estimate (for prefill that is the chunk
+            // itself — the proportional `StepCost` below rounds, the
+            // chunk ledger doesn't).
+            let spent: u64;
             let step: StepCost = match directive {
                 RoundStep::Idle => continue,
                 RoundStep::WholeJob => panic!("whole-job step inside a batched round"),
@@ -354,6 +423,7 @@ impl Chip {
                     if a.prefill_progress >= total.serial_cycles {
                         a.prefilled = true;
                     }
+                    spent = chunk;
                     // The chunk is a proportional slice of the whole pass.
                     let frac = chunk as f64 / total.serial_cycles.max(1) as f64;
                     StepCost {
@@ -366,9 +436,16 @@ impl Chip {
                 RoundStep::Decode => {
                     assert!(a.prefilled, "decode step for an unprefilled job");
                     a.steps_done += 1;
-                    cost.decode_on(id, w, w.seq_len + a.steps_done)
+                    let step = cost.decode_on(id, w, w.seq_len + a.steps_done);
+                    spent = step.serial_cycles;
+                    step
                 }
             };
+            // Work dispatched into this round counts as done for the
+            // in-service estimate; underflow is drift, not free work.
+            let over = spent.saturating_sub(a.est_remaining);
+            self.est_drift += over;
+            a.est_remaining = a.est_remaining.saturating_sub(spent);
             advanced += 1;
             compute += step.compute_cycles;
             dram += step.dram_cycles - step.weight_dram_cycles;
@@ -405,6 +482,8 @@ impl Chip {
         // Retire finished jobs (highest index first keeps indices valid).
         for &i in done.iter().rev() {
             let a = self.active.remove(i);
+            // A retiring job must have spent its whole estimate.
+            self.est_drift += a.est_remaining;
             self.kv_in_use -= a.footprint;
             let generated = a.job.workload.gen_steps;
             self.finished
@@ -518,6 +597,105 @@ mod tests {
             baseline + chip.swap_cycles,
             "busy time = baseline work + swap cost, nothing redone"
         );
+    }
+
+    #[test]
+    fn in_service_estimate_tracks_progress_without_drift() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX,
+        };
+        let mut chip = Chip::new(0);
+        assert_eq!(chip.in_service_cycles(), 0);
+        let j = job(0, 128, 6);
+        let total = cost.job_serial_cycles(&j.workload);
+        chip.admit(&mut cost, j, 0);
+        // Admission charges exactly the whole-job serial estimate.
+        assert_eq!(chip.in_service_cycles(), total);
+        // Each round draws the estimate down, strictly monotonically.
+        let mut now = 0;
+        let mut last = chip.in_service_cycles();
+        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+            now += cycles;
+            chip.end_round();
+            let remaining = chip.in_service_cycles();
+            assert!(remaining < last, "estimate must shrink every round");
+            last = remaining;
+        }
+        // ...and reaches exactly zero at completion: no drift.
+        assert_eq!(chip.in_service_cycles(), 0);
+        assert_eq!(chip.est_drift, 0);
+    }
+
+    #[test]
+    fn eviction_and_resume_rebalance_the_in_service_estimate() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX,
+        };
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, job(0, 128, 6), 0);
+        let mut now = 0;
+        for _ in 0..3 {
+            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            chip.end_round();
+        }
+        let before = chip.in_service_cycles();
+        assert!(before > 0, "mid-generation job still holds estimate");
+        // Eviction removes the job's whole remaining estimate...
+        let evicted = chip.evict(&mut cost, &[0], now);
+        assert_eq!(chip.in_service_cycles(), 0);
+        // ...and re-admission restores exactly it (progress preserved).
+        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        assert_eq!(chip.in_service_cycles(), before);
+        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+            now += cycles;
+            chip.end_round();
+        }
+        assert_eq!(chip.in_service_cycles(), 0);
+        assert_eq!(chip.est_drift, 0, "admit/evict/resume must not drift");
+    }
+
+    #[test]
+    fn eviction_churn_counts_and_decays() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut chip = Chip::new(0);
+        assert_eq!(chip.recent_evictions(0), 0.0);
+        chip.admit(&mut cost, job(0, 64, 8), 0);
+        chip.admit(&mut cost, job(1, 64, 8), 0);
+        chip.evict(&mut cost, &[0, 1], 1000);
+        let fresh = chip.recent_evictions(1000);
+        assert!((fresh - 2.0).abs() < 1e-9, "two evictions counted: {fresh}");
+        // One half-life later the counter has halved.
+        let later = chip.recent_evictions(1000 + CHURN_HALF_LIFE_CYCLES);
+        assert!((later - 1.0).abs() < 1e-9, "half-life decay: {later}");
+        // Another eviction folds the decayed value down and adds one.
+        chip.admit(&mut cost, job(2, 64, 8), 1000 + CHURN_HALF_LIFE_CYCLES);
+        chip.evict(&mut cost, &[0], 1000 + CHURN_HALF_LIFE_CYCLES);
+        let stacked = chip.recent_evictions(1000 + CHURN_HALF_LIFE_CYCLES);
+        assert!((stacked - 2.0).abs() < 1e-9, "1 decayed + 1 new: {stacked}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to chip")]
+    fn admitting_a_job_pinned_elsewhere_panics() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        // Evict from chip 1, then try to resume on chip 0: the job's
+        // swapped KV prefix lives in chip 1's HBM, so this is a
+        // migration bug the chip must catch.
+        let mut home = Chip::new(1);
+        home.admit(&mut cost, job(0, 128, 6), 0);
+        let now = home.start_round(
+            &mut cost,
+            &mut IterationBatch {
+                prefill_chunk_cycles: u64::MAX,
+            },
+            0,
+        );
+        home.end_round();
+        let evicted = home.evict(&mut cost, &[0], now.unwrap());
+        let mut wrong = Chip::new(0);
+        wrong.admit(&mut cost, evicted.into_iter().next().unwrap(), 0);
     }
 
     #[test]

@@ -42,6 +42,13 @@ impl JsonObject {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Adds a float field (non-finite values serialize as `null`).
     pub fn f64(mut self, name: &str, value: f64) -> Self {
         self.key(name);

@@ -18,8 +18,12 @@
 //!   `spatten-cluster` implements it for sharded multi-chip groups.
 //! * [`route`] — the **routing seam**: [`RoutingPolicy`] assigns each
 //!   arriving job to a chip *at arrival time* — cost-model-probed
-//!   fastest-chip, least-KV-loaded, hash-affinity — replacing the
-//!   chip-agnostic shared queue on heterogeneous fleets.
+//!   fastest-chip (queued **and in-service** backlog), churn-aware,
+//!   speed-weighted least-KV-loaded, hash-affinity — replacing the
+//!   chip-agnostic shared queue on heterogeneous fleets. When routing
+//!   still guesses wrong, the scheduler's work-stealing knob
+//!   ([`StealSpec`]) lets idle chips pull work back out of backlogged
+//!   private queues.
 //! * [`scheduler`] — the **admission seam**: [`AdmissionPolicy`] decides
 //!   who enters a chip's running batch under the KV budget. Bundled:
 //!   FIFO, shortest-job-first, arrival-order continuous batching,
@@ -83,12 +87,12 @@ pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
 pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};
 pub use request::{Completion, Job, Rejection, ResumeState};
 pub use route::{
-    ChipLoad, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting, RoutingPolicy,
-    SharedQueueRouting,
+    ChipLoad, ChurnAwareRouting, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting,
+    RoutingPolicy, SharedQueueRouting,
 };
 pub use scheduler::{
-    Admission, AdmissionPolicy, ArrivalOrderAdmission, ChipCapacity, FifoAdmission,
-    KvAwareAdmission, PendingQueue, Policy, PreemptSpec, PriorityAdmission, QueuedJob, RouteSpec,
-    SchedKnobs, Scheduler, SjfAdmission, SloAwareAdmission,
+    remaining_cycles_on, Admission, AdmissionPolicy, ArrivalOrderAdmission, ChipCapacity,
+    FifoAdmission, KvAwareAdmission, PendingQueue, Policy, PreemptSpec, PriorityAdmission,
+    QueuedJob, RouteSpec, SchedKnobs, Scheduler, SjfAdmission, SloAwareAdmission, StealSpec,
 };
 pub use sim::{simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig};

@@ -79,6 +79,10 @@ pub struct ChipStats {
     /// Cycles spent swapping preempted KV state to and from HBM (a
     /// subset of `busy_cycles`).
     pub swap_cycles: u64,
+    /// Jobs this chip stole from backlogged peers' private queues.
+    pub steals: u64,
+    /// Victim-side serial-cycle backlog those steals relieved.
+    pub stolen_cycles: u64,
 }
 
 /// Per-request-class accounting: latency, decode cadence, and the SLO
@@ -144,6 +148,13 @@ pub struct FleetReport {
     pub slo_violations: usize,
     /// Preemption eviction events across the fleet.
     pub preemptions: u64,
+    /// Whether preemption was requested but structurally could not fire:
+    /// a run-to-completion batch policy holds one resident per chip, so
+    /// free slots always remain and the preemption policy never sees a
+    /// blocked job. When this is `true` the run's "preemptive" numbers
+    /// are identical to the non-preemptive ones by construction — a
+    /// sweep comparing them is comparing a policy to itself.
+    pub preemption_inert: bool,
     /// Simulated makespan in cycles (last completion).
     pub makespan_cycles: u64,
     /// Completed requests per second of simulated time.
@@ -225,6 +236,7 @@ impl FleetReport {
             rejected: rejections.len(),
             slo_violations: completions.len() - in_slo,
             preemptions,
+            preemption_inert: false,
             makespan_cycles,
             throughput_rps: per_sec(completions.len()),
             goodput_rps: per_sec(in_slo),
@@ -320,6 +332,8 @@ impl FleetReport {
                 .u64("max_kv_in_use_bytes", c.max_kv_in_use)
                 .u64("evictions", c.evictions)
                 .u64("swap_cycles", c.swap_cycles)
+                .u64("steals", c.steals)
+                .u64("stolen_cycles", c.stolen_cycles)
                 .build()
         }));
         let classes = array(self.class_stats.iter().map(ClassStats::to_json));
@@ -331,6 +345,7 @@ impl FleetReport {
             .u64("rejected", self.rejected as u64)
             .u64("slo_violations", self.slo_violations as u64)
             .u64("preemptions", self.preemptions)
+            .bool("preemption_inert", self.preemption_inert)
             .u64("makespan_cycles", self.makespan_cycles)
             .f64(
                 "makespan_s",

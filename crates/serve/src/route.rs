@@ -18,17 +18,34 @@
 //!   queue (the PR 1–3 behavior, and the right choice for homogeneous
 //!   fleets where work conservation beats placement).
 //! * [`FastestChipRouting`] — probes the cost model: the job goes to the
-//!   chip minimizing `queued backlog + this job's serial cycles on that
-//!   chip`. On a mixed full/eighth fleet this sends work to full-size
-//!   chips until their backlog exceeds the speed differential — exactly
-//!   the placement-aware balance a blind shared queue cannot express.
+//!   chip minimizing `queued backlog + in-service backlog + this job's
+//!   serial cycles on that chip`. On a mixed full/eighth fleet this sends
+//!   work to full-size chips until their backlog exceeds the speed
+//!   differential — exactly the placement-aware balance a blind shared
+//!   queue cannot express. Counting **in-service** work (the remaining
+//!   cycles of resident jobs, [`ChipLoad::in_service_cycles`]) is what
+//!   keeps the estimate honest at saturation: with queued-only backlog a
+//!   chip packed with long resident generations looks idle the moment its
+//!   private queue drains, and the router piles new work onto the most
+//!   loaded silicon in the fleet.
+//! * [`ChurnAwareRouting`] — the fastest-chip estimate, additionally
+//!   penalized by the chip's recent eviction churn
+//!   ([`ChipLoad::recent_evictions`]): work routes *around* preemption
+//!   hotspots, so low-priority jobs stop volunteering for chips where
+//!   they are likely to be evicted and pay swap costs.
 //! * [`LeastKvLoadedRouting`] — the job goes to the chip with the lowest
 //!   fractional KV pressure (resident + queued footprints over budget),
-//!   maximizing batching headroom on big-SRAM chips.
+//!   weighted by the chip's probed serial cost for this job so a slow
+//!   chip's empty SRAM never outbids a fast chip's half-full one. On
+//!   homogeneous fleets the weight cancels and pure KV-fraction ordering
+//!   is preserved.
 //! * [`HashAffinityRouting`] — deterministic hash of the client (or the
 //!   request id for open-loop traffic) onto the fleet: a session's
 //!   requests always land on the same chip, the stateless-front-end
-//!   baseline real serving tiers use for cache affinity.
+//!   baseline real serving tiers use for cache affinity. Also the
+//!   adversarial baseline for work-stealing: it routes with no load
+//!   feedback at all, so only stealing can unwedge the backlog it piles
+//!   onto slow chips.
 //!
 //! [`AdmissionPolicy`]: crate::scheduler::AdmissionPolicy
 
@@ -49,10 +66,28 @@ pub struct ChipLoad {
     /// Jobs queued in the chip's private (routed) queue.
     pub pending_jobs: usize,
     /// Serial-cycle estimate of the chip's private queue (each routed
-    /// job's whole-job cost on this chip, summed).
+    /// job's remaining whole-job cost on this chip, summed).
     pub pending_cycles: u64,
     /// KV footprint estimate of the chip's private queue.
     pub pending_kv: u64,
+    /// Remaining estimated serial cycles of the jobs currently *resident*
+    /// on the chip, maintained incrementally by the chip event loop (work
+    /// already dispatched into the in-flight round counts as done).
+    /// Queued-only backlog ignores exactly this term, which is why the
+    /// pre-fix `FastestChipRouting` mis-placed at saturation.
+    pub in_service_cycles: u64,
+    /// Decaying count of recent preemption evictions on this chip (half
+    /// life [`crate::chip::CHURN_HALF_LIFE_CYCLES`]): the preemption-
+    /// hotspot signal [`ChurnAwareRouting`] penalizes.
+    pub recent_evictions: f64,
+}
+
+impl ChipLoad {
+    /// The chip's full backlog estimate: queued plus in-service cycles —
+    /// the quantity an arriving job waits behind.
+    pub fn backlog_cycles(&self) -> u64 {
+        self.pending_cycles.saturating_add(self.in_service_cycles)
+    }
 }
 
 /// The routing seam: assigns an arriving job to a chip, or leaves it in
@@ -155,14 +190,30 @@ impl RoutingPolicy for SharedQueueRouting {
 }
 
 /// Cost-model-probed routing: the job goes to the chip that minimizes
-/// `pending queue backlog + the job's own serial cycles on that chip` —
-/// an estimated-completion greedy that prices the *job on the hardware*,
-/// not just the queue length. Fast chips absorb most of the traffic;
-/// slow chips only receive work once the fast chips' backlog exceeds the
-/// hardware speed gap. Ties break toward the lower chip index, so
-/// routing is deterministic.
+/// `queued backlog + in-service backlog + the job's own serial cycles on
+/// that chip` — an estimated-completion greedy that prices the *job on
+/// the hardware*, not just the queue length. Fast chips absorb most of
+/// the traffic; slow chips only receive work once the fast chips' total
+/// backlog exceeds the hardware speed gap. Ties break toward the lower
+/// chip index, so routing is deterministic.
+///
+/// The in-service term ([`ChipLoad::in_service_cycles`]) is the
+/// saturation fix: chips drain their private queues into their resident
+/// sets, so at high load `pending_cycles` alone says nothing about how
+/// far behind a chip really is, and a queued-only estimate routes new
+/// work onto exactly the chips whose residents will hold it hostage
+/// longest.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FastestChipRouting;
+
+/// The estimated completion of `job` on chip `c`: queued + in-service
+/// backlog plus the job's own serial cycles there. Shared by
+/// [`FastestChipRouting`] and [`ChurnAwareRouting`].
+fn completion_estimate(job: &Job, cost: &mut dyn FleetCost, loads: &[ChipLoad], c: usize) -> u64 {
+    loads[c]
+        .backlog_cycles()
+        .saturating_add(cost.job_serial_on(c, &job.workload))
+}
 
 impl RoutingPolicy for FastestChipRouting {
     fn name(&self) -> &'static str {
@@ -176,21 +227,72 @@ impl RoutingPolicy for FastestChipRouting {
         loads: &[ChipLoad],
         _now: u64,
     ) -> Option<usize> {
-        (0..loads.len()).min_by_key(|&c| {
-            (
-                loads[c]
-                    .pending_cycles
-                    .saturating_add(cost.job_serial_on(c, &job.workload)),
-                c,
-            )
+        (0..loads.len()).min_by_key(|&c| (completion_estimate(job, cost, loads, c), c))
+    }
+}
+
+/// Churn-aware routing: the fastest-chip completion estimate, inflated
+/// by the target chip's recent eviction churn — `estimate × (1 +
+/// churn_weight × recent_evictions)`. A chip that keeps preempting
+/// residents is a bad home for work that can be preempted: every
+/// eviction costs two KV swaps and a requeue, none of which the plain
+/// completion estimate prices. Routing low-priority traffic around those
+/// hotspots leaves them to the high-priority work that causes the churn
+/// (and is never its victim). With no churn anywhere it is exactly
+/// [`FastestChipRouting`]. Ties break toward the lower chip index.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnAwareRouting {
+    /// Backlog inflation per unit of decayed eviction churn (1.0 ≈ one
+    /// recent eviction doubles the chip's apparent backlog).
+    pub churn_weight: f64,
+}
+
+impl Default for ChurnAwareRouting {
+    fn default() -> Self {
+        Self { churn_weight: 1.0 }
+    }
+}
+
+impl RoutingPolicy for ChurnAwareRouting {
+    fn name(&self) -> &'static str {
+        "churn-aware"
+    }
+
+    fn route(
+        &mut self,
+        job: &Job,
+        cost: &mut dyn FleetCost,
+        loads: &[ChipLoad],
+        _now: u64,
+    ) -> Option<usize> {
+        // One score per chip up front (the memoized probe is cheap but
+        // not free, and min_by compares O(n log n) times).
+        let scores: Vec<f64> = (0..loads.len())
+            .map(|c| {
+                completion_estimate(job, cost, loads, c) as f64
+                    * (1.0 + self.churn_weight * loads[c].recent_evictions.max(0.0))
+            })
+            .collect();
+        (0..loads.len()).min_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         })
     }
 }
 
-/// KV-pressure routing: the job goes to the chip with the lowest
-/// fractional KV load — resident plus already-queued footprints, over
-/// that chip's own budget — keeping batching headroom even across
-/// different SRAM sizes. Ties break toward the lower chip index.
+/// KV-pressure routing, weighted by chip speed: the job goes to the chip
+/// minimizing `(1 + fractional KV load) × the job's serial cycles on
+/// that chip`, where the fractional load is resident plus already-queued
+/// footprints over that chip's own budget. The serial factor is what
+/// keeps this policy honest on speed-heterogeneous fleets: pure
+/// KV-fraction ordering routes every arrival to whichever chip has the
+/// emptiest SRAM — on a mixed full/eighth fleet that is usually an
+/// eighth-scale chip that will take 8× longer, which is how the
+/// unweighted policy lost to the shared queue. On homogeneous fleets the
+/// serial factor is a constant and pure fraction ordering is preserved.
+/// Ties break toward the lower chip index.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LeastKvLoadedRouting;
 
@@ -201,17 +303,26 @@ impl RoutingPolicy for LeastKvLoadedRouting {
 
     fn route(
         &mut self,
-        _job: &Job,
-        _cost: &mut dyn FleetCost,
+        job: &Job,
+        cost: &mut dyn FleetCost,
         loads: &[ChipLoad],
         _now: u64,
     ) -> Option<usize> {
-        // Compare load fractions exactly in integers: a/b < c/d  ⇔
-        // a·d < c·b (budgets are nonzero for any chip with SRAM).
+        // Compare `serial_c × (budget_c + used_c) / budget_c` exactly in
+        // integers by cross-multiplying (budgets are nonzero for any chip
+        // with SRAM): a/b < c/d  ⇔  a·d < c·b.
+        let serial: Vec<u64> = (0..loads.len())
+            .map(|c| cost.job_serial_on(c, &job.workload))
+            .collect();
         (0..loads.len()).min_by(|&a, &b| {
             let (la, lb) = (&loads[a], &loads[b]);
-            let fa = (la.kv_in_use + la.pending_kv) as u128 * lb.kv_budget.max(1) as u128;
-            let fb = (lb.kv_in_use + lb.pending_kv) as u128 * la.kv_budget.max(1) as u128;
+            let (ba, bb) = (la.kv_budget.max(1), lb.kv_budget.max(1));
+            let fa = serial[a] as u128
+                * (ba as u128 + la.kv_in_use as u128 + la.pending_kv as u128)
+                * bb as u128;
+            let fb = serial[b] as u128
+                * (bb as u128 + lb.kv_in_use as u128 + lb.pending_kv as u128)
+                * ba as u128;
             fa.cmp(&fb).then(a.cmp(&b))
         })
     }
@@ -287,6 +398,8 @@ mod tests {
             pending_jobs: 0,
             pending_cycles: 0,
             pending_kv: 0,
+            in_service_cycles: 0,
+            recent_evictions: 0.0,
         }
     }
 
@@ -308,16 +421,76 @@ mod tests {
     }
 
     #[test]
+    fn fastest_chip_counts_in_service_work() {
+        // The saturation bugfix: a chip whose private queue is empty but
+        // whose residents hold a mountain of remaining work must not look
+        // idle to the router.
+        let mut cost = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let mut r = FastestChipRouting;
+        let mut loads = vec![idle(cost.budget_on(0)), idle(cost.budget_on(1))];
+        let eighth_serial = cost.job_serial_on(1, &job(0, None).workload);
+        // Queued-only estimates would still pick the full chip; its
+        // in-service backlog says otherwise.
+        loads[0].in_service_cycles = eighth_serial * 2;
+        assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(1));
+    }
+
+    #[test]
+    fn churn_aware_routes_around_preemption_hotspots() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut r = ChurnAwareRouting::default();
+        let mut loads = vec![idle(1000), idle(1000)];
+        // Equal backlog: index tie-break picks chip 0...
+        assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(0));
+        // ...until chip 0 shows eviction churn.
+        loads[0].recent_evictions = 2.0;
+        assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(1));
+        // With zero churn everywhere it agrees with fastest-chip.
+        loads[0].recent_evictions = 0.0;
+        loads[0].pending_cycles = 1;
+        assert_eq!(
+            r.route(&job(0, None), &mut cost, &loads, 0),
+            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0)
+        );
+    }
+
+    #[test]
     fn least_kv_loaded_balances_fractions_not_bytes() {
         let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
         let mut r = LeastKvLoadedRouting;
-        // Chip 0: half full of a small budget. Chip 1: a quarter full of a
-        // budget twice the size. Chip 1 is the lower *fraction*.
+        // Homogeneous chips (equal serial cost): chip 0 half full of a
+        // small budget, chip 1 a quarter full of a budget twice the size.
+        // Chip 1 is the lower *fraction*.
         let mut a = idle(1000);
         a.kv_in_use = 500;
         let mut b = idle(2000);
         b.kv_in_use = 500;
         assert_eq!(r.route(&job(0, None), &mut cost, &[a, b], 0), Some(1));
+    }
+
+    #[test]
+    fn least_kv_loaded_weighs_pressure_by_chip_speed() {
+        // Speed-heterogeneity fix: an empty eighth-scale chip must not
+        // outbid a moderately loaded full-size chip — the job would take
+        // ~8× longer there, which no SRAM headroom buys back.
+        let mut cost = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let mut r = LeastKvLoadedRouting;
+        let mut full = idle(cost.budget_on(0));
+        full.kv_in_use = cost.budget_on(0) / 2; // half full
+        let eighth = idle(cost.budget_on(1)); // empty but slow
+        assert_eq!(
+            r.route(&job(0, None), &mut cost, &[full, eighth], 0),
+            Some(0)
+        );
+        // Both empty: the fast chip wins the tie.
+        let empty = [idle(cost.budget_on(0)), idle(cost.budget_on(1))];
+        assert_eq!(r.route(&job(0, None), &mut cost, &empty, 0), Some(0));
     }
 
     #[test]

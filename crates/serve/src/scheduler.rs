@@ -17,6 +17,12 @@
 //!   resident jobs can be evicted mid-decode for higher-priority queued
 //!   work, with KV swap costs charged and progress preserved.
 //!
+//! A fifth, corrective seam rides on the scheduler itself: **work
+//! stealing** ([`StealSpec`], [`SchedKnobs::steal`]) lets a chip that
+//! goes idle with an empty private queue take the costliest-fit job from
+//! the most backlogged peer's private queue, bounding the damage when a
+//! routing decision turns out wrong.
+//!
 //! The bundled admission policies:
 //!
 //! * [`FifoAdmission`] — strict arrival order, one job per idle chip,
@@ -50,19 +56,20 @@
 //!   goodput under overload instead of letting every request straggle.
 //!
 //! The [`Policy`] enum names the seven canonical (admission, batching)
-//! pairings and builds boxed policy objects for runtime sweeps; routing
-//! and preemption compose with *any* of them through
-//! [`SchedKnobs::route`] and [`SchedKnobs::preempt`]. The simulator
-//! itself ([`crate::sim::simulate_fleet_with`]) is generic and accepts
-//! any trait implementation.
+//! pairings and builds boxed policy objects for runtime sweeps; routing,
+//! stealing and preemption compose with *any* of them through
+//! [`SchedKnobs::route`], [`SchedKnobs::steal`] and
+//! [`SchedKnobs::preempt`]. The simulator itself
+//! ([`crate::sim::simulate_fleet_with`]) is generic and accepts any
+//! trait implementation.
 
 use crate::batch::{BatchPolicy, DecodePrioritizedBatch, IterationBatch, RunToCompletion};
 use crate::cost::FleetCost;
 use crate::preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption};
 use crate::request::Job;
 use crate::route::{
-    ChipLoad, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting, RoutingPolicy,
-    SharedQueueRouting,
+    ChipLoad, ChurnAwareRouting, FastestChipRouting, HashAffinityRouting, LeastKvLoadedRouting,
+    RoutingPolicy, SharedQueueRouting,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -176,12 +183,16 @@ pub enum RouteSpec {
     /// the work-conserving choice for homogeneous fleets).
     #[default]
     SharedQueue,
-    /// Cost-model-probed: minimize queued backlog plus the job's own
-    /// serial cycles on the target chip
+    /// Cost-model-probed: minimize queued + in-service backlog plus the
+    /// job's own serial cycles on the target chip
     /// ([`crate::route::FastestChipRouting`]).
     FastestChip,
-    /// Lowest fractional KV pressure
-    /// ([`crate::route::LeastKvLoadedRouting`]).
+    /// The fastest-chip estimate penalized by recent eviction churn, so
+    /// preemptable work routes around preemption hotspots
+    /// ([`crate::route::ChurnAwareRouting`]).
+    ChurnAware,
+    /// Lowest fractional KV pressure, weighted by the chip's probed
+    /// serial cost ([`crate::route::LeastKvLoadedRouting`]).
     LeastKvLoaded,
     /// Deterministic client/request hash
     /// ([`crate::route::HashAffinityRouting`]).
@@ -194,6 +205,7 @@ impl RouteSpec {
         match self {
             RouteSpec::SharedQueue => "shared-queue",
             RouteSpec::FastestChip => "fastest-chip",
+            RouteSpec::ChurnAware => "churn-aware",
             RouteSpec::LeastKvLoaded => "least-kv-loaded",
             RouteSpec::HashAffinity => "hash-affinity",
         }
@@ -204,8 +216,45 @@ impl RouteSpec {
         match self {
             RouteSpec::SharedQueue => Box::new(SharedQueueRouting),
             RouteSpec::FastestChip => Box::new(FastestChipRouting),
+            RouteSpec::ChurnAware => Box::new(ChurnAwareRouting::default()),
             RouteSpec::LeastKvLoaded => Box::new(LeastKvLoadedRouting),
             RouteSpec::HashAffinity => Box::new(HashAffinityRouting),
+        }
+    }
+}
+
+/// The work-stealing knob: whether a chip that goes idle with an empty
+/// private queue may steal from a backlogged peer's private queue. Any
+/// [`Policy`] and any [`RouteSpec`] compose with it (see
+/// [`SchedKnobs::steal`]).
+///
+/// Routing decides placement once, at arrival, from an *estimate*; when
+/// the estimate is wrong (hash affinity ignores load entirely; even a
+/// cost-probed estimate drifts as residents run long) the mistake is
+/// permanent — a fast chip idles while a slow chip's private queue
+/// grows without bound. Stealing bounds that failure mode: the idle
+/// chip takes the costliest-fit job from the most backlogged peer,
+/// respecting the thief's KV budget, the queue's priority order, and
+/// the pin on preempted-resumed jobs (their swapped KV prefix lives in
+/// their own chip's HBM — they are never stolen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StealSpec {
+    /// No stealing: routed jobs run where the router put them (the
+    /// default, and the PR 4 behavior bit-for-bit).
+    #[default]
+    Off,
+    /// An idle chip with an empty private queue steals the costliest job
+    /// that fits its free KV budget (highest priority tier first) from
+    /// the peer with the largest pending-cycle backlog.
+    CostliestFit,
+}
+
+impl StealSpec {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StealSpec::Off => "off",
+            StealSpec::CostliestFit => "costliest-fit",
         }
     }
 }
@@ -279,6 +328,9 @@ pub struct SchedKnobs {
     /// Admission-time routing across the fleet (default: the
     /// chip-agnostic shared queue).
     pub route: RouteSpec,
+    /// Work-stealing between private queues when routing misestimates
+    /// (default: off).
+    pub steal: StealSpec,
     /// Preemption of resident jobs (default: none).
     pub preempt: PreemptSpec,
     /// Preemption fairness bound: the most times any one job may be
@@ -293,10 +345,39 @@ impl Default for SchedKnobs {
             prefill_budget_cycles: 250_000,
             max_skip: 4,
             route: RouteSpec::SharedQueue,
+            steal: StealSpec::Off,
             preempt: PreemptSpec::None,
             max_preemptions: 4,
         }
     }
+}
+
+/// The serial cycles `job` still needs on `chip`: the whole job for a
+/// fresh arrival, and the unexecuted prefill remainder plus the
+/// undecoded steps for a job resuming from preemption
+/// ([`crate::request::ResumeState`]). This is the one pricing function
+/// behind all backlog bookkeeping — the scheduler's per-queue
+/// `pending_cycles`, the chip's in-service estimate
+/// ([`crate::chip::Chip::in_service_cycles`]), and the stealing
+/// cost ranking — so queued and resident work stay comparable and the
+/// estimates cannot drift apart.
+pub fn remaining_cycles_on<C: FleetCost + ?Sized>(cost: &mut C, chip: usize, job: &Job) -> u64 {
+    let w = &job.workload;
+    let Some(r) = &job.resume else {
+        return cost.job_serial_on(chip, w);
+    };
+    let mut total = if r.prefilled {
+        0
+    } else {
+        cost.prefill_on(chip, w)
+            .serial_cycles
+            .saturating_sub(r.prefill_progress)
+    };
+    let done = if r.prefilled { r.steps_done } else { 0 };
+    for step in done..w.gen_steps {
+        total += cost.decode_on(chip, w, w.seq_len + step + 1).serial_cycles;
+    }
+    total
 }
 
 /// A chip's admission capacity, passed to [`AdmissionPolicy::admit`] and
@@ -718,39 +799,54 @@ impl AdmissionPolicy for SloAwareAdmission {
 /// single-queue scheduler of PRs 1–3. With routing, each chip owns a
 /// private queue the router fills at arrival time; admission drains a
 /// chip's private queue first and the shared queue second, under the
-/// same policy. Preempted jobs are re-queued at the front of the
-/// evicting chip's private queue (routing active — their KV prefix was
-/// drained into that chip's HBM) or of the shared queue (shared-queue
-/// routing — so the admission order across them and the job they were
-/// evicted for stays priority-consistent).
+/// same policy. Preempted jobs are always re-queued at the front of the
+/// *evicting* chip's private queue: their KV prefix was drained into
+/// that chip's HBM, so they are pinned there (the pin is asserted at
+/// admission) and no other chip — by routing or by stealing — may pick
+/// them up.
 #[derive(Debug)]
 pub struct Scheduler<A: AdmissionPolicy, R: RoutingPolicy = SharedQueueRouting> {
     policy: A,
     router: R,
+    steal: StealSpec,
     shared: PendingQueue,
     routed: Vec<PendingQueue>,
     /// Serial-cycle backlog estimate per private queue (each routed job's
-    /// whole-job cost on its chip) — the load signal
-    /// [`FastestChipRouting`] balances on.
+    /// remaining cost on its chip) — the load signal
+    /// [`FastestChipRouting`] balances on and stealing drains.
     pending_cycles: Vec<u64>,
     /// KV footprint estimate per private queue.
     pending_kv: Vec<u64>,
+    /// Jobs each chip has stolen from peers' private queues.
+    steals: Vec<u64>,
+    /// Victim-side serial cycles relieved by each chip's steals.
+    stolen_cycles: Vec<u64>,
     admitted: u64,
 }
 
 impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
     /// An empty scheduler for `chips` executors, admitting with `policy`
-    /// and routing with `router`.
+    /// and routing with `router`. Stealing defaults to
+    /// [`StealSpec::Off`]; enable it with [`Scheduler::with_steal`].
     pub fn new(policy: A, router: R, chips: usize) -> Self {
         Self {
             policy,
             router,
+            steal: StealSpec::Off,
             shared: PendingQueue::new(),
             routed: (0..chips).map(|_| PendingQueue::new()).collect(),
             pending_cycles: vec![0; chips],
             pending_kv: vec![0; chips],
+            steals: vec![0; chips],
+            stolen_cycles: vec![0; chips],
             admitted: 0,
         }
+    }
+
+    /// Sets the work-stealing knob.
+    pub fn with_steal(mut self, steal: StealSpec) -> Self {
+        self.steal = steal;
+        self
     }
 
     /// Jobs waiting for a chip (shared + every private queue).
@@ -802,21 +898,25 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
         }
     }
 
-    /// Re-queues a preempted job at the front of the queue it will be
-    /// admitted from: the evicting chip's private queue when routing is
-    /// active (its KV lives in that chip's HBM), the shared queue
-    /// otherwise. The front, because the victim arrived before anything
-    /// still waiting; the *shared* queue under shared-queue routing,
-    /// because the private queue drains first and a victim parked there
-    /// would outrank every shared-queue job — including the
-    /// higher-priority one it was just evicted for.
+    /// Re-queues a preempted job at the front of the *evicting* chip's
+    /// private queue — always, routing active or not. The victim's KV
+    /// prefix was drained into that chip's HBM, so admitting it anywhere
+    /// else would resume against swap state that isn't there (the pin is
+    /// asserted at [`crate::chip::Chip::admit`]). Under shared-queue
+    /// routing PR 4 parked victims at the shared queue's front instead,
+    /// where *any* chip's admission could — and on multi-chip fleets did
+    /// — migrate them; this is the fix. The front, because the victim
+    /// arrived before anything still waiting. Priority consistency with
+    /// the job it was evicted for is preserved by the event loop:
+    /// admission runs while victims are off-queue, so the blocked job
+    /// claims the freed capacity before the victim is back in line.
     pub fn requeue<C: FleetCost>(&mut self, chip: usize, job: Job, cost: &mut C) {
-        if self.router.routes() {
-            self.charge(chip, &job, cost);
-            self.routed[chip].push_front(job);
-        } else {
-            self.shared.push_front(job);
-        }
+        debug_assert!(
+            job.resume.is_none_or(|r| r.chip == chip),
+            "requeue must target the pinned chip"
+        );
+        self.charge(chip, &job, cost);
+        self.routed[chip].push_front(job);
     }
 
     /// The jobs `chip` could admit, in admission-scan order: its private
@@ -830,17 +930,106 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
     }
 
     fn charge<C: FleetCost>(&mut self, chip: usize, job: &Job, cost: &mut C) {
-        self.pending_cycles[chip] += cost.job_serial_on(chip, &job.workload);
+        self.pending_cycles[chip] += remaining_cycles_on(cost, chip, job);
         self.pending_kv[chip] += cost.footprint_on(chip, &job.workload);
     }
 
     fn discharge<C: FleetCost>(&mut self, chip: usize, job: &Job, cost: &mut C) {
-        // Recomputed, not stored: the oracle memoizes, so the value is
+        // Recomputed, not stored: the oracle memoizes and the job's
+        // resume state is immutable while queued, so the value is
         // identical to what `charge` added.
         self.pending_cycles[chip] =
-            self.pending_cycles[chip].saturating_sub(cost.job_serial_on(chip, &job.workload));
+            self.pending_cycles[chip].saturating_sub(remaining_cycles_on(cost, chip, job));
         self.pending_kv[chip] =
             self.pending_kv[chip].saturating_sub(cost.footprint_on(chip, &job.workload));
+    }
+
+    /// Jobs `chip` has stolen from peers' private queues.
+    pub fn steals_on(&self, chip: usize) -> u64 {
+        self.steals[chip]
+    }
+
+    /// Victim-side serial cycles `chip`'s steals relieved.
+    pub fn stolen_cycles_on(&self, chip: usize) -> u64 {
+        self.stolen_cycles[chip]
+    }
+
+    /// Attempts one steal for idle chip `thief` under the configured
+    /// [`StealSpec`]: walks peers in descending pending-cycle backlog
+    /// and, from the first peer offering any eligible job, moves the
+    /// costliest one (highest priority tier first, oldest within a tier
+    /// on a cost tie) into `thief`'s private queue. Eligible means the
+    /// job fits `cap` on the thief, is not a preempted-resumed job
+    /// (those are pinned to the chip holding their swapped KV prefix and
+    /// are never migrated), and — the profitability guard — would
+    /// plausibly *finish sooner on the thief*: the thief's whole-job
+    /// cost must beat the victim-side queue wait ahead of the job plus
+    /// the job's own cost there. Without that guard a slow idle chip
+    /// happily steals the longest job a fast chip would have turned
+    /// around 8× sooner, and stealing degrades exactly the routing it
+    /// exists to back up. (The guard is conservative: it ignores the
+    /// victim's in-service backlog, which only makes staying look
+    /// cheaper than it is.) Returns whether a job moved (the caller
+    /// re-runs admission to claim it).
+    pub fn steal_into<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        thief: usize,
+        cap: ChipCapacity,
+        _now: u64,
+    ) -> bool {
+        /// Most queue positions scanned per victim: bounds the per-kick
+        /// cost at saturation, where private queues grow without bound
+        /// and every arrival kicks every chip. Front positions are the
+        /// oldest jobs — the ones a steal helps most.
+        const STEAL_SCAN_CAP: usize = 32;
+        if self.steal == StealSpec::Off || cap.slots == 0 {
+            return false;
+        }
+        // Peers by backlog, most loaded first (stable: index breaks ties).
+        let mut peers: Vec<usize> = (0..self.routed.len())
+            .filter(|&c| c != thief && self.pending_cycles[c] > 0 && !self.routed[c].is_empty())
+            .collect();
+        peers.sort_by_key(|&c| (Reverse(self.pending_cycles[c]), c));
+        for victim in peers {
+            // The costliest eligible job, priced on the victim chip (the
+            // backlog being relieved); top priority tier first so
+            // stealing never inverts the order admission would use, and
+            // oldest first on a full tie.
+            let mut best: Option<((u8, u64), usize)> = None;
+            // Victim-side cycles queued ahead of the current position —
+            // the serial wait a job at that position faces if it stays.
+            let mut ahead: u64 = 0;
+            for i in 0..self.routed[victim].len().min(STEAL_SCAN_CAP) {
+                let job = &self.routed[victim].get(i).job;
+                let victim_cost = remaining_cycles_on(cost, victim, job);
+                let stay_cost = ahead + victim_cost;
+                ahead += victim_cost;
+                if job.resume.is_some() {
+                    continue; // pinned to its chip's swapped KV prefix
+                }
+                if cost.footprint_on(thief, &job.workload) > cap.kv_free {
+                    continue;
+                }
+                if remaining_cycles_on(cost, thief, job) >= stay_cost {
+                    continue; // staying put finishes sooner: don't steal
+                }
+                let key = (job.priority, victim_cost);
+                if best.is_none_or(|(k, _)| key > k) {
+                    best = Some((key, i));
+                }
+            }
+            let Some((_, i)) = best else { continue };
+            let job = self.routed[victim].remove(i);
+            debug_assert!(job.resume.is_none(), "stolen jobs are never pinned");
+            self.discharge(victim, &job, cost);
+            self.steals[thief] += 1;
+            self.stolen_cycles[thief] += remaining_cycles_on(cost, victim, &job);
+            self.charge(thief, &job, cost);
+            self.routed[thief].push(job);
+            return true;
+        }
+        false
     }
 
     /// Asks the policy what the calling chip should admit right now: its
@@ -1133,6 +1322,8 @@ mod tests {
                 pending_jobs: 0,
                 pending_cycles: 0,
                 pending_kv: 0,
+                in_service_cycles: 0,
+                recent_evictions: 0.0,
             },
             ChipLoad {
                 active: 0,
@@ -1141,6 +1332,8 @@ mod tests {
                 pending_jobs: 0,
                 pending_cycles: 0,
                 pending_kv: 0,
+                in_service_cycles: 0,
+                recent_evictions: 0.0,
             },
         ];
         // An idle heterogeneous pair: the full-size chip 0 wins the probe.
@@ -1160,23 +1353,25 @@ mod tests {
     }
 
     #[test]
-    fn requeued_jobs_take_the_front_of_their_queue() {
-        // Shared-queue routing: the victim returns to the shared queue's
-        // front (oldest arrival), not to a private queue that would let
-        // it outrank higher-priority shared work.
+    fn requeued_jobs_take_the_front_of_their_chips_private_queue() {
+        // Shared-queue routing: the victim still returns to the evicting
+        // chip's *private* queue — its drained KV prefix lives in that
+        // chip's HBM, so no other chip may admit it — and drains before
+        // shared work.
         let mut c = cost();
         let mut s = sched(ArrivalOrderAdmission);
         s.on_arrival(job(5, 64, 4), &mut c, &[], 0);
         let mut evicted = job(1, 64, 4);
         evicted.preemptions = 1;
         s.requeue(0, evicted, &mut c);
-        assert_eq!(s.pending_on(0), 0, "no private queue without routing");
+        assert_eq!(s.pending_on(0), 1, "victim pinned to its chip's queue");
+        assert!(s.pending_cycles_on(0) > 0);
         let got = s.take(&mut c, 0, idle_cap(8), 0).jobs;
         assert_eq!(got[0].id, 1);
         assert_eq!(got[1].id, 5);
+        assert_eq!(s.pending_cycles_on(0), 0, "backlog estimate drained");
 
-        // Active routing: the victim returns to its chip's private queue
-        // (KV affinity) and drains before shared work.
+        // Active routing: same destination.
         use crate::route::FastestChipRouting;
         let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
         let mut evicted = job(2, 64, 4);
@@ -1186,5 +1381,143 @@ mod tests {
         assert!(s.pending_cycles_on(1) > 0);
         let got = s.take(&mut c, 1, idle_cap(8), 0).jobs;
         assert_eq!(got[0].id, 2);
+    }
+
+    #[test]
+    fn remaining_cycles_shrink_with_resume_progress() {
+        let mut c = cost();
+        let fresh = job(0, 128, 6);
+        let full = remaining_cycles_on(&mut c, 0, &fresh);
+        assert_eq!(full, c.job_serial_cycles(&fresh.workload));
+        // Mid-prefill resume: the prefill remainder plus every decode.
+        let mut mid = fresh.clone();
+        mid.resume = Some(crate::request::ResumeState {
+            chip: 0,
+            prefill_progress: 1,
+            prefilled: false,
+            steps_done: 0,
+            start_cycles: 0,
+            first_token_cycles: None,
+        });
+        let resumed = remaining_cycles_on(&mut c, 0, &mid);
+        assert_eq!(resumed, full - 1);
+        // Mid-decode resume: only the undecoded steps remain.
+        let mut deep = fresh.clone();
+        deep.resume = Some(crate::request::ResumeState {
+            chip: 0,
+            prefill_progress: 0,
+            prefilled: true,
+            steps_done: 4,
+            start_cycles: 0,
+            first_token_cycles: None,
+        });
+        let late = remaining_cycles_on(&mut c, 0, &deep);
+        assert!(late < resumed);
+        // Fully-done resume: nothing left.
+        let mut done = fresh.clone();
+        done.resume = Some(crate::request::ResumeState {
+            chip: 0,
+            prefill_progress: 0,
+            prefilled: true,
+            steps_done: 6,
+            start_cycles: 0,
+            first_token_cycles: None,
+        });
+        assert_eq!(remaining_cycles_on(&mut c, 0, &done), 0);
+    }
+
+    #[test]
+    fn stealing_takes_the_costliest_fit_from_the_most_backlogged_peer() {
+        let mut c = cost();
+        let mut s = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 3)
+            .with_steal(StealSpec::CostliestFit);
+        // Chip 1: one small job. Chip 2: a short job ahead of a long one
+        // — the bigger backlog, so the thief raids it and takes the
+        // costliest *profitable* job: the long job, whose wait behind
+        // the short one makes the (equal-speed) thief strictly faster.
+        let small = job(0, 32, 2);
+        let long = job(1, 512, 48);
+        let short = job(2, 48, 4);
+        s.charge(1, &small, &mut c);
+        s.routed[1].push(small);
+        for j in [short, long] {
+            s.charge(2, &j, &mut c);
+            s.routed[2].push(j);
+        }
+        assert!(s.steal_into(&mut c, 0, idle_cap(8), 0));
+        assert_eq!(s.pending_on(0), 1);
+        assert_eq!(s.pending_on(2), 1, "stolen from the most backlogged peer");
+        assert_eq!(s.routed[0].get(0).job.id, 1, "costliest job moves");
+        assert_eq!(s.steals_on(0), 1);
+        assert!(s.stolen_cycles_on(0) > 0);
+        // The thief's admission claims it like any routed job.
+        let got = s.take(&mut c, 0, idle_cap(8), 0).jobs;
+        assert_eq!(got[0].id, 1);
+        assert_eq!(s.pending_cycles_on(0), 0);
+    }
+
+    #[test]
+    fn stealing_declines_when_staying_put_finishes_sooner() {
+        // Profitability guard: a slow (eighth-scale) idle chip must NOT
+        // steal a queue-head job a full-size chip would turn around 8×
+        // sooner — that steal would delay the job, not rescue it.
+        let mut c = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let mut s = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 2)
+            .with_steal(StealSpec::CostliestFit);
+        let j = job(0, 128, 8);
+        s.charge(0, &j, &mut c);
+        s.routed[0].push(j);
+        assert!(
+            !s.steal_into(&mut c, 1, idle_cap(8), 0),
+            "slow thief must leave the fast chip's job alone"
+        );
+        assert_eq!(s.pending_on(0), 1);
+        // The fast chip stealing from the slow one is the profitable
+        // direction, and fires.
+        let j = job(1, 128, 8);
+        s.charge(1, &j, &mut c);
+        s.routed[1].push(j);
+        assert!(s.steal_into(&mut c, 0, idle_cap(8), 0));
+        assert_eq!(s.routed[0].get(1).job.id, 1, "fast thief takes the job");
+    }
+
+    #[test]
+    fn stealing_never_migrates_pinned_or_oversized_jobs() {
+        let mut c = cost();
+        let mut s = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 2)
+            .with_steal(StealSpec::CostliestFit);
+        // A preempted-resumed job in chip 1's queue: pinned, never stolen.
+        let mut pinned = job(0, 128, 8);
+        pinned.preemptions = 1;
+        pinned.resume = Some(crate::request::ResumeState {
+            chip: 1,
+            prefill_progress: 0,
+            prefilled: true,
+            steps_done: 2,
+            start_cycles: 0,
+            first_token_cycles: None,
+        });
+        s.requeue(1, pinned, &mut c);
+        assert!(!s.steal_into(&mut c, 0, idle_cap(8), 0));
+        assert_eq!(s.pending_on(1), 1, "pinned job stays home");
+        // A fresh job that doesn't fit the thief's free KV is skipped too.
+        let fat = job(1, 1024, 64);
+        s.charge(1, &fat, &mut c);
+        s.routed[1].push(fat);
+        let tight = ChipCapacity {
+            active: 0,
+            kv_free: 0,
+            slots: 8,
+        };
+        assert!(!s.steal_into(&mut c, 0, tight, 0));
+        // With stealing off nothing ever moves.
+        let mut off = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 2);
+        let j = job(2, 64, 4);
+        off.charge(1, &j, &mut c);
+        off.routed[1].push(j);
+        assert!(!off.steal_into(&mut c, 0, idle_cap(8), 0));
     }
 }

@@ -25,7 +25,7 @@ use crate::metrics::{ChipStats, FleetReport};
 use crate::preempt::PreemptionPolicy;
 use crate::request::{Completion, Job, Rejection};
 use crate::route::{ChipLoad, RoutingPolicy};
-use crate::scheduler::{AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler};
+use crate::scheduler::{AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler, StealSpec};
 use spatten_core::SpAttenConfig;
 use spatten_workloads::{Trace, TraceRequest};
 use std::cmp::Reverse;
@@ -209,7 +209,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
     }
 
     /// The per-chip load snapshot the routing policy sees at an arrival.
-    fn loads(&self) -> Vec<ChipLoad> {
+    fn loads(&self, now: u64) -> Vec<ChipLoad> {
         (0..self.chips.len())
             .map(|i| {
                 let chip = &self.chips[i];
@@ -220,6 +220,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                     pending_jobs: self.scheduler.pending_on(i),
                     pending_cycles: self.scheduler.pending_cycles_on(i),
                     pending_kv: self.scheduler.pending_kv_on(i),
+                    in_service_cycles: chip.in_service_cycles(),
+                    recent_evictions: chip.recent_evictions(now),
                 }
             })
             .collect()
@@ -287,6 +289,26 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 self.chips[chip_idx].admit(&mut self.cost, job, now);
             }
         }
+        // Work stealing: a chip that comes out of admission idle with an
+        // empty private queue pulls the costliest-fit job from the most
+        // backlogged peer's private queue — routing misestimates become
+        // one extra queue hop instead of a permanently idle chip.
+        if self.chips[chip_idx].active_jobs() == 0 && self.scheduler.pending_on(chip_idx) == 0 {
+            let cap = self.capacity(chip_idx);
+            if self
+                .scheduler
+                .steal_into(&mut self.cost, chip_idx, cap, now)
+            {
+                let cap = self.capacity(chip_idx);
+                let stolen = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
+                for job in stolen.rejected {
+                    self.on_rejection(job, now);
+                }
+                for job in stolen.jobs {
+                    self.chips[chip_idx].admit(&mut self.cost, job, now);
+                }
+            }
+        }
         let chip = &mut self.chips[chip_idx];
         if let Some(cycles) = chip.start_round(&mut self.cost, &mut self.batch, now) {
             self.push(now + cycles, EventKind::RoundEnd(chip_idx));
@@ -331,7 +353,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                     // The load snapshot exists for the router; the
                     // default shared queue never reads it.
                     let loads = if self.scheduler.routes() {
-                        self.loads()
+                        self.loads(now)
                     } else {
                         Vec::new()
                     };
@@ -361,6 +383,28 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             0,
             "simulation drained with jobs still queued"
         );
+        // Backlog-estimate consistency: every cycle charged into the
+        // pending / in-service ledgers must have been discharged by the
+        // matching transition (admit / complete / preempt / steal). Any
+        // residue here means the estimates routing ranks by had drifted
+        // from the scheduler's actual bookkeeping.
+        for chip in 0..self.chips.len() {
+            assert_eq!(
+                self.scheduler.pending_cycles_on(chip),
+                0,
+                "chip {chip}: pending-cycle estimate drifted"
+            );
+            assert_eq!(
+                self.scheduler.pending_kv_on(chip),
+                0,
+                "chip {chip}: pending-KV estimate drifted"
+            );
+            assert_eq!(
+                self.chips[chip].est_drift, 0,
+                "chip {chip}: in-service estimate drifted from executed work"
+            );
+        }
+        let preemption_inert = self.batch.run_to_completion() && self.preempt.may_preempt();
         let chip_stats: Vec<ChipStats> = self
             .chips
             .iter()
@@ -376,6 +420,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 max_kv_in_use: c.max_kv_in_use,
                 evictions: c.evictions,
                 swap_cycles: c.swap_cycles,
+                steals: self.scheduler.steals_on(c.id),
+                stolen_cycles: self.scheduler.stolen_cycles_on(c.id),
             })
             .collect();
         let chips = self.chips.len();
@@ -383,7 +429,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             .map(|c| self.cost.budget_on(c))
             .max()
             .unwrap_or(0);
-        FleetReport::new(
+        let mut report = FleetReport::new(
             &self.label,
             chips,
             self.clock_ghz,
@@ -391,7 +437,9 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             self.completions,
             self.rejections,
             chip_stats,
-        )
+        );
+        report.preemption_inert = preemption_inert;
+        report
     }
 }
 
@@ -417,8 +465,17 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
 /// [`FleetCost`] oracle, under one of the canonical [`Policy`]s — the
 /// runtime-sweep entry point `spatten-cluster` and the bench binaries
 /// use. Builds the (admission, batching) pair from `policy`, and the
-/// routing and preemption policies from [`SchedKnobs::route`] /
-/// [`SchedKnobs::preempt`], then calls [`simulate_fleet_with`].
+/// routing, stealing and preemption policies from [`SchedKnobs::route`] /
+/// [`SchedKnobs::steal`] / [`SchedKnobs::preempt`], then calls
+/// [`simulate_fleet_with`].
+///
+/// Asking for preemption under a run-to-completion policy
+/// ([`Policy::Fifo`] / [`Policy::Sjf`]) is accepted but **inert**: a
+/// solitary resident always leaves free batch slots, so the preemption
+/// policy never sees a blocked job and silently evicts nothing. The
+/// combination is flagged loudly — a warning on stderr here, and
+/// [`FleetReport::preemption_inert`] in the report — instead of letting
+/// a sweep quietly compare "preemptive" FIFO to itself.
 pub fn simulate_fleet_policy<C: FleetCost>(
     cost: C,
     chips: usize,
@@ -428,6 +485,16 @@ pub fn simulate_fleet_policy<C: FleetCost>(
     clock_ghz: f64,
     trace: &Trace,
 ) -> FleetReport {
+    use crate::scheduler::PreemptSpec;
+    if matches!(policy, Policy::Fifo | Policy::Sjf) && knobs.preempt != PreemptSpec::None {
+        eprintln!(
+            "warning: preemption ({}) is inert under run-to-completion policy {}: \
+             a solitary resident never blocks a queued job, so nothing is ever \
+             evicted (the report carries preemption_inert=true)",
+            knobs.preempt.name(),
+            policy.name()
+        );
+    }
     simulate_fleet_with(
         cost,
         chips,
@@ -435,6 +502,7 @@ pub fn simulate_fleet_policy<C: FleetCost>(
         policy.admission(knobs),
         policy.batch(knobs),
         knobs.route.build(),
+        knobs.steal,
         knobs.preempt.build(knobs),
         max_batch,
         clock_ghz,
@@ -444,9 +512,9 @@ pub fn simulate_fleet_policy<C: FleetCost>(
 
 /// Simulates `trace` on `chips` logical executors priced by an arbitrary
 /// [`FleetCost`] oracle under an arbitrary (admission, batching,
-/// routing, preemption) policy quadruple — the fully generic entry
-/// point. `label` names the policy in the report. Deterministic for
-/// fixed inputs.
+/// routing, preemption) policy quadruple plus the [`StealSpec`]
+/// work-stealing knob — the fully generic entry point. `label` names the
+/// policy in the report. Deterministic for fixed inputs.
 ///
 /// # Panics
 ///
@@ -465,6 +533,7 @@ pub fn simulate_fleet_with<
     admission: A,
     batch: B,
     routing: R,
+    steal: StealSpec,
     preempt: P,
     max_batch: usize,
     clock_ghz: f64,
@@ -478,7 +547,7 @@ pub fn simulate_fleet_with<
         max_batch,
         clock_ghz,
         cost,
-        scheduler: Scheduler::new(admission, routing, chips),
+        scheduler: Scheduler::new(admission, routing, chips).with_steal(steal),
         batch,
         preempt,
         chips: (0..chips).map(Chip::new).collect(),
@@ -771,16 +840,175 @@ mod tests {
         for route in [
             RouteSpec::SharedQueue,
             RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
             RouteSpec::LeastKvLoaded,
             RouteSpec::HashAffinity,
         ] {
-            let mut cfg = FleetConfig::with_chips(chips.clone(), Policy::ContinuousBatching);
-            cfg.sched.route = route;
-            let report = simulate_fleet(&cfg, &trace);
-            assert_eq!(report.completed, 200, "{}", route.name());
-            let a = simulate_fleet(&cfg, &trace);
-            assert_eq!(report.completions, a.completions, "{}", route.name());
+            for steal in [StealSpec::Off, StealSpec::CostliestFit] {
+                let mut cfg = FleetConfig::with_chips(chips.clone(), Policy::ContinuousBatching);
+                cfg.sched.route = route;
+                cfg.sched.steal = steal;
+                let report = simulate_fleet(&cfg, &trace);
+                assert_eq!(report.completed, 200, "{}/{}", route.name(), steal.name());
+                let a = simulate_fleet(&cfg, &trace);
+                assert_eq!(
+                    report.completions,
+                    a.completions,
+                    "{}/{}",
+                    route.name(),
+                    steal.name()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn preemption_inert_flags_run_to_completion_policies() {
+        let trace = open_trace(60, 1000.0, 61);
+        // FIFO runs jobs to completion: its solitary resident always
+        // leaves free slots, so priority preemption can never fire — the
+        // report must say so instead of silently doing nothing.
+        let mut cfg = FleetConfig::new(2, Policy::Fifo);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let report = simulate_fleet(&cfg, &trace);
+        assert!(report.preemption_inert, "fifo × preemption is inert");
+        assert_eq!(report.preemptions, 0);
+        let mut cfg = FleetConfig::new(2, Policy::Sjf);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        assert!(simulate_fleet(&cfg, &trace).preemption_inert);
+        // Iteration-level policies can genuinely preempt; plain FIFO
+        // without preemption asked for nothing, so nothing is flagged.
+        let mut cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        assert!(!simulate_fleet(&cfg, &trace).preemption_inert);
+        assert!(!simulate_fleet(&FleetConfig::new(2, Policy::Fifo), &trace).preemption_inert);
+    }
+
+    /// The mixed 2-full + 2-eighth fleet the routing claims are made on.
+    fn mixed_chips() -> Vec<SpAttenConfig> {
+        vec![
+            SpAttenConfig::default(),
+            SpAttenConfig::default(),
+            SpAttenConfig::eighth(),
+            SpAttenConfig::eighth(),
+        ]
+    }
+
+    #[test]
+    fn fastest_chip_routing_no_longer_loses_at_saturation() {
+        // The PR 4 defect: above capacity, private queues drain into
+        // resident sets, the queued-only backlog estimate goes blind, and
+        // fastest-chip routing *lost* to the shared queue. With
+        // in-service-aware estimates it must stay at least competitive
+        // (the shared queue is the work-conserving gold standard here —
+        // routing can't beat it at saturation, but it must not lose).
+        let trace = open_trace(250, 500.0, 67);
+        let shared = simulate_fleet(
+            &FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching),
+            &trace,
+        );
+        let mut routed_cfg = FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching);
+        routed_cfg.sched.route = RouteSpec::FastestChip;
+        let routed = simulate_fleet(&routed_cfg, &trace);
+        assert_eq!(routed.completed, 250);
+        eprintln!(
+            "saturation: routed p99 {} vs shared p99 {}",
+            routed.latency.p99, shared.latency.p99
+        );
+        assert!(
+            routed.latency.p99 <= shared.latency.p99 * 1.05,
+            "in-service-aware routing must not lose to the shared queue at \
+             saturation: routed p99 {} vs shared {}",
+            routed.latency.p99,
+            shared.latency.p99
+        );
+    }
+
+    #[test]
+    fn work_stealing_recovers_adversarial_hash_affinity_routing() {
+        // Hash affinity ignores load and chip speed entirely: at
+        // saturation the eighth-scale chips drown in their private
+        // queues while full chips idle. Stealing must claw most of that
+        // back.
+        let trace = open_trace(250, 500.0, 71);
+        let mut cfg = FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching);
+        cfg.sched.route = RouteSpec::HashAffinity;
+        let stuck = simulate_fleet(&cfg, &trace);
+        cfg.sched.steal = StealSpec::CostliestFit;
+        let stolen = simulate_fleet(&cfg, &trace);
+        assert_eq!(stolen.completed, 250);
+        let steals: u64 = stolen.chip_stats.iter().map(|c| c.steals).sum();
+        let stolen_cycles: u64 = stolen.chip_stats.iter().map(|c| c.stolen_cycles).sum();
+        assert!(steals > 0, "an overloaded hash-routed fleet must steal");
+        assert!(stolen_cycles > 0);
+        assert_eq!(
+            stuck.chip_stats.iter().map(|c| c.steals).sum::<u64>(),
+            0,
+            "stealing off must never steal"
+        );
+        eprintln!(
+            "stealing: off p99 {} vs on p99 {} ({steals} steals)",
+            stuck.latency.p99, stolen.latency.p99
+        );
+        assert!(
+            stolen.latency.p99 * 1.5 <= stuck.latency.p99,
+            "stealing must recover >= 1.5x of the adversarial-routing tail: \
+             {} vs {}",
+            stolen.latency.p99,
+            stuck.latency.p99
+        );
+    }
+
+    #[test]
+    fn least_kv_routing_holds_up_on_speed_heterogeneous_fleets() {
+        // The PR 4 known limit: KV-fraction-only routing kept sending
+        // work to the emptiest SRAM — usually a slow eighth-scale chip —
+        // and lost to the shared queue. Weighted by probed serial cost it
+        // must at least break even in the placement band.
+        let trace = open_trace(400, 150.0, 73);
+        let shared = simulate_fleet(
+            &FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching),
+            &trace,
+        );
+        let mut cfg = FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching);
+        cfg.sched.route = RouteSpec::LeastKvLoaded;
+        let routed = simulate_fleet(&cfg, &trace);
+        assert_eq!(routed.completed, 400);
+        eprintln!(
+            "least-kv: routed p99 {} vs shared p99 {}",
+            routed.latency.p99, shared.latency.p99
+        );
+        assert!(
+            routed.latency.p99 <= shared.latency.p99 * 1.05,
+            "speed-weighted least-KV routing must not lose to the shared \
+             queue: {} vs {}",
+            routed.latency.p99,
+            shared.latency.p99
+        );
+    }
+
+    #[test]
+    fn churn_aware_routing_completes_and_sees_evictions() {
+        // Two-tier traffic with preemption on a mixed fleet: churn-aware
+        // routing must conserve requests, stay deterministic, and still
+        // let preemption fire (it routes around hotspots, it doesn't
+        // disable them).
+        let trace = tiered_spec(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 500.0,
+                requests: 250,
+            },
+            79,
+        )
+        .generate();
+        let mut cfg = FleetConfig::with_chips(mixed_chips(), Policy::Priority);
+        cfg.sched.route = RouteSpec::ChurnAware;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 250);
+        assert!(report.preemptions > 0, "contended two-tier fleet evicts");
+        let again = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completions, again.completions);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! end-to-end smoke test.
 
 use proptest::prelude::*;
-use spatten_serve::{simulate_fleet, FleetConfig, Policy, PreemptSpec};
+use spatten_core::SpAttenConfig;
+use spatten_serve::{simulate_fleet, FleetConfig, Policy, PreemptSpec, RouteSpec, StealSpec};
 use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
 
 fn open_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
@@ -247,6 +248,92 @@ proptest! {
             prop_assert_eq!(chip.evictions, 0);
             prop_assert_eq!(chip.swap_cycles, 0);
         }
+    }
+
+    /// The in-service backlog estimator is conservative-consistent: the
+    /// simulator asserts at drain time that every cycle charged into the
+    /// scheduler's pending ledgers and the chips' in-service estimates
+    /// was discharged by the matching transition — admit, complete,
+    /// preempt, or steal — so this property holds exactly when the run
+    /// completes at all. Sweeping random traces through the full
+    /// composition (in-service-aware routing × priority preemption ×
+    /// work-stealing on a mixed 2-full + 2-eighth fleet) exercises every
+    /// transition the estimate must survive; drift anywhere panics the
+    /// event loop. Completion conservation and determinism ride along.
+    #[test]
+    fn in_service_estimator_never_drifts_across_transitions(
+        requests in 40usize..140,
+        rate in 100.0f64..4000.0,
+        seed in 0u64..1000,
+        route_pick in 0usize..4,
+        steal_pick in 0usize..2,
+    ) {
+        let route = [
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+        ][route_pick];
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let trace = tiered_trace(requests, rate, seed);
+        let chips = vec![
+            SpAttenConfig::default(),
+            SpAttenConfig::default(),
+            SpAttenConfig::eighth(),
+            SpAttenConfig::eighth(),
+        ];
+        let mut cfg = FleetConfig::with_chips(chips, Policy::Priority);
+        cfg.sched.route = route;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests); // no request lost or duplicated
+        let again = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completions, again.completions);
+    }
+
+    /// Work-stealing never migrates a preempted-resumed job: every
+    /// completion that was preempted finishes on a chip that evicted at
+    /// least once (its pin holds — the chip-level assert would panic on
+    /// violation), and stealing with preemption still conserves tokens
+    /// against the non-stealing run's totals.
+    #[test]
+    fn stealing_respects_preemption_pins(
+        requests in 40usize..120,
+        rate in 1000.0f64..6000.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = tiered_trace(requests, rate, seed);
+        let chips = vec![
+            SpAttenConfig::default(),
+            SpAttenConfig::eighth(),
+            SpAttenConfig::eighth(),
+        ];
+        let mut cfg = FleetConfig::with_chips(chips, Policy::Priority);
+        cfg.sched.route = RouteSpec::HashAffinity;
+        cfg.sched.steal = StealSpec::CostliestFit;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        // Tokens moved are identical with stealing off: stealing
+        // relocates work, never loses or duplicates it.
+        let mut off = cfg.clone();
+        off.sched.steal = StealSpec::Off;
+        let base = simulate_fleet(&off, &trace);
+        let tokens = |r: &spatten_serve::FleetReport| -> Vec<(u64, usize)> {
+            let mut t: Vec<(u64, usize)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.prefill_tokens + c.generated_tokens))
+                .collect();
+            t.sort_unstable();
+            t
+        };
+        prop_assert_eq!(tokens(&report), tokens(&base));
     }
 
     /// Timestamps are causally ordered for every completion, under every
