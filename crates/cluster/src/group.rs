@@ -47,8 +47,8 @@
 //! how sharding fits models (and batches) a single chip cannot hold.
 
 use crate::shard::{
-    activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_prefill,
-    ShardStrategy,
+    activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_kv_peak,
+    shard_prefill, ShardStrategy,
 };
 use crate::topology::{Interconnect, Topology};
 use spatten_core::{SpAttenConfig, StepCost};
@@ -129,6 +129,7 @@ pub struct ClusterCostModel {
     decode_memo: HashMap<(usize, ClassKey, usize, u64), StepCost>,
     footprint_memo: HashMap<(usize, ClassKey, usize), u64>,
     swap_memo: HashMap<(usize, ClassKey, usize), u64>,
+    raw_memo: HashMap<(usize, ClassKey, usize), u64>,
 }
 
 impl ClusterCostModel {
@@ -162,6 +163,7 @@ impl ClusterCostModel {
             decode_memo: HashMap::new(),
             footprint_memo: HashMap::new(),
             swap_memo: HashMap::new(),
+            raw_memo: HashMap::new(),
         }
     }
 
@@ -396,6 +398,56 @@ impl FleetCost for ClusterCostModel {
         cycles
     }
 
+    fn raw_kv_bytes_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        let key = (self.slots[chip], ClassKey::of(w), tokens);
+        if let Some(&b) = self.raw_memo.get(&key) {
+            return b;
+        }
+        // Per-shard planning peak ([`shard_kv_peak`]), rescaled to the
+        // common `budget_min` denominator exactly like `footprint_on` —
+        // the per-job max keeps the scalar page charge sufficient for
+        // every shard at once. Unclamped: a job's transient pages have
+        // to exist somewhere even when it can never be co-resident.
+        let g = &self.groups[chip];
+        let budget_min = self.budget_on(chip);
+        let raw = (0..g.strategy.shards())
+            .map(|s| {
+                let peak_s = shard_kv_peak(&g.chips[s], w, &g.strategy, s, tokens);
+                let budget_s = 2 * g.chips[s].kv_sram_bytes;
+                if budget_s == 0 {
+                    return budget_min;
+                }
+                peak_s.saturating_mul(budget_min).div_ceil(budget_s)
+            })
+            .max()
+            .unwrap_or(0);
+        self.raw_memo.insert(key, raw);
+        raw
+    }
+
+    fn swap_bytes_cycles_on(&mut self, chip: usize, _w: &Workload, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        // A victim's unique pages drain as concurrent per-shard slices
+        // (even split of the group-normalized byte count); the group
+        // pays the slowest shard's HBM, same as `swap_cycles_on`.
+        let g = &self.groups[chip];
+        let slice = bytes.div_ceil(g.strategy.shards().max(1) as u64);
+        g.chips
+            .iter()
+            .map(|cfg| {
+                let per_hbm_cycle = (cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle).max(1);
+                let hbm_cycles = slice.div_ceil(per_hbm_cycle);
+                (hbm_cycles as f64 * cfg.clock_ghz / cfg.hbm.clock_ghz).ceil() as u64
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     fn note_batch(&mut self, chip: usize, resident: usize) {
         self.live_batch[chip] = resident;
     }
@@ -580,6 +632,44 @@ mod tests {
         let a = tp.decode_on(0, &w, 288);
         tp.note_batch(0, 7);
         assert_eq!(tp.decode_on(0, &w, 288), a);
+    }
+
+    #[test]
+    fn raw_planning_peak_brackets_the_footprint() {
+        let mut m = ClusterCostModel::new(vec![tp_group(1), tp_group(4)], Some(8));
+        let w = gpt2(256, 32);
+        for g in 0..2 {
+            let raw = m.raw_kv_bytes_on(g, &w, w.seq_len);
+            let fp = m.footprint_on(g, &w);
+            let per_token = m.raw_kv_bytes_on(g, &w, 1);
+            assert!(raw >= fp, "group {g}: raw {raw} below footprint {fp}");
+            assert!(
+                raw <= w.seq_len as u64 * per_token,
+                "group {g}: raw {raw} above the unpruned slice"
+            );
+            assert_eq!(m.raw_kv_bytes_on(g, &w, 0), 0);
+            // Memoized: a second query is identical.
+            assert_eq!(raw, m.raw_kv_bytes_on(g, &w, w.seq_len));
+        }
+        // Sharding shrinks the peak roughly with the head split.
+        let whole = m.raw_kv_bytes_on(0, &w, w.seq_len);
+        let sharded = m.raw_kv_bytes_on(1, &w, w.seq_len);
+        assert!(sharded * 3 < whole, "4-way raw {sharded} vs whole {whole}");
+    }
+
+    #[test]
+    fn swap_traffic_splits_across_shards() {
+        let mut m = ClusterCostModel::new(vec![tp_group(1), tp_group(4)], Some(8));
+        let w = gpt2(256, 32);
+        assert_eq!(m.swap_bytes_cycles_on(0, &w, 0), 0);
+        let bytes = 1 << 20;
+        let c1 = m.swap_bytes_cycles_on(0, &w, bytes);
+        let c4 = m.swap_bytes_cycles_on(1, &w, bytes);
+        assert!(c1 > 0 && c4 > 0);
+        assert!(
+            c4 < c1,
+            "4 HBM channels draining slices in parallel ({c4}) should beat one ({c1})"
+        );
     }
 
     #[test]

@@ -59,11 +59,12 @@ pub mod topology;
 
 pub use group::{ClusterCostModel, GroupSpec};
 pub use place::{
-    plan, plan_with_costs, resolve_chip, shard_costs, PlaceError, Placement, ShardCosts,
+    plan, plan_with_costs, plan_with_costs_kv, resolve_chip, shard_costs, shard_page_budget,
+    PlaceError, Placement, ShardCosts,
 };
 pub use shard::{
-    activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_prefill,
-    ShardStrategy,
+    activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_kv_peak,
+    shard_prefill, ShardStrategy,
 };
 pub use sim::{simulate_cluster, unsharded_cluster, ClusterConfig};
 pub use topology::{Interconnect, Topology};
@@ -73,4 +74,4 @@ pub use topology::{Interconnect, Topology};
 // depending on `spatten-serve` directly (the generic simulation path is
 // unchanged — `ClusterConfig::sched` carries these into
 // `simulate_fleet_policy`).
-pub use spatten_serve::{Policy, PreemptSpec, RouteSpec, SchedKnobs, StealSpec};
+pub use spatten_serve::{KvSpec, Policy, PreemptSpec, RouteSpec, SchedKnobs, StealSpec};

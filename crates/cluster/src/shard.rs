@@ -255,6 +255,59 @@ pub fn shard_kv_footprint(
     }
 }
 
+/// The largest survivor set any *pruned* cascade stage in `layers` holds
+/// for a `tokens`-token context — the transient planning peak a paged
+/// allocator sizes page tables from. Entry stages that have not pruned
+/// yet stream through scratch and never land in the paged pool, so they
+/// don't count; if nothing in the range prunes, the full token count
+/// stands.
+fn peak_survivors(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    layers: std::ops::Range<usize>,
+    tokens: usize,
+) -> usize {
+    layers
+        .map(|l| surviving_tokens(cfg, w, l, tokens))
+        .filter(|&s| s < tokens)
+        .max()
+        .unwrap_or(tokens)
+}
+
+/// KV-cache bytes shard `shard` transiently holds at the *planning peak*
+/// of a `tokens`-token context: [`shard_kv_footprint`]'s slice geometry
+/// priced at the largest pruned-stage survivor set of the shard's owned
+/// layers (all layers under tensor parallelism) instead of the deepest
+/// schedule. Decode-time evidence retires the overhang down to the
+/// footprint; a paged allocator reclaims the freed pages mid-stream.
+pub fn shard_kv_peak(
+    cfg: &SpAttenConfig,
+    w: &Workload,
+    strategy: &ShardStrategy,
+    shard: usize,
+    tokens: usize,
+) -> u64 {
+    strategy.validate(w.model.layers);
+    if tokens == 0 {
+        return 0;
+    }
+    let bits = u64::from(w.quant.scheme.msb_bits());
+    let d = w.model.head_dim() as u64;
+    match strategy {
+        ShardStrategy::TensorParallel { ways } => {
+            let peak = peak_survivors(cfg, w, 0..w.model.layers, tokens);
+            let cols = d * shard_heads(w.model.heads, shard, *ways) as u64;
+            peak as u64 * 2 * (cols * bits).div_ceil(8)
+        }
+        ShardStrategy::PipelineParallel { stages, .. } => {
+            let (start, end) = stages[shard];
+            let peak = peak_survivors(cfg, w, start..end, tokens);
+            let per_token = 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+            peak as u64 * per_token
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +389,34 @@ mod tests {
         let whole = deepest as u64 * 2 * (w.model.hidden as u64 * bits).div_ceil(8);
         // Partitioned head columns round up per shard by at most a byte each.
         assert!(total >= whole && total <= whole + 8, "{total} vs {whole}");
+    }
+
+    #[test]
+    fn shard_kv_peak_sits_between_footprint_and_unpruned() {
+        let cfg = SpAttenConfig::default();
+        let w = gpt2();
+        let bits = u64::from(w.quant.scheme.msb_bits());
+        for strategy in [
+            ShardStrategy::tensor(4),
+            ShardStrategy::pipeline_even(w.model.layers, 4, 4),
+        ] {
+            for s in 0..strategy.shards() {
+                let tokens = 288;
+                let peak = shard_kv_peak(&cfg, &w, &strategy, s, tokens);
+                let fp = shard_kv_footprint(&cfg, &w, &strategy, s);
+                // Per-token shard width reverse-engineered from a
+                // single-token peak (one token never prunes).
+                let per_token = shard_kv_peak(&cfg, &w, &strategy, s, 1);
+                let unpruned = tokens as u64 * per_token;
+                assert!(peak >= fp, "{strategy:?} shard {s}: {peak} < {fp}");
+                assert!(
+                    peak <= unpruned,
+                    "{strategy:?} shard {s}: {peak} > {unpruned}"
+                );
+                assert_eq!(shard_kv_peak(&cfg, &w, &strategy, s, 0), 0);
+                assert!(per_token >= 2 * bits.div_ceil(8));
+            }
+        }
     }
 
     #[test]

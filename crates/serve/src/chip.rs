@@ -33,6 +33,7 @@
 
 use crate::batch::{BatchPolicy, ResidentView, RoundStep};
 use crate::cost::FleetCost;
+use crate::kv::{JobKvNeed, KvPager};
 use crate::preempt::VictimView;
 use crate::request::{Completion, Job, ResumeState};
 use crate::scheduler::remaining_cycles_on;
@@ -168,6 +169,17 @@ impl Chip {
     /// [`FleetCost::swap_cycles_on`] and charged to the next round — and
     /// resumes exactly where it stopped.
     ///
+    /// Under paged allocation (`pager` is `Some`) the job maps a page
+    /// table instead of a contiguous reservation: shared prefix blocks
+    /// are pinned copy-on-write (charged once per chip), the resident
+    /// footprint is the job's *unique* bytes, and a resumed victim's
+    /// swap-in moves only those unique pages — its shared prefix never
+    /// left the chip. A **warm** prefix (blocks an earlier sharer or a
+    /// persisted cache entry materialized) also skips the matching head
+    /// of the prefill pass: the KV those tokens would compute already
+    /// sits in SRAM, so prefill resumes at the suffix — the latency half
+    /// of prefix caching, on top of the capacity half.
+    ///
     /// # Panics
     ///
     /// Panics if called while a round is in flight (admission happens only
@@ -175,11 +187,48 @@ impl Chip {
     /// to a *different* chip — its swapped-out KV prefix lives in that
     /// chip's HBM, so routing or work-stealing migrating it here would
     /// silently corrupt the swap accounting.
-    pub fn admit<C: FleetCost>(&mut self, cost: &mut C, mut job: Job, now: u64) {
+    pub fn admit<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        pager: Option<&mut KvPager>,
+        mut job: Job,
+        now: u64,
+    ) {
         assert!(!self.in_flight, "admission mid-round");
         let est_remaining = remaining_cycles_on(cost, self.id, &job);
-        let footprint = cost.footprint_on(self.id, &job.workload);
-        self.kv_in_use += footprint;
+        let mut prefix_skip = 0u64;
+        let paged_unique = match pager {
+            Some(p) => {
+                let need = JobKvNeed::of(cost, self.id, &job);
+                // A warm prefix is KV an earlier sharer already computed:
+                // this job's prefill resumes at the suffix instead of
+                // recomputing the shared head. Capped a cycle short of
+                // the full pass so even a fully-cached prompt executes
+                // one chunk (its completion stays a round event).
+                let (warm, prefix_total) = p.warm_prefix_blocks(&need);
+                if warm > 0 {
+                    let w = &job.workload;
+                    let total = cost.prefill_on(self.id, w).serial_cycles;
+                    let warm_tokens =
+                        job.shared_prefix_tokens.min(w.seq_len) as u64 * warm / prefix_total;
+                    prefix_skip = (total * warm_tokens / w.seq_len.max(1) as u64)
+                        .min(total.saturating_sub(1));
+                }
+                let steps = job.resume.map_or(0, |r| r.steps_done as u64);
+                let unique = p.map_job(job.id, need, steps, now);
+                self.kv_in_use = p.pinned_bytes();
+                Some(unique)
+            }
+            None => None,
+        };
+        let footprint = match paged_unique {
+            Some(unique) => unique,
+            None => {
+                let f = cost.footprint_on(self.id, &job.workload);
+                self.kv_in_use += f;
+                f
+            }
+        };
         self.max_kv_in_use = self.max_kv_in_use.max(self.kv_in_use);
         let active = match job.resume.take() {
             Some(r) => {
@@ -190,16 +239,29 @@ impl Chip {
                     job.id, r.chip, self.id
                 );
                 let w = &job.workload;
-                let tokens = r.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
-                self.pending_swap_cycles += cost.swap_cycles_on(self.id, w, tokens);
+                self.pending_swap_cycles += match paged_unique {
+                    Some(unique) => cost.swap_bytes_cycles_on(self.id, w, unique),
+                    None => {
+                        let tokens = r.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
+                        cost.swap_cycles_on(self.id, w, tokens)
+                    }
+                };
+                // A victim resuming onto a still-warm prefix may land
+                // ahead of where its own prefill stopped.
+                let prefill_progress = if r.prefilled {
+                    r.prefill_progress
+                } else {
+                    r.prefill_progress.max(prefix_skip)
+                };
                 Active {
                     footprint,
                     start_cycles: r.start_cycles,
                     first_token_cycles: r.first_token_cycles,
-                    prefill_progress: r.prefill_progress,
+                    prefill_progress,
                     prefilled: r.prefilled,
                     steps_done: r.steps_done,
-                    est_remaining,
+                    est_remaining: est_remaining
+                        .saturating_sub(prefill_progress - r.prefill_progress),
                     job,
                 }
             }
@@ -208,10 +270,10 @@ impl Chip {
                 footprint,
                 start_cycles: now,
                 first_token_cycles: None,
-                prefill_progress: 0,
+                prefill_progress: prefix_skip,
                 prefilled: false,
                 steps_done: 0,
-                est_remaining,
+                est_remaining: est_remaining.saturating_sub(prefix_skip),
             },
         };
         self.active.push(active);
@@ -240,11 +302,22 @@ impl Chip {
     /// the swap-out is priced by [`FleetCost::swap_cycles_on`] and
     /// charged to the chip's next round.
     ///
+    /// Under paged allocation only the victim's **unique** pages drain —
+    /// shared prefix blocks stay resident for the other sharers (or
+    /// persist in the prefix cache), so a victim whose KV is mostly
+    /// shared prefix swaps almost nothing.
+    ///
     /// # Panics
     ///
     /// Panics if called while a round is in flight, or if an index is out
     /// of range.
-    pub fn evict<C: FleetCost>(&mut self, cost: &mut C, victims: &[usize], now: u64) -> Vec<Job> {
+    pub fn evict<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        mut pager: Option<&mut KvPager>,
+        victims: &[usize],
+        now: u64,
+    ) -> Vec<Job> {
         assert!(!self.in_flight, "eviction mid-round");
         let mut order: Vec<usize> = victims.to_vec();
         order.sort_unstable();
@@ -258,7 +331,6 @@ impl Chip {
         // Highest index first keeps the remaining indices valid.
         for &i in order.iter().rev() {
             let a = self.active.remove(i);
-            self.kv_in_use -= a.footprint;
             let resume = ResumeState {
                 chip: self.id,
                 prefill_progress: a.prefill_progress,
@@ -268,8 +340,19 @@ impl Chip {
                 first_token_cycles: a.first_token_cycles,
             };
             let w = &a.job.workload;
-            let tokens = resume.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
-            self.pending_swap_cycles += cost.swap_cycles_on(self.id, w, tokens);
+            self.pending_swap_cycles += match pager.as_deref_mut() {
+                Some(p) => {
+                    let unique = p.job_unique_bytes(a.job.id);
+                    p.unmap_job(a.job.id, now);
+                    self.kv_in_use = p.pinned_bytes();
+                    cost.swap_bytes_cycles_on(self.id, w, unique)
+                }
+                None => {
+                    self.kv_in_use -= a.footprint;
+                    let tokens = resume.kv_tokens(w, cost.prefill_on(self.id, w).serial_cycles);
+                    cost.swap_cycles_on(self.id, w, tokens)
+                }
+            };
             self.evictions += 1;
             let mut job = a.job;
             job.preemptions += 1;
@@ -293,6 +376,7 @@ impl Chip {
     pub fn start_round<C: FleetCost, B: BatchPolicy>(
         &mut self,
         cost: &mut C,
+        pager: Option<&mut KvPager>,
         batch: &mut B,
         now: u64,
     ) -> Option<u64> {
@@ -336,9 +420,9 @@ impl Chip {
             "batch plan must cover every resident"
         );
         let cycles = if plan == [RoundStep::WholeJob] {
-            self.start_whole_job(cost, now)
+            self.start_whole_job(cost, pager, now)
         } else {
-            self.start_iteration(cost, &plan, now)
+            self.start_iteration(cost, pager, &plan, now)
         };
         // KV swaps accrued since the last round (evictions, resumed
         // admissions) execute at the head of this one.
@@ -365,7 +449,12 @@ impl Chip {
 
     /// Run-to-completion round: exactly the whole job at the head of the
     /// resident set (run-to-completion chips hold at most one job).
-    fn start_whole_job<C: FleetCost>(&mut self, cost: &mut C, now: u64) -> u64 {
+    fn start_whole_job<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        pager: Option<&mut KvPager>,
+        now: u64,
+    ) -> u64 {
         debug_assert_eq!(self.active.len(), 1, "run-to-completion holds one job");
         let mut a = self.active.pop().expect("resident job");
         let w = &a.job.workload;
@@ -377,7 +466,13 @@ impl Chip {
         // The whole job retires in one round: the in-service estimate
         // charged at admission must be spent exactly.
         self.est_drift += a.est_remaining.abs_diff(total);
-        self.kv_in_use -= a.footprint;
+        match pager {
+            Some(p) => {
+                p.unmap_job(a.job.id, now + total);
+                self.kv_in_use = p.pinned_bytes();
+            }
+            None => self.kv_in_use -= a.footprint,
+        }
         self.finished
             .push(Self::completion(&a, self.id, now + total, w.gen_steps));
         total
@@ -393,7 +488,13 @@ impl Chip {
     /// Panics if the plan contains [`RoundStep::WholeJob`] (multi-job
     /// rounds interleave; whole jobs are a solitary-resident plan) or
     /// advances no job at all.
-    fn start_iteration<C: FleetCost>(&mut self, cost: &mut C, plan: &[RoundStep], now: u64) -> u64 {
+    fn start_iteration<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        mut pager: Option<&mut KvPager>,
+        plan: &[RoundStep],
+        now: u64,
+    ) -> u64 {
         let mut compute = 0u64;
         let mut dram = 0u64;
         let mut overhead = 0u64;
@@ -436,6 +537,13 @@ impl Chip {
                 RoundStep::Decode => {
                     assert!(a.prefilled, "decode step for an unprefilled job");
                     a.steps_done += 1;
+                    // Cascade pruning retires tokens as decode proceeds:
+                    // under paging, whole blocks return to the free pool
+                    // while the job is still running.
+                    if let Some(p) = pager.as_deref_mut() {
+                        a.footprint = p.reclaim(a.job.id, a.steps_done as u64);
+                        self.kv_in_use = p.pinned_bytes();
+                    }
                     let step = cost.decode_on(id, w, w.seq_len + a.steps_done);
                     spent = step.serial_cycles;
                     step
@@ -484,7 +592,13 @@ impl Chip {
             let a = self.active.remove(i);
             // A retiring job must have spent its whole estimate.
             self.est_drift += a.est_remaining;
-            self.kv_in_use -= a.footprint;
+            match pager.as_deref_mut() {
+                Some(p) => {
+                    p.unmap_job(a.job.id, end);
+                    self.kv_in_use = p.pinned_bytes();
+                }
+                None => self.kv_in_use -= a.footprint,
+            }
             let generated = a.job.workload.gen_steps;
             self.finished
                 .push(Self::completion(&a, self.id, end, generated));
@@ -532,6 +646,7 @@ mod tests {
             deadline_cycles: None,
             preemptions: 0,
             resume: None,
+            shared_prefix_tokens: 0,
             workload,
         }
     }
@@ -540,7 +655,7 @@ mod tests {
     /// total cycles.
     fn run_dry(chip: &mut Chip, cost: &mut CostModel, batch: &mut IterationBatch) -> u64 {
         let mut now = 0;
-        while let Some(cycles) = chip.start_round(cost, batch, now) {
+        while let Some(cycles) = chip.start_round(cost, None, batch, now) {
             now += cycles;
             chip.end_round();
         }
@@ -556,21 +671,21 @@ mod tests {
 
         // Uninterrupted baseline.
         let mut plain = Chip::new(0);
-        plain.admit(&mut cost, job(0, 128, 6), 0);
+        plain.admit(&mut cost, None, job(0, 128, 6), 0);
         let baseline = run_dry(&mut plain, &mut cost, &mut batch);
         assert_eq!(plain.swap_cycles, 0);
         let plain_rounds = plain.rounds;
 
         // Same job, evicted after 2 decode steps and re-admitted.
         let mut chip = Chip::new(0);
-        chip.admit(&mut cost, job(0, 128, 6), 0);
+        chip.admit(&mut cost, None, job(0, 128, 6), 0);
         let mut now = 0;
         for _ in 0..3 {
             // prefill round + 2 decode rounds
-            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            now += chip.start_round(&mut cost, None, &mut batch, now).unwrap();
             chip.end_round();
         }
-        let evicted = chip.evict(&mut cost, &[0], now);
+        let evicted = chip.evict(&mut cost, None, &[0], now);
         assert_eq!(evicted.len(), 1);
         assert_eq!(chip.active_jobs(), 0);
         assert_eq!(chip.kv_in_use(), 0, "eviction releases KV");
@@ -579,9 +694,9 @@ mod tests {
         assert_eq!(resume.steps_done, 2);
         assert_eq!(evicted[0].preemptions, 1);
 
-        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        chip.admit(&mut cost, None, evicted.into_iter().next().unwrap(), now);
         let mut done = Vec::new();
-        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+        while let Some(cycles) = chip.start_round(&mut cost, None, &mut batch, now) {
             now += cycles;
             done.extend(chip.end_round());
         }
@@ -609,13 +724,13 @@ mod tests {
         assert_eq!(chip.in_service_cycles(), 0);
         let j = job(0, 128, 6);
         let total = cost.job_serial_cycles(&j.workload);
-        chip.admit(&mut cost, j, 0);
+        chip.admit(&mut cost, None, j, 0);
         // Admission charges exactly the whole-job serial estimate.
         assert_eq!(chip.in_service_cycles(), total);
         // Each round draws the estimate down, strictly monotonically.
         let mut now = 0;
         let mut last = chip.in_service_cycles();
-        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+        while let Some(cycles) = chip.start_round(&mut cost, None, &mut batch, now) {
             now += cycles;
             chip.end_round();
             let remaining = chip.in_service_cycles();
@@ -634,21 +749,21 @@ mod tests {
             prefill_chunk_cycles: u64::MAX,
         };
         let mut chip = Chip::new(0);
-        chip.admit(&mut cost, job(0, 128, 6), 0);
+        chip.admit(&mut cost, None, job(0, 128, 6), 0);
         let mut now = 0;
         for _ in 0..3 {
-            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            now += chip.start_round(&mut cost, None, &mut batch, now).unwrap();
             chip.end_round();
         }
         let before = chip.in_service_cycles();
         assert!(before > 0, "mid-generation job still holds estimate");
         // Eviction removes the job's whole remaining estimate...
-        let evicted = chip.evict(&mut cost, &[0], now);
+        let evicted = chip.evict(&mut cost, None, &[0], now);
         assert_eq!(chip.in_service_cycles(), 0);
         // ...and re-admission restores exactly it (progress preserved).
-        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        chip.admit(&mut cost, None, evicted.into_iter().next().unwrap(), now);
         assert_eq!(chip.in_service_cycles(), before);
-        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+        while let Some(cycles) = chip.start_round(&mut cost, None, &mut batch, now) {
             now += cycles;
             chip.end_round();
         }
@@ -661,17 +776,22 @@ mod tests {
         let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
         let mut chip = Chip::new(0);
         assert_eq!(chip.recent_evictions(0), 0.0);
-        chip.admit(&mut cost, job(0, 64, 8), 0);
-        chip.admit(&mut cost, job(1, 64, 8), 0);
-        chip.evict(&mut cost, &[0, 1], 1000);
+        chip.admit(&mut cost, None, job(0, 64, 8), 0);
+        chip.admit(&mut cost, None, job(1, 64, 8), 0);
+        chip.evict(&mut cost, None, &[0, 1], 1000);
         let fresh = chip.recent_evictions(1000);
         assert!((fresh - 2.0).abs() < 1e-9, "two evictions counted: {fresh}");
         // One half-life later the counter has halved.
         let later = chip.recent_evictions(1000 + CHURN_HALF_LIFE_CYCLES);
         assert!((later - 1.0).abs() < 1e-9, "half-life decay: {later}");
         // Another eviction folds the decayed value down and adds one.
-        chip.admit(&mut cost, job(2, 64, 8), 1000 + CHURN_HALF_LIFE_CYCLES);
-        chip.evict(&mut cost, &[0], 1000 + CHURN_HALF_LIFE_CYCLES);
+        chip.admit(
+            &mut cost,
+            None,
+            job(2, 64, 8),
+            1000 + CHURN_HALF_LIFE_CYCLES,
+        );
+        chip.evict(&mut cost, None, &[0], 1000 + CHURN_HALF_LIFE_CYCLES);
         let stacked = chip.recent_evictions(1000 + CHURN_HALF_LIFE_CYCLES);
         assert!((stacked - 2.0).abs() < 1e-9, "1 decayed + 1 new: {stacked}");
     }
@@ -684,18 +804,111 @@ mod tests {
         // swapped KV prefix lives in chip 1's HBM, so this is a
         // migration bug the chip must catch.
         let mut home = Chip::new(1);
-        home.admit(&mut cost, job(0, 128, 6), 0);
+        home.admit(&mut cost, None, job(0, 128, 6), 0);
         let now = home.start_round(
             &mut cost,
+            None,
             &mut IterationBatch {
                 prefill_chunk_cycles: u64::MAX,
             },
             0,
         );
         home.end_round();
-        let evicted = home.evict(&mut cost, &[0], now.unwrap());
+        let evicted = home.evict(&mut cost, None, &[0], now.unwrap());
         let mut wrong = Chip::new(0);
-        wrong.admit(&mut cost, evicted.into_iter().next().unwrap(), 0);
+        wrong.admit(&mut cost, None, evicted.into_iter().next().unwrap(), 0);
+    }
+
+    #[test]
+    fn fully_shared_prefix_victim_swaps_nothing() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: 10_000,
+        };
+        let budget = cost.budget_on(0);
+        let mut pager = KvPager::new(16 * 1024, budget);
+        // A job whose whole prompt is the class prefix: every resident
+        // prompt byte is shared, so preemption has nothing unique to
+        // drain and resume nothing to restore. Evict only after prefill
+        // completes — a mid-prefill victim has built almost no KV yet
+        // and would swap ~nothing under either model.
+        let mut shared = job(0, 256, 4);
+        shared.shared_prefix_tokens = 256;
+        let full = cost.prefill_on(0, &shared.workload).serial_cycles;
+        let prefill_rounds = full.div_ceil(10_000);
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, Some(&mut pager), shared, 0);
+        assert_eq!(pager.job_unique_bytes(0), 0);
+        let mut now = 0;
+        for _ in 0..prefill_rounds {
+            now += chip
+                .start_round(&mut cost, Some(&mut pager), &mut batch, now)
+                .unwrap();
+            chip.end_round();
+        }
+        let evicted = chip.evict(&mut cost, Some(&mut pager), &[0], now);
+        let resume = evicted[0].resume.expect("resume state");
+        assert!(resume.prefilled, "victim must carry its full prompt KV");
+        chip.admit(
+            &mut cost,
+            Some(&mut pager),
+            evicted.into_iter().next().unwrap(),
+            now,
+        );
+        while let Some(cycles) = chip.start_round(&mut cost, Some(&mut pager), &mut batch, now) {
+            now += cycles;
+            chip.end_round();
+        }
+        assert_eq!(chip.evictions, 1);
+        assert_eq!(
+            chip.swap_cycles, 0,
+            "a fully-shared victim's swap must be free"
+        );
+        pager.assert_drained();
+
+        // The identical eviction without sharing pays a real HBM drain.
+        let mut contig = Chip::new(0);
+        contig.admit(&mut cost, None, job(1, 256, 4), 0);
+        let mut t = 0;
+        for _ in 0..prefill_rounds {
+            t += contig.start_round(&mut cost, None, &mut batch, t).unwrap();
+            contig.end_round();
+        }
+        let ev = contig.evict(&mut cost, None, &[0], t);
+        contig.admit(&mut cost, None, ev.into_iter().next().unwrap(), t);
+        while let Some(c) = contig.start_round(&mut cost, None, &mut batch, t) {
+            t += c;
+            contig.end_round();
+        }
+        assert!(contig.swap_cycles > 0, "unshared KV must swap for real");
+    }
+
+    #[test]
+    fn paged_decode_reclaims_blocks_mid_stream() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX,
+        };
+        let budget = cost.budget_on(0);
+        let mut pager = KvPager::new(16 * 1024, budget);
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, Some(&mut pager), job(0, 256, 8), 0);
+        let peak = chip.kv_in_use();
+        let mut now = 0;
+        let mut last = peak;
+        while let Some(cycles) = chip.start_round(&mut cost, Some(&mut pager), &mut batch, now) {
+            now += cycles;
+            chip.end_round();
+            let held = chip.kv_in_use();
+            assert!(held <= last, "paged footprint grew mid-stream");
+            last = held;
+        }
+        assert_eq!(chip.kv_in_use(), 0);
+        assert!(
+            pager.stats.blocks_reclaimed > 0,
+            "the pruning ramp must return blocks while decoding"
+        );
+        pager.assert_drained();
     }
 
     #[test]
@@ -705,21 +918,21 @@ mod tests {
             prefill_chunk_cycles: 10_000, // force many prefill rounds
         };
         let mut chip = Chip::new(0);
-        chip.admit(&mut cost, job(0, 256, 0), 0);
+        chip.admit(&mut cost, None, job(0, 256, 0), 0);
         let mut now = 0;
         for _ in 0..2 {
-            now += chip.start_round(&mut cost, &mut batch, now).unwrap();
+            now += chip.start_round(&mut cost, None, &mut batch, now).unwrap();
             chip.end_round();
         }
-        let evicted = chip.evict(&mut cost, &[0], now);
+        let evicted = chip.evict(&mut cost, None, &[0], now);
         let resume = evicted[0].resume.expect("resume state");
         assert!(!resume.prefilled);
         assert_eq!(resume.prefill_progress, 20_000);
-        chip.admit(&mut cost, evicted.into_iter().next().unwrap(), now);
+        chip.admit(&mut cost, None, evicted.into_iter().next().unwrap(), now);
         // The resumed job finishes the remaining prefill only.
         let total = cost.prefill_on(0, &job(0, 256, 0).workload).serial_cycles;
         let mut remaining_rounds = 0;
-        while let Some(cycles) = chip.start_round(&mut cost, &mut batch, now) {
+        while let Some(cycles) = chip.start_round(&mut cost, None, &mut batch, now) {
             now += cycles;
             chip.end_round();
             remaining_rounds += 1;

@@ -21,6 +21,7 @@
 //! than attention-only kernels. FC and attention time-multiplex the same
 //! multiplier arrays, so their costs serialize within a job.
 
+use crate::request::Job;
 use spatten_core::{
     decode_step_cost, prefill_cost, surviving_tokens, SpAttenConfig, SpAttenE2e, StepCost,
 };
@@ -197,6 +198,52 @@ pub trait FleetCost {
     /// set it pins.
     fn swap_cycles_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64;
 
+    /// KV bytes `job` must reserve to be admitted on `chip`. The default
+    /// is the plain per-workload working set ([`FleetCost::footprint_on`])
+    /// — every contiguous-budget caller prices through here unchanged. The
+    /// paged adapter ([`PagedCost`](crate::kv::PagedCost)) overrides this
+    /// with a page-table-backed charge: shared prefix pages priced once
+    /// per chip, resumed jobs priced at their current position on the
+    /// pruning curve. Fit checks (admission, stealing, preemption) go
+    /// through this; the scheduler's pending-work ledgers stay on
+    /// `footprint_on` so charge and discharge remain symmetric.
+    fn job_footprint_on(&mut self, chip: usize, job: &Job) -> u64 {
+        self.footprint_on(chip, &job.workload)
+    }
+
+    /// Raw (pre-pruning) KV bytes of a `tokens`-token context of `w` on
+    /// `chip` — what prefill materializes before cascade pruning retires
+    /// non-survivors down to the [`FleetCost::footprint_on`] working set.
+    /// The paged allocator sizes a job's peak page count from this. The
+    /// default approximates it as a proportional slice of the pruned
+    /// working set; exact models override with the unpruned byte count.
+    fn raw_kv_bytes_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        let max_ctx = (w.seq_len + w.gen_steps).max(1);
+        self.footprint_on(chip, w)
+            .saturating_mul(tokens as u64)
+            .div_ceil(max_ctx as u64)
+    }
+
+    /// Cycles to move `bytes` of KV state through `chip`'s HBM **one
+    /// way**, for callers that already know the byte count: the paged
+    /// allocator charges a preemption victim's *unique* (non-shared)
+    /// pages through this instead of repricing the whole working set.
+    /// The default rescales [`FleetCost::swap_cycles_on`] at the job's
+    /// maximum context proportionally; exact models override with their
+    /// bandwidth formula.
+    fn swap_bytes_cycles_on(&mut self, chip: usize, w: &Workload, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let max_ctx = (w.seq_len + w.gen_steps).max(1);
+        let full_cycles = self.swap_cycles_on(chip, w, max_ctx).max(1);
+        let full_bytes = self.raw_kv_bytes_on(chip, w, max_ctx).max(1);
+        full_cycles.saturating_mul(bytes).div_ceil(full_bytes)
+    }
+
     /// Hints the oracle at the live resident-batch size on `chip` before a
     /// round is priced. The chip event loop calls this at every round
     /// start; batch-aware oracles (pipeline bubble amortization in
@@ -253,6 +300,7 @@ pub struct CostModel {
     decode_memo: HashMap<(CfgKey, ClassKey, usize), StepCost>,
     footprint_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
     swap_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
+    raw_memo: HashMap<(CfgKey, ClassKey, usize), u64>,
 }
 
 impl CostModel {
@@ -268,6 +316,7 @@ impl CostModel {
             decode_memo: HashMap::new(),
             footprint_memo: HashMap::new(),
             swap_memo: HashMap::new(),
+            raw_memo: HashMap::new(),
         }
     }
 
@@ -444,6 +493,47 @@ impl FleetCost for CostModel {
         self.swap_memo.insert(key, cycles);
         cycles
     }
+
+    fn raw_kv_bytes_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        if tokens == 0 {
+            return 0;
+        }
+        // Planning peak of a `tokens`-token context: the largest survivor
+        // set any *pruned* cascade stage holds. Entry layers that have
+        // not pruned yet stream their full attention through scratch and
+        // never land in the paged KV pool, so the pool's transient peak
+        // is the cascade's entry stage — bigger than the deepest-layer
+        // working set `footprint_on` prices, and retired down to it as
+        // decode steps accumulate importance evidence. Falls back to the
+        // full token count when no stage prunes (cascade off).
+        let slot = self.slot(chip);
+        let key = (self.chip_keys[slot], ClassKey::of(w), tokens);
+        if let Some(&b) = self.raw_memo.get(&key) {
+            return b;
+        }
+        let cfg = &self.chip_cfgs[slot];
+        let peak = (0..w.model.layers)
+            .map(|l| surviving_tokens(cfg, w, l, tokens))
+            .filter(|&s| s < tokens)
+            .max()
+            .unwrap_or(tokens);
+        let bits = u64::from(w.quant.scheme.msb_bits());
+        let bytes = peak as u64 * 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+        self.raw_memo.insert(key, bytes);
+        bytes
+    }
+
+    fn swap_bytes_cycles_on(&mut self, chip: usize, _w: &Workload, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        // Same aggregate-HBM-bandwidth pricing as `swap_cycles_on`, for a
+        // caller-supplied byte count (a victim's unique pages).
+        let cfg = &self.chip_cfgs[self.slot(chip)];
+        let per_hbm_cycle = (cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle).max(1);
+        let hbm_cycles = bytes.div_ceil(per_hbm_cycle);
+        (hbm_cycles as f64 * cfg.clock_ghz / cfg.hbm.clock_ghz).ceil() as u64
+    }
 }
 
 #[cfg(test)]
@@ -549,6 +639,36 @@ mod tests {
         assert!(small > 0);
         assert!(big > small);
         assert!(big <= m.kv_budget());
+    }
+
+    #[test]
+    fn raw_bytes_dominate_the_pruned_working_set() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let max_ctx = w.seq_len + w.gen_steps;
+        // The cascade's entry stage keeps strictly more tokens than the
+        // deepest schedule, so the planning peak is never smaller than
+        // the resident working set the footprint convention prices —
+        // and never bigger than the fully unpruned context.
+        let peak = m.raw_kv_bytes_on(0, &w, max_ctx);
+        assert!(peak >= m.footprint_on(0, &w));
+        let bits = u64::from(w.quant.scheme.msb_bits());
+        let unpruned = max_ctx as u64 * 2 * (w.model.hidden as u64 * bits).div_ceil(8);
+        assert!(peak <= unpruned, "{peak} vs unpruned {unpruned}");
+        assert_eq!(m.raw_kv_bytes_on(0, &w, 0), 0);
+        // Monotone in tokens: a longer context never plans fewer bytes.
+        assert!(m.raw_kv_bytes_on(0, &w, 64) <= m.raw_kv_bytes_on(0, &w, 128));
+    }
+
+    #[test]
+    fn swap_bytes_pricing_is_monotone_and_zero_at_zero() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        assert_eq!(m.swap_bytes_cycles_on(0, &w, 0), 0);
+        let small = m.swap_bytes_cycles_on(0, &w, 4 << 10);
+        let big = m.swap_bytes_cycles_on(0, &w, 4 << 20);
+        assert!(small > 0, "nonzero bytes cost nonzero cycles");
+        assert!(big > small, "{big} vs {small}");
     }
 
     #[test]

@@ -1,0 +1,783 @@
+//! Paged KV allocation with copy-on-write prefix sharing and
+//! pruning-aware page reclaim.
+//!
+//! The contiguous resource model every scheduler layer used until now —
+//! one scalar footprint per job, charged against `2 × kv_sram_bytes` —
+//! over-reserves twice. First, jobs of the same request class repeat the
+//! same system-prompt prefix, and contiguous accounting charges that
+//! prefix once *per job*. Second, cascade token pruning retires KV
+//! entries as decode proceeds, but a contiguous reservation can never
+//! shrink mid-stream. [`KvPager`] fixes both: each chip's KV SRAM budget
+//! is carved into fixed-size blocks, each resident job holds a page
+//! table, the per-class shared prefix is a single refcounted block run
+//! mapped copy-on-write into every sharer's table, and pruning returns
+//! whole blocks to the allocator while the job is still decoding.
+//!
+//! ## The per-job block curve
+//!
+//! Cascade pruning scores *all* prompt tokens before discarding any, so
+//! prefill materializes the **raw** (unpruned) prompt KV; the per-layer
+//! cascade then retires non-survivors progressively over early decode
+//! steps. [`JobKvNeed::held_bytes`] models this as a curve that starts
+//! at the raw prompt working set and ramps linearly down to the pruned
+//! final working set (the same [`FleetCost::footprint_on`] value the
+//! contiguous model charges) over `min(gen_steps, layers)` decode steps.
+//! Admission charges the *peak* of the curve, so a resident job's page
+//! count is monotonically non-increasing by construction — there is no
+//! mid-stream growth path and therefore no mid-stream OOM path. The
+//! capacity win comes from the two releases: shared prefix blocks are
+//! charged once per class per chip, and retired blocks return to the
+//! free pool while the job still runs.
+//!
+//! ## The prefix cache
+//!
+//! A prefix entry is keyed by `(class, shared_prefix_tokens)` and holds
+//! the **raw** KV of the shared prompt head (the head is shared *before*
+//! pruning individualizes the survivor set). While any sharer is
+//! resident the entry is pinned by its refcount; when the last sharer
+//! leaves, the entry *persists* as a scored cache line (hits ×
+//! last-use), so a later arrival of the same class re-maps it for free.
+//! Under memory pressure the allocator evicts cached entries
+//! lowest-score-first at block granularity, trimming from the **tail**
+//! — a prefix of a prefix is still a valid prefix, and a later hit
+//! refills only the missing tail blocks.
+//!
+//! The five scheduling seams see the pager through two numbers: a job's
+//! **admission charge** ([`KvPager::admission_bytes`] — the blocks that
+//! would leave the available pool if the job mapped now) and its
+//! **unique bytes** ([`KvPager::job_unique_bytes`] — what preemption
+//! must actually swap, shared prefix blocks stay resident). Both are
+//! exact block multiples, so admission against
+//! [`KvPager::available_bytes`] can never over-commit.
+
+use crate::cost::FleetCost;
+use crate::request::Job;
+use spatten_core::StepCost;
+use spatten_workloads::Workload;
+use std::collections::HashMap;
+
+/// How a chip's KV SRAM budget is carved up — the `SchedKnobs` knob
+/// selecting between the contiguous PR 3–5 resource model and the paged
+/// allocator.
+///
+/// The default reproduces the contiguous model bit-for-bit: no pager is
+/// instantiated and every footprint/fit/swap query takes the exact code
+/// path it took before this module existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum KvSpec {
+    /// One contiguous reservation per job (the historical model).
+    #[default]
+    Contiguous,
+    /// Fixed-size paged allocation with prefix sharing and pruning-aware
+    /// reclaim.
+    Paged {
+        /// Block size in KiB. Smaller blocks reclaim more of the pruning
+        /// curve; larger blocks keep page tables short.
+        block_kib: u32,
+    },
+}
+
+impl KvSpec {
+    /// The default paged configuration: 16 KiB blocks — fine enough that
+    /// the pruning ramp frees blocks every few decode steps on the
+    /// default GPT-2 class, coarse enough that a page table stays tens of
+    /// entries long.
+    pub fn paged() -> Self {
+        KvSpec::Paged { block_kib: 16 }
+    }
+
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvSpec::Contiguous => "contiguous",
+            KvSpec::Paged { .. } => "paged",
+        }
+    }
+
+    /// Block size in bytes, `None` for the contiguous model.
+    pub fn block_bytes(&self) -> Option<u64> {
+        match self {
+            KvSpec::Contiguous => None,
+            KvSpec::Paged { block_kib } => Some(u64::from(*block_kib).max(1) * 1024),
+        }
+    }
+}
+
+/// A prefix cache key: `(request class, effective shared-prefix tokens)`.
+///
+/// The effective length is `min(shared_prefix_tokens, seq_len)` — a
+/// request shorter than its class prefix shares only what it has — so
+/// equal keys always describe byte-identical prefixes.
+pub type PrefixKey = (usize, usize);
+
+/// The KV demand curve of one job, priced once at admission by the
+/// [`FleetCost`] oracle and then evaluated purely per decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobKvNeed {
+    /// Peak working set: the raw (unpruned) prompt KV, floored at
+    /// `final_bytes` (a generation-heavy job's pruned survivor set can
+    /// outgrow its raw prompt).
+    pub raw_bytes: u64,
+    /// Pruned working set at maximum context — the contiguous model's
+    /// [`FleetCost::footprint_on`] charge, the curve's floor.
+    pub final_bytes: u64,
+    /// Raw KV bytes of the effective shared prefix (head of
+    /// `raw_bytes`, shared before pruning individualizes survivors).
+    pub shared_bytes: u64,
+    /// Decode steps the job will run (0 = single-pass).
+    pub gen_steps: u64,
+    /// Decode steps over which the cascade retires the raw-to-final
+    /// overhang: `min(gen_steps, layers)`, at least 1.
+    pub horizon: u64,
+    /// Prefix cache key, `None` when the job shares nothing.
+    pub prefix: Option<PrefixKey>,
+}
+
+impl JobKvNeed {
+    /// Prices `job`'s curve on `chip` through the cost oracle.
+    pub fn of(cost: &mut dyn FleetCost, chip: usize, job: &Job) -> Self {
+        let w = &job.workload;
+        let final_bytes = cost.footprint_on(chip, w);
+        let raw = cost.raw_kv_bytes_on(chip, w, w.seq_len);
+        let eff = job.shared_prefix_tokens.min(w.seq_len);
+        let shared_bytes = if eff == 0 {
+            0
+        } else {
+            cost.raw_kv_bytes_on(chip, w, eff)
+        };
+        let prefix = (eff > 0).then_some((job.class, eff));
+        if w.gen_steps == 0 {
+            // Single-pass jobs stream the prompt once: no decode steps
+            // means no retirement ramp, so the charge is flat at the
+            // pruned working set (exactly the contiguous charge).
+            return Self {
+                raw_bytes: final_bytes,
+                final_bytes,
+                shared_bytes: shared_bytes.min(final_bytes),
+                gen_steps: 0,
+                horizon: 1,
+                prefix,
+            };
+        }
+        let raw_bytes = raw.max(final_bytes);
+        Self {
+            raw_bytes,
+            final_bytes,
+            shared_bytes: shared_bytes.min(raw_bytes),
+            gen_steps: w.gen_steps as u64,
+            horizon: (w.gen_steps.min(w.model.layers) as u64).max(1),
+            prefix,
+        }
+    }
+
+    /// Bytes held after `steps_done` decode steps: starts at
+    /// `raw_bytes`, ramps linearly to `final_bytes` over `horizon`
+    /// steps, then stays flat. Monotonically non-increasing in
+    /// `steps_done` by construction.
+    pub fn held_bytes(&self, steps_done: u64) -> u64 {
+        let overhang = self.raw_bytes.saturating_sub(self.final_bytes);
+        let t = steps_done.min(self.horizon);
+        let retired = overhang.saturating_mul(t) / self.horizon;
+        (self.raw_bytes - retired).max(self.final_bytes)
+    }
+}
+
+/// One cached (or live) shared prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrefixEntry {
+    /// Blocks currently resident (tail-trimming can shrink this below
+    /// the full prefix; a later hit refills).
+    blocks: u64,
+    /// Resident sharers. 0 = cached, reclaimable.
+    refcount: u64,
+    /// Times a mapping job found this entry resident.
+    hits: u64,
+    /// Cycle timestamp of the last map/unmap touch (cache score
+    /// tiebreak).
+    last_use: u64,
+}
+
+/// One resident job's page table (unique blocks only; shared blocks
+/// live in the [`PrefixEntry`]).
+#[derive(Debug, Clone, Copy)]
+struct JobPages {
+    need: JobKvNeed,
+    unique_blocks: u64,
+}
+
+/// Cumulative page-accounting counters, reported per chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct KvStats {
+    /// Blocks handed out (job unique + prefix fills).
+    pub blocks_allocated: u64,
+    /// Blocks returned to the free pool (retire + evict + reclaim +
+    /// cache eviction + drain flush).
+    pub blocks_freed: u64,
+    /// Blocks returned *mid-stream* by the pruning ramp — the subset of
+    /// `blocks_freed` no contiguous model could ever release.
+    pub blocks_reclaimed: u64,
+    /// Prefix map requests served by a resident entry (live or cached).
+    pub shared_hits: u64,
+    /// Blocks trimmed off cached prefixes under memory pressure.
+    pub cache_evicted_blocks: u64,
+}
+
+/// Fixed-block KV allocator for one chip: per-job page tables,
+/// refcounted copy-on-write prefix sharing, a scored persistent prefix
+/// cache, and pruning-curve reclaim. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct KvPager {
+    block_bytes: u64,
+    total_blocks: u64,
+    free_blocks: u64,
+    jobs: HashMap<u64, JobPages>,
+    prefixes: HashMap<PrefixKey, PrefixEntry>,
+    /// Cumulative counters.
+    pub stats: KvStats,
+}
+
+impl KvPager {
+    /// A pager over `capacity_bytes` of KV SRAM carved into
+    /// `block_bytes` blocks (at least one block).
+    pub fn new(block_bytes: u64, capacity_bytes: u64) -> Self {
+        let block_bytes = block_bytes.max(1);
+        let total_blocks = (capacity_bytes / block_bytes).max(1);
+        Self {
+            block_bytes,
+            total_blocks,
+            free_blocks: total_blocks,
+            jobs: HashMap::new(),
+            prefixes: HashMap::new(),
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Blocks neither mapped by a job nor held by a prefix.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Blocks held by refcount-0 (cached) prefixes — resident but
+    /// reclaimable under pressure.
+    pub fn cached_blocks(&self) -> u64 {
+        self.prefixes
+            .values()
+            .filter(|e| e.refcount == 0)
+            .map(|e| e.blocks)
+            .sum()
+    }
+
+    /// Bytes an admission fit-check may assume: the free pool plus
+    /// everything the cache would surrender under pressure.
+    pub fn available_bytes(&self) -> u64 {
+        (self.free_blocks + self.cached_blocks()) * self.block_bytes
+    }
+
+    /// Bytes resident (job pages + live and cached prefixes).
+    pub fn used_bytes(&self) -> u64 {
+        (self.total_blocks - self.free_blocks) * self.block_bytes
+    }
+
+    /// Bytes pinned by resident jobs and live prefixes — `used_bytes`
+    /// minus the reclaimable refcount-0 cache. This is the chip's
+    /// `kv_in_use` under paging: cached prefixes are *not* in use, they
+    /// are opportunistically resident.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.used_bytes() - self.cached_blocks() * self.block_bytes
+    }
+
+    /// Resident job count (page tables held).
+    pub fn mapped_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn blocks_of(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_bytes)
+    }
+
+    /// Full-size block count of `need`'s prefix, clamped to capacity.
+    fn prefix_blocks(&self, need: &JobKvNeed) -> u64 {
+        if need.prefix.is_none() {
+            return 0;
+        }
+        self.blocks_of(need.shared_bytes).min(self.total_blocks)
+    }
+
+    /// How much of `need`'s class prefix is already materialized on this
+    /// chip, as `(warm_blocks, total_prefix_blocks)`. Warm blocks hold
+    /// KV an earlier sharer (or a persisted cache entry) computed — a
+    /// job mapping onto them skips that slice of its prefill pass.
+    /// Cache eviction trims entries from the tail, so a partially-warm
+    /// prefix covers its *head*: exactly the tokens prefill would
+    /// otherwise recompute first.
+    pub fn warm_prefix_blocks(&self, need: &JobKvNeed) -> (u64, u64) {
+        let total = self.prefix_blocks(need);
+        let warm = need
+            .prefix
+            .and_then(|key| self.prefixes.get(&key))
+            .map_or(0, |e| e.blocks.min(total));
+        (warm, total)
+    }
+
+    /// Unique blocks `need` holds after `steps_done`, clamped so that
+    /// prefix plus unique always fits an empty pager (the contiguous model
+    /// clamps footprints to the budget for the same admittability
+    /// guarantee).
+    fn unique_blocks_at(&self, need: &JobKvNeed, steps_done: u64) -> u64 {
+        let prefix = self.prefix_blocks(need);
+        self.blocks_of(need.held_bytes(steps_done))
+            .saturating_sub(prefix)
+            .min(self.total_blocks - prefix)
+    }
+
+    /// The admission charge: blocks that would leave the available pool
+    /// if this job mapped now, in bytes. Counts the full prefix when the
+    /// entry is absent, only the trimmed tail when it is resident but
+    /// shrunk, and nothing when it is resident in full; a cached
+    /// (refcount-0) entry's resident blocks are charged too — mapping
+    /// pins them, removing them from [`Self::available_bytes`].
+    ///
+    /// `steps_done` positions a resumed victim on its retirement curve
+    /// so re-admission charges what eviction swapped out, not the peak.
+    pub fn admission_bytes(&self, need: &JobKvNeed, steps_done: u64) -> u64 {
+        let unique = self.unique_blocks_at(need, steps_done);
+        let prefix = self.prefix_blocks(need);
+        let new_prefix = match need.prefix.and_then(|k| self.prefixes.get(&k)) {
+            // Live entry: sharers pin it already, pay only a missing tail.
+            Some(e) if e.refcount > 0 => prefix.saturating_sub(e.blocks),
+            // Cached entry: its resident blocks leave the reclaimable
+            // pool on map, so the charge against `available_bytes` is
+            // the full prefix (resident part re-pinned + tail refilled).
+            Some(_) => prefix,
+            None => prefix,
+        };
+        (unique + new_prefix) * self.block_bytes
+    }
+
+    /// Frees `n` blocks for allocation, evicting cached prefixes
+    /// lowest-score-first (fewest hits, then oldest touch), trimming
+    /// from each victim's tail at block granularity. `protect` is never
+    /// evicted — a job must not reclaim its own prefix to admit itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pager cannot supply `n` blocks — the admission
+    /// charge is exact, so this is an accounting bug, not load.
+    fn alloc(&mut self, n: u64, protect: Option<PrefixKey>) {
+        while self.free_blocks < n {
+            let victim = self
+                .prefixes
+                .iter()
+                .filter(|(k, e)| e.refcount == 0 && e.blocks > 0 && Some(**k) != protect)
+                .min_by_key(|(k, e)| (e.hits, e.last_use, **k))
+                .map(|(k, _)| *k);
+            let Some(key) = victim else {
+                panic!(
+                    "KvPager over-committed: need {n} blocks, {} free, nothing cached",
+                    self.free_blocks
+                );
+            };
+            let entry = self.prefixes.get_mut(&key).expect("victim resident");
+            let trim = entry.blocks.min(n - self.free_blocks);
+            entry.blocks -= trim;
+            if entry.blocks == 0 {
+                self.prefixes.remove(&key);
+            }
+            self.free_blocks += trim;
+            self.stats.blocks_freed += trim;
+            self.stats.cache_evicted_blocks += trim;
+        }
+        self.free_blocks -= n;
+        self.stats.blocks_allocated += n;
+    }
+
+    /// Maps `job`'s pages: pins (and tail-refills) or creates the shared
+    /// prefix entry, allocates the unique blocks at curve position
+    /// `steps_done`, and returns the job's unique bytes — the number the
+    /// chip records as the resident footprint and the number preemption
+    /// would swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already mapped or the charge was never
+    /// fit-checked (see [`Self::alloc`]).
+    pub fn map_job(&mut self, id: u64, need: JobKvNeed, steps_done: u64, now: u64) -> u64 {
+        assert!(
+            !self.jobs.contains_key(&id),
+            "job {id} already holds a page table"
+        );
+        let prefix = self.prefix_blocks(&need);
+        let unique = self.unique_blocks_at(&need, steps_done);
+        if let Some(key) = need.prefix {
+            let missing = match self.prefixes.get(&key) {
+                Some(e) => prefix.saturating_sub(e.blocks),
+                None => prefix,
+            };
+            if missing > 0 {
+                self.alloc(missing, Some(key));
+            }
+            let entry = self.prefixes.entry(key).or_insert(PrefixEntry {
+                blocks: 0,
+                refcount: 0,
+                hits: 0,
+                // One extra hit below would miscount creation as a hit.
+                last_use: now,
+            });
+            if entry.refcount > 0 || entry.blocks > 0 {
+                entry.hits += 1;
+                self.stats.shared_hits += 1;
+            }
+            entry.blocks += missing;
+            entry.refcount += 1;
+            entry.last_use = now;
+        }
+        self.alloc(unique, need.prefix);
+        self.jobs.insert(
+            id,
+            JobPages {
+                need,
+                unique_blocks: unique,
+            },
+        );
+        unique * self.block_bytes
+    }
+
+    /// Advances `job` to curve position `steps_done`, returning freed
+    /// blocks to the pool (pruning-aware reclaim). Returns the job's
+    /// unique bytes after reclaim. Page count is monotonically
+    /// non-increasing: the curve never rises and growth is never
+    /// allocated here.
+    pub fn reclaim(&mut self, id: u64, steps_done: u64) -> u64 {
+        let pages = *self.jobs.get(&id).expect("reclaim of unmapped job");
+        let target = self.unique_blocks_at(&pages.need, steps_done);
+        let pages = self.jobs.get_mut(&id).expect("reclaim of unmapped job");
+        if target < pages.unique_blocks {
+            let freed = pages.unique_blocks - target;
+            pages.unique_blocks = target;
+            self.free_blocks += freed;
+            self.stats.blocks_freed += freed;
+            self.stats.blocks_reclaimed += freed;
+        }
+        pages.unique_blocks * self.block_bytes
+    }
+
+    /// Releases `job`'s page table: unique blocks return to the pool,
+    /// the prefix refcount drops — at zero the entry *stays resident* as
+    /// a scored cache line for the next sharer.
+    pub fn unmap_job(&mut self, id: u64, now: u64) {
+        let pages = self.jobs.remove(&id).expect("unmap of unmapped job");
+        self.free_blocks += pages.unique_blocks;
+        self.stats.blocks_freed += pages.unique_blocks;
+        if let Some(key) = pages.need.prefix {
+            let entry = self.prefixes.get_mut(&key).expect("prefix entry resident");
+            assert!(entry.refcount > 0, "prefix refcount underflow");
+            entry.refcount -= 1;
+            entry.last_use = now;
+        }
+    }
+
+    /// Unique (non-shared) bytes `job` holds right now — what a swap
+    /// must move.
+    pub fn job_unique_bytes(&self, id: u64) -> u64 {
+        self.jobs
+            .get(&id)
+            .map_or(0, |p| p.unique_blocks * self.block_bytes)
+    }
+
+    /// End-of-run accounting check: no job holds pages, every shared
+    /// prefix's refcount reached zero, and after flushing the cache the
+    /// block ledger closes exactly (`allocated == freed`, all blocks
+    /// free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any leak.
+    pub fn assert_drained(&mut self) {
+        assert!(
+            self.jobs.is_empty(),
+            "pager drained with {} job page tables resident",
+            self.jobs.len()
+        );
+        for (key, e) in &self.prefixes {
+            assert_eq!(
+                e.refcount, 0,
+                "prefix {key:?} drained with refcount {}",
+                e.refcount
+            );
+        }
+        let cached: u64 = self.prefixes.values().map(|e| e.blocks).sum();
+        self.stats.blocks_freed += cached;
+        self.free_blocks += cached;
+        self.prefixes.clear();
+        assert_eq!(
+            self.free_blocks, self.total_blocks,
+            "pager drained with blocks still held"
+        );
+        assert_eq!(
+            self.stats.blocks_allocated, self.stats.blocks_freed,
+            "block ledger leak: {} allocated vs {} freed",
+            self.stats.blocks_allocated, self.stats.blocks_freed
+        );
+    }
+}
+
+/// A [`FleetCost`] view in which job fit-checks are page-table-backed.
+///
+/// Every method delegates to `base` (preserving its memoization and
+/// ledger semantics) except [`FleetCost::job_footprint_on`], which
+/// prices a job at the pager's [`KvPager::admission_bytes`]: shared
+/// prefix pages charged once per chip, resumed victims positioned on
+/// their retirement curve. The fleet event loop hands this view to
+/// admission, stealing and preemption policies while a paged run is
+/// active; the scheduler's pending-work ledgers keep calling
+/// `footprint_on` through it unchanged, so charge/discharge stay
+/// symmetric.
+pub struct PagedCost<'a, C: FleetCost> {
+    base: &'a mut C,
+    pagers: &'a [KvPager],
+}
+
+impl<'a, C: FleetCost> PagedCost<'a, C> {
+    /// Wraps `base` so fit-checks on chip `i` consult `pagers[i]`.
+    pub fn new(base: &'a mut C, pagers: &'a [KvPager]) -> Self {
+        Self { base, pagers }
+    }
+}
+
+impl<C: FleetCost> FleetCost for PagedCost<'_, C> {
+    fn prefill_on(&mut self, chip: usize, w: &Workload) -> StepCost {
+        self.base.prefill_on(chip, w)
+    }
+
+    fn decode_on(&mut self, chip: usize, w: &Workload, context: usize) -> StepCost {
+        self.base.decode_on(chip, w, context)
+    }
+
+    fn footprint_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        self.base.footprint_on(chip, w)
+    }
+
+    fn budget_on(&self, chip: usize) -> u64 {
+        self.base.budget_on(chip)
+    }
+
+    fn swap_cycles_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        self.base.swap_cycles_on(chip, w, tokens)
+    }
+
+    fn raw_kv_bytes_on(&mut self, chip: usize, w: &Workload, tokens: usize) -> u64 {
+        self.base.raw_kv_bytes_on(chip, w, tokens)
+    }
+
+    fn swap_bytes_cycles_on(&mut self, chip: usize, w: &Workload, bytes: u64) -> u64 {
+        self.base.swap_bytes_cycles_on(chip, w, bytes)
+    }
+
+    fn note_batch(&mut self, chip: usize, resident: usize) {
+        self.base.note_batch(chip, resident);
+    }
+
+    fn job_serial_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        self.base.job_serial_on(chip, w)
+    }
+
+    fn first_token_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        self.base.first_token_on(chip, w)
+    }
+
+    fn job_footprint_on(&mut self, chip: usize, job: &Job) -> u64 {
+        let need = JobKvNeed::of(self.base, chip, job);
+        let steps = job.resume.map_or(0, |r| r.steps_done as u64);
+        self.pagers[chip].admission_bytes(&need, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLOCK: u64 = 1024;
+
+    fn need(raw: u64, fin: u64, shared: u64, gen: u64) -> JobKvNeed {
+        JobKvNeed {
+            raw_bytes: raw.max(fin),
+            final_bytes: fin,
+            shared_bytes: shared,
+            gen_steps: gen,
+            horizon: gen.clamp(1, 12),
+            prefix: (shared > 0).then_some((0, shared as usize)),
+        }
+    }
+
+    #[test]
+    fn held_bytes_is_monotone_non_increasing_and_hits_the_floor() {
+        let n = need(100 * BLOCK, 40 * BLOCK, 0, 64);
+        let mut prev = u64::MAX;
+        for t in 0..=80 {
+            let h = n.held_bytes(t);
+            assert!(h <= prev, "held grew at step {t}: {h} > {prev}");
+            assert!(h >= n.final_bytes);
+            prev = h;
+        }
+        assert_eq!(n.held_bytes(0), n.raw_bytes);
+        assert_eq!(n.held_bytes(n.horizon), n.final_bytes);
+        // Single-pass jobs are flat at the contiguous charge.
+        let flat = need(0, 7 * BLOCK, 0, 0);
+        assert_eq!(flat.held_bytes(0), flat.held_bytes(100));
+    }
+
+    #[test]
+    fn prefix_is_charged_once_and_cached_after_the_last_sharer_leaves() {
+        let mut p = KvPager::new(BLOCK, 64 * BLOCK);
+        let n = need(20 * BLOCK, 20 * BLOCK, 8 * BLOCK, 4);
+        // First sharer pays prefix + unique; the second pays unique only.
+        assert_eq!(p.admission_bytes(&n, 0), 20 * BLOCK);
+        p.map_job(1, n, 0, 10);
+        assert_eq!(p.admission_bytes(&n, 0), 12 * BLOCK);
+        let unique = p.map_job(2, n, 0, 11);
+        assert_eq!(unique, 12 * BLOCK);
+        assert_eq!(p.stats.shared_hits, 1);
+        assert_eq!(p.used_bytes(), (8 + 12 + 12) * BLOCK);
+        // Both leave: the prefix persists as cache, still charged when a
+        // newcomer would pin it, still counted available for eviction.
+        p.unmap_job(1, 20);
+        p.unmap_job(2, 21);
+        assert_eq!(p.cached_blocks(), 8);
+        assert_eq!(p.mapped_jobs(), 0);
+        assert_eq!(p.available_bytes(), 64 * BLOCK);
+        assert_eq!(p.admission_bytes(&n, 0), 20 * BLOCK);
+        // A third sharer hits the cache without allocating prefix blocks.
+        let before = p.stats.blocks_allocated;
+        p.map_job(3, n, 0, 30);
+        assert_eq!(p.stats.blocks_allocated - before, 12);
+        assert_eq!(p.stats.shared_hits, 2);
+        p.unmap_job(3, 31);
+    }
+
+    #[test]
+    fn pruning_reclaim_returns_blocks_mid_stream_monotonically() {
+        let mut p = KvPager::new(BLOCK, 256 * BLOCK);
+        let n = need(60 * BLOCK, 24 * BLOCK, 10 * BLOCK, 32);
+        let mut unique = p.map_job(7, n, 0, 0);
+        assert_eq!(unique, 50 * BLOCK);
+        let mut reclaimed_total = 0;
+        for t in 1..=40 {
+            let next = p.reclaim(7, t);
+            assert!(next <= unique, "page count grew at step {t}");
+            reclaimed_total += (unique - next) / BLOCK;
+            unique = next;
+        }
+        assert_eq!(unique, 14 * BLOCK);
+        assert_eq!(p.stats.blocks_reclaimed, reclaimed_total);
+        assert_eq!(p.stats.blocks_reclaimed, 36);
+        p.unmap_job(7, 50);
+    }
+
+    #[test]
+    fn cache_eviction_trims_lowest_scored_tails_and_refills_on_hit() {
+        let mut p = KvPager::new(BLOCK, 32 * BLOCK);
+        let cold = JobKvNeed {
+            prefix: Some((0, 100)),
+            ..need(10 * BLOCK, 10 * BLOCK, 6 * BLOCK, 2)
+        };
+        let hot = JobKvNeed {
+            prefix: Some((1, 100)),
+            ..need(10 * BLOCK, 10 * BLOCK, 6 * BLOCK, 2)
+        };
+        p.map_job(1, cold, 0, 0);
+        p.unmap_job(1, 1);
+        p.map_job(2, hot, 0, 2);
+        p.map_job(3, hot, 0, 3); // hot entry scores a hit
+        p.unmap_job(2, 4);
+        p.unmap_job(3, 5);
+        // 12 cached + 20 free. A 24-block demand must trim 4 cached
+        // blocks — from the cold (0-hit) entry's tail, not the hot one.
+        let big = need(24 * BLOCK, 24 * BLOCK, 0, 2);
+        assert_eq!(p.admission_bytes(&big, 0), 24 * BLOCK);
+        p.map_job(4, big, 0, 10);
+        assert_eq!(p.stats.cache_evicted_blocks, 4);
+        assert_eq!(p.cached_blocks(), 8); // cold trimmed 6 -> 2, hot intact
+        p.unmap_job(4, 11);
+        // A returning cold-class sharer pays only the trimmed tail.
+        assert_eq!(p.admission_bytes(&cold, 0), (4 + 4 + 2) * BLOCK);
+        p.map_job(5, cold, 0, 20);
+        assert_eq!(p.job_unique_bytes(5), 4 * BLOCK);
+        p.unmap_job(5, 21);
+    }
+
+    #[test]
+    fn drain_closes_the_block_ledger() {
+        let mut p = KvPager::new(BLOCK, 128 * BLOCK);
+        let a = need(30 * BLOCK, 12 * BLOCK, 8 * BLOCK, 16);
+        let b = need(20 * BLOCK, 20 * BLOCK, 8 * BLOCK, 0);
+        p.map_job(1, a, 0, 0);
+        p.map_job(2, b, 0, 1);
+        p.reclaim(1, 9);
+        p.unmap_job(1, 5);
+        p.unmap_job(2, 6);
+        p.assert_drained();
+        assert_eq!(p.stats.blocks_allocated, p.stats.blocks_freed);
+        assert_eq!(p.free_blocks(), 128);
+    }
+
+    #[test]
+    fn paged_cost_adapter_prices_fit_checks_through_the_pager() {
+        use crate::cost::CostModel;
+        use spatten_core::SpAttenConfig;
+        use spatten_workloads::Benchmark;
+
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let budget = cost.budget_on(0);
+        let mut pagers = vec![KvPager::new(16 * 1024, budget)];
+        let mut w = Benchmark::gpt2_small_wikitext2().workload();
+        w.seq_len = 256;
+        w.gen_steps = 32;
+        let job = |id: u64, shared: usize| Job {
+            id,
+            class: 0,
+            priority: 0,
+            client: None,
+            arrival_cycles: 0,
+            deadline_cycles: None,
+            preemptions: 0,
+            resume: None,
+            shared_prefix_tokens: shared,
+            workload: w.clone(),
+        };
+        // The default trait method is the contiguous charge.
+        let contiguous = cost.job_footprint_on(0, &job(1, 0));
+        assert_eq!(contiguous, cost.footprint_on(0, &w));
+        // First sharer pays prefix + unique through the adapter...
+        let first = {
+            let mut pc = PagedCost::new(&mut cost, &pagers);
+            pc.job_footprint_on(0, &job(1, 128))
+        };
+        let need = JobKvNeed::of(&mut cost, 0, &job(1, 128));
+        pagers[0].map_job(1, need, 0, 0);
+        // ...and once it is resident, the second sharer pays unique only.
+        let second = {
+            let mut pc = PagedCost::new(&mut cost, &pagers);
+            pc.job_footprint_on(0, &job(2, 128))
+        };
+        assert!(
+            second < first,
+            "shared prefix not discounted: {second} vs {first}"
+        );
+        pagers[0].unmap_job(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn over_commit_panics_rather_than_corrupting_the_ledger() {
+        let mut p = KvPager::new(BLOCK, 8 * BLOCK);
+        p.map_job(1, need(16 * BLOCK, 16 * BLOCK, 0, 2), 0, 0);
+        // The clamp caps a single job at capacity; a second job of any
+        // size must trip the allocator's over-commit assert.
+        p.map_job(2, need(BLOCK, BLOCK, 0, 2), 0, 1);
+    }
+}

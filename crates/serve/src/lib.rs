@@ -42,6 +42,12 @@
 //!   serialization, and HBM-bandwidth-aware co-scheduling (one job's
 //!   compute overlaps another's KV/weight streaming; each resource
 //!   serializes within itself).
+//! * [`kv`] — the **paged KV allocator** ([`KvPager`], opt-in via
+//!   `SchedKnobs::kv`): fixed-size blocks per chip, per-job page tables,
+//!   refcounted copy-on-write sharing of per-class system-prompt
+//!   prefixes with a scored persistent prefix cache, and pruning-aware
+//!   mid-stream page reclaim as the cascade retires tokens. Fit checks
+//!   price through [`PagedCost`]; preemption swaps unique pages only.
 //! * [`sim`] — the discrete-event fleet simulator, generic over
 //!   ([`FleetCost`], [`AdmissionPolicy`], [`BatchPolicy`]): every policy
 //!   runs through the one event loop. Drives open-loop (Poisson, MMPP,
@@ -72,6 +78,7 @@ pub mod batch;
 pub mod chip;
 pub mod cost;
 pub mod json;
+pub mod kv;
 pub mod metrics;
 pub mod preempt;
 pub mod request;
@@ -83,6 +90,7 @@ pub use batch::{
     BatchPolicy, DecodePrioritizedBatch, IterationBatch, ResidentView, RoundStep, RunToCompletion,
 };
 pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
+pub use kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
 pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
 pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};
 pub use request::{Completion, Job, Rejection, ResumeState};

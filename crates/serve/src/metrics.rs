@@ -2,6 +2,7 @@
 //! and per-class SLO accounting (goodput, violations, rejections).
 
 use crate::json::{array, JsonObject};
+use crate::kv::KvStats;
 use crate::request::{Completion, Rejection};
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +84,9 @@ pub struct ChipStats {
     pub steals: u64,
     /// Victim-side serial-cycle backlog those steals relieved.
     pub stolen_cycles: u64,
+    /// Page-accounting counters from the chip's [`crate::kv::KvPager`];
+    /// all-zero under the contiguous KV model.
+    pub kv: KvStats,
 }
 
 /// Per-request-class accounting: latency, decode cadence, and the SLO
@@ -334,6 +338,11 @@ impl FleetReport {
                 .u64("swap_cycles", c.swap_cycles)
                 .u64("steals", c.steals)
                 .u64("stolen_cycles", c.stolen_cycles)
+                .u64("kv_blocks_allocated", c.kv.blocks_allocated)
+                .u64("kv_blocks_freed", c.kv.blocks_freed)
+                .u64("kv_blocks_reclaimed", c.kv.blocks_reclaimed)
+                .u64("kv_shared_hits", c.kv.shared_hits)
+                .u64("kv_cache_evicted_blocks", c.kv.cache_evicted_blocks)
                 .build()
         }));
         let classes = array(self.class_stats.iter().map(ClassStats::to_json));

@@ -223,7 +223,10 @@ impl PreemptionPolicy for PriorityPreemption {
         else {
             return Vec::new();
         };
-        let footprint = cost.footprint_on(chip, &blocked.workload);
+        // Page-table-backed under paged KV allocation: a blocked job
+        // whose class prefix is already resident needs far fewer free
+        // blocks, so fewer victims move.
+        let footprint = cost.job_footprint_on(chip, blocked);
         if cap.slots > 0 && footprint <= cap.kv_free {
             return Vec::new(); // fits as-is; admission will take it
         }
@@ -281,6 +284,7 @@ mod tests {
             deadline_cycles: None,
             preemptions: 0,
             resume: None,
+            shared_prefix_tokens: 0,
             workload,
         }
     }

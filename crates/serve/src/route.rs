@@ -386,6 +386,7 @@ mod tests {
             deadline_cycles: None,
             preemptions: 0,
             resume: None,
+            shared_prefix_tokens: 0,
             workload,
         }
     }

@@ -65,6 +65,7 @@
 
 use crate::batch::{BatchPolicy, DecodePrioritizedBatch, IterationBatch, RunToCompletion};
 use crate::cost::FleetCost;
+use crate::kv::KvSpec;
 use crate::preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption};
 use crate::request::Job;
 use crate::route::{
@@ -336,6 +337,11 @@ pub struct SchedKnobs {
     /// Preemption fairness bound: the most times any one job may be
     /// evicted before it becomes immune.
     pub max_preemptions: u32,
+    /// KV allocation model: contiguous per-job reservations (default,
+    /// the historical behavior bit-for-bit) or the paged allocator with
+    /// copy-on-write prefix sharing and pruning-aware reclaim
+    /// ([`crate::kv::KvPager`]).
+    pub kv: KvSpec,
 }
 
 impl Default for SchedKnobs {
@@ -348,6 +354,7 @@ impl Default for SchedKnobs {
             steal: StealSpec::Off,
             preempt: PreemptSpec::None,
             max_preemptions: 4,
+            kv: KvSpec::Contiguous,
         }
     }
 }
@@ -614,7 +621,7 @@ impl AdmissionPolicy for ArrivalOrderAdmission {
         let mut kv_free = cap.kv_free;
         let mut slots = cap.slots;
         while slots > 0 && !queue.is_empty() {
-            let footprint = cost.footprint_on(chip, &queue.get(0).job.workload);
+            let footprint = cost.job_footprint_on(chip, &queue.get(0).job);
             if footprint > kv_free {
                 break;
             }
@@ -660,7 +667,7 @@ impl AdmissionPolicy for PriorityAdmission {
             let best = (0..queue.len())
                 .max_by_key(|&i| (queue.get(i).job.priority, Reverse(i)))
                 .expect("non-empty queue");
-            let footprint = cost.footprint_on(chip, &queue.get(best).job.workload);
+            let footprint = cost.job_footprint_on(chip, &queue.get(best).job);
             if footprint > kv_free {
                 break;
             }
@@ -707,7 +714,7 @@ impl AdmissionPolicy for KvAwareAdmission {
         let mut i = 0;
         while slots > 0 && i < queue.len() {
             let q = queue.get(i);
-            let footprint = cost.footprint_on(chip, &q.job.workload);
+            let footprint = cost.job_footprint_on(chip, &q.job);
             if footprint > kv_free {
                 if q.skips >= self.max_skip {
                     break; // starvation barrier: nobody may pass this job
@@ -1008,7 +1015,7 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
                 if job.resume.is_some() {
                     continue; // pinned to its chip's swapped KV prefix
                 }
-                if cost.footprint_on(thief, &job.workload) > cap.kv_free {
+                if cost.job_footprint_on(thief, job) > cap.kv_free {
                     continue;
                 }
                 if remaining_cycles_on(cost, thief, job) >= stay_cost {
@@ -1053,9 +1060,7 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
         for job in &out.jobs {
             cap.active += 1;
             cap.slots = cap.slots.saturating_sub(1);
-            cap.kv_free = cap
-                .kv_free
-                .saturating_sub(cost.footprint_on(chip, &job.workload));
+            cap.kv_free = cap.kv_free.saturating_sub(cost.job_footprint_on(chip, job));
         }
         let more = self.policy.admit(&mut self.shared, cost, chip, cap, now);
         out.jobs.extend(more.jobs);
@@ -1085,6 +1090,7 @@ mod tests {
             deadline_cycles: None,
             preemptions: 0,
             resume: None,
+            shared_prefix_tokens: 0,
             workload,
         }
     }

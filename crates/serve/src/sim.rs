@@ -21,11 +21,14 @@
 use crate::batch::BatchPolicy;
 use crate::chip::Chip;
 use crate::cost::{CostModel, FleetCost};
+use crate::kv::{KvPager, KvSpec, KvStats, PagedCost};
 use crate::metrics::{ChipStats, FleetReport};
 use crate::preempt::PreemptionPolicy;
 use crate::request::{Completion, Job, Rejection};
 use crate::route::{ChipLoad, RoutingPolicy};
-use crate::scheduler::{AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler, StealSpec};
+use crate::scheduler::{
+    Admission, AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler, StealSpec,
+};
 use spatten_core::SpAttenConfig;
 use spatten_workloads::{Trace, TraceRequest};
 use std::cmp::Reverse;
@@ -129,6 +132,7 @@ fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, cloc
             .map(|slo| arrival_cycles + ns_to_cycles(clock_ghz, slo)),
         preemptions: 0,
         resume: None,
+        shared_prefix_tokens: req.shared_prefix_tokens,
         workload: req.workload.clone(),
     }
 }
@@ -178,6 +182,9 @@ struct Fleet<
     batch: B,
     preempt: P,
     chips: Vec<Chip>,
+    /// Per-chip paged KV allocators under [`KvSpec::Paged`]; `None`
+    /// reproduces the contiguous resource model bit-for-bit.
+    pagers: Option<Vec<KvPager>>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     completions: Vec<Completion>,
@@ -198,13 +205,48 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
 
     fn capacity(&self, chip_idx: usize) -> ChipCapacity {
         let chip = &self.chips[chip_idx];
-        ChipCapacity {
-            active: chip.active_jobs(),
-            kv_free: self
+        let kv_free = match &self.pagers {
+            // Block-granular availability, asked of the pager directly:
+            // the byte budget may exceed `total_blocks × block_bytes` by
+            // a sub-block remainder the pager can never hand out, so
+            // `budget − in_use` would overstate what admission may take.
+            Some(pagers) => pagers[chip_idx].available_bytes(),
+            None => self
                 .cost
                 .budget_on(chip_idx)
                 .saturating_sub(chip.kv_in_use()),
+        };
+        ChipCapacity {
+            active: chip.active_jobs(),
+            kv_free,
             slots: self.max_batch.saturating_sub(chip.active_jobs()),
+        }
+    }
+
+    /// Runs the admission policy for `chip_idx` against its current
+    /// capacity, with fit checks priced through the pager when paging is
+    /// on (shared prefix blocks charged once, resumed victims at their
+    /// curve position).
+    fn take_for(&mut self, chip_idx: usize, now: u64) -> Admission {
+        let cap = self.capacity(chip_idx);
+        match self.pagers.as_ref() {
+            Some(pagers) => {
+                let mut paged = PagedCost::new(&mut self.cost, pagers);
+                self.scheduler.take(&mut paged, chip_idx, cap, now)
+            }
+            None => self.scheduler.take(&mut self.cost, chip_idx, cap, now),
+        }
+    }
+
+    /// Applies one admission decision: sheds rejections, admits the rest
+    /// onto the chip (mapping page tables under paging).
+    fn admit_all(&mut self, chip_idx: usize, decision: Admission, now: u64) {
+        for job in decision.rejected {
+            self.on_rejection(job, now);
+        }
+        for job in decision.jobs {
+            let pager = self.pagers.as_mut().map(|p| &mut p[chip_idx]);
+            self.chips[chip_idx].admit(&mut self.cost, pager, job, now);
         }
     }
 
@@ -246,15 +288,24 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             let cap = self.capacity(chip_idx);
             let views = self.chips[chip_idx].victim_views();
             let queued = self.scheduler.queued_for(chip_idx);
-            self.preempt
-                .victims(&queued, &views, &mut self.cost, chip_idx, cap, now)
+            match self.pagers.as_ref() {
+                Some(pagers) => {
+                    let mut paged = PagedCost::new(&mut self.cost, pagers);
+                    self.preempt
+                        .victims(&queued, &views, &mut paged, chip_idx, cap, now)
+                }
+                None => self
+                    .preempt
+                    .victims(&queued, &views, &mut self.cost, chip_idx, cap, now),
+            }
         } else {
             Vec::new()
         };
         let evicted = if victims.is_empty() {
             Vec::new()
         } else {
-            self.chips[chip_idx].evict(&mut self.cost, &victims, now)
+            let pager = self.pagers.as_mut().map(|p| &mut p[chip_idx]);
+            self.chips[chip_idx].evict(&mut self.cost, pager, &victims, now)
         };
         // Admission runs while the victims are OFF the queue: the first
         // claim on the freed capacity belongs to the blocked job
@@ -262,14 +313,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         // would hand the space straight back to them and the eviction
         // would be pure swap churn.
         let had_evictions = !evicted.is_empty();
-        let cap = self.capacity(chip_idx);
-        let decision = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
-        for job in decision.rejected {
-            self.on_rejection(job, now);
-        }
-        for job in decision.jobs {
-            self.chips[chip_idx].admit(&mut self.cost, job, now);
-        }
+        let decision = self.take_for(chip_idx, now);
+        self.admit_all(chip_idx, decision, now);
         if had_evictions {
             for job in evicted.into_iter().rev() {
                 self.scheduler.requeue(chip_idx, job, &mut self.cost);
@@ -280,14 +325,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             // nothing must never strand re-queued work with no future
             // round to claim it. Capacity is recomputed after the first
             // wave's admissions, so the refill sees the true remainder.
-            let cap = self.capacity(chip_idx);
-            let refill = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
-            for job in refill.rejected {
-                self.on_rejection(job, now);
-            }
-            for job in refill.jobs {
-                self.chips[chip_idx].admit(&mut self.cost, job, now);
-            }
+            let refill = self.take_for(chip_idx, now);
+            self.admit_all(chip_idx, refill, now);
         }
         // Work stealing: a chip that comes out of admission idle with an
         // empty private queue pulls the costliest-fit job from the most
@@ -295,22 +334,23 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         // one extra queue hop instead of a permanently idle chip.
         if self.chips[chip_idx].active_jobs() == 0 && self.scheduler.pending_on(chip_idx) == 0 {
             let cap = self.capacity(chip_idx);
-            if self
-                .scheduler
-                .steal_into(&mut self.cost, chip_idx, cap, now)
-            {
-                let cap = self.capacity(chip_idx);
-                let stolen = self.scheduler.take(&mut self.cost, chip_idx, cap, now);
-                for job in stolen.rejected {
-                    self.on_rejection(job, now);
+            let stole = match self.pagers.as_ref() {
+                Some(pagers) => {
+                    let mut paged = PagedCost::new(&mut self.cost, pagers);
+                    self.scheduler.steal_into(&mut paged, chip_idx, cap, now)
                 }
-                for job in stolen.jobs {
-                    self.chips[chip_idx].admit(&mut self.cost, job, now);
-                }
+                None => self
+                    .scheduler
+                    .steal_into(&mut self.cost, chip_idx, cap, now),
+            };
+            if stole {
+                let stolen = self.take_for(chip_idx, now);
+                self.admit_all(chip_idx, stolen, now);
             }
         }
+        let pager = self.pagers.as_mut().map(|p| &mut p[chip_idx]);
         let chip = &mut self.chips[chip_idx];
-        if let Some(cycles) = chip.start_round(&mut self.cost, &mut self.batch, now) {
+        if let Some(cycles) = chip.start_round(&mut self.cost, pager, &mut self.batch, now) {
             self.push(now + cycles, EventKind::RoundEnd(chip_idx));
         }
     }
@@ -404,6 +444,14 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 "chip {chip}: in-service estimate drifted from executed work"
             );
         }
+        // Page-accounting conservation: at drain every block allocated
+        // must have been freed and every refcount must have hit zero
+        // (the cache is flushed as part of the check).
+        if let Some(pagers) = self.pagers.as_mut() {
+            for pager in pagers.iter_mut() {
+                pager.assert_drained();
+            }
+        }
         let preemption_inert = self.batch.run_to_completion() && self.preempt.may_preempt();
         let chip_stats: Vec<ChipStats> = self
             .chips
@@ -422,6 +470,10 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 swap_cycles: c.swap_cycles,
                 steals: self.scheduler.steals_on(c.id),
                 stolen_cycles: self.scheduler.stolen_cycles_on(c.id),
+                kv: match &self.pagers {
+                    Some(pagers) => pagers[c.id].stats,
+                    None => KvStats::default(),
+                },
             })
             .collect();
         let chips = self.chips.len();
@@ -504,6 +556,7 @@ pub fn simulate_fleet_policy<C: FleetCost>(
         knobs.route.build(),
         knobs.steal,
         knobs.preempt.build(knobs),
+        knobs.kv,
         max_batch,
         clock_ghz,
         trace,
@@ -535,6 +588,7 @@ pub fn simulate_fleet_with<
     routing: R,
     steal: StealSpec,
     preempt: P,
+    kv: KvSpec,
     max_batch: usize,
     clock_ghz: f64,
     trace: &Trace,
@@ -542,6 +596,13 @@ pub fn simulate_fleet_with<
     assert!(chips > 0, "fleet needs at least one chip");
     assert!(max_batch > 0, "max_batch must be positive");
     let clock = clock_ghz;
+    // One pager per chip under paging, each sized to that chip's KV
+    // budget (heterogeneous fleets get heterogeneous block counts).
+    let pagers = kv.block_bytes().map(|block| {
+        (0..chips)
+            .map(|c| KvPager::new(block, cost.budget_on(c)))
+            .collect()
+    });
     let mut fleet = Fleet {
         label: label.to_string(),
         max_batch,
@@ -551,6 +612,7 @@ pub fn simulate_fleet_with<
         batch,
         preempt,
         chips: (0..chips).map(Chip::new).collect(),
+        pagers,
         events: BinaryHeap::new(),
         seq: 0,
         completions: Vec::new(),
@@ -1009,6 +1071,187 @@ mod tests {
         assert!(report.preemptions > 0, "contended two-tier fleet evicts");
         let again = simulate_fleet(&cfg, &trace);
         assert_eq!(report.completions, again.completions);
+    }
+
+    /// The high-prefix-reuse chat mix paged KV exists for.
+    fn chat_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        TraceSpec::chat(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: rate,
+                requests: n,
+            },
+            seed,
+        )
+        .generate()
+    }
+
+    #[test]
+    #[ignore = "measurement probe, not a regression test"]
+    fn probe_batch_knee() {
+        for kv in [KvSpec::Contiguous, KvSpec::paged()] {
+            for clients in [2usize, 4, 8, 16, 32] {
+                let trace = TraceSpec::chat(
+                    ArrivalSpec::ClosedLoop {
+                        clients,
+                        think_s: 0.0,
+                        requests: 200,
+                    },
+                    7,
+                )
+                .generate();
+                let mut cfg = FleetConfig::new(1, Policy::ContinuousBatching);
+                cfg.max_batch = 64;
+                cfg.sched.kv = kv;
+                let r = simulate_fleet(&cfg, &trace);
+                eprintln!(
+                    "{:<10} clients {clients:>3}  occ {:>6.2}  throughput {:>7.1} rps  tbt p99 {:>8.5}s  p99 {:>7.3}s",
+                    kv.name(),
+                    r.mean_occupancy(),
+                    r.throughput_rps,
+                    r.tbt.p99,
+                    r.latency.p99
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_prefix_skips_the_shared_head_of_prefill() {
+        // The latency half of prefix caching: after the first job of a
+        // class materializes the prefix KV, every later sharer resumes
+        // prefill at the suffix. Same trace, same chip, same budget —
+        // the paged run finishes the chat mix strictly sooner because
+        // it genuinely does less prefill work.
+        let trace = chat_trace(120, 2000.0, 57);
+        let mut contig = FleetConfig::new(1, Policy::ContinuousBatching);
+        contig.max_batch = 16;
+        let c = simulate_fleet(&contig, &trace);
+        let mut paged_cfg = contig.clone();
+        paged_cfg.sched.kv = KvSpec::paged();
+        let p = simulate_fleet(&paged_cfg, &trace);
+        assert_eq!(p.completed, 120);
+        assert!(
+            p.makespan_cycles < c.makespan_cycles,
+            "warm-prefix prefill skip must shorten the makespan: paged {} vs contiguous {}",
+            p.makespan_cycles,
+            c.makespan_cycles
+        );
+        assert!(
+            p.ttft.p99 < c.ttft.p99,
+            "skipped prefill must show up in ttft p99: {} vs {}",
+            p.ttft.p99,
+            c.ttft.p99
+        );
+    }
+
+    #[test]
+    fn paged_chat_mix_completes_shares_and_drains() {
+        // Paged allocation with priority preemption on an overloaded
+        // chip: jobs map, share prefix blocks, get evicted (unique
+        // pages only), resume, reclaim down the pruning ramp, and the
+        // pager's drain invariant (allocated == freed, refcounts zero)
+        // is asserted inside run(). Conservation and determinism must
+        // survive all of it.
+        let mut spec = TraceSpec::chat(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 6000.0,
+                requests: 300,
+            },
+            83,
+        );
+        // Tier the assistant class so priority preemption has someone
+        // to evict for.
+        spec.classes[0] = spec.classes[0].clone().with_priority(2);
+        let trace = spec.generate();
+        let mut cfg = FleetConfig::new(1, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 300, "paged serving must not lose jobs");
+        assert!(report.preemptions > 0, "overloaded two-tier chip evicts");
+        let hits: u64 = report.chip_stats.iter().map(|c| c.kv.shared_hits).sum();
+        assert!(
+            hits > 0,
+            "a >=50% shared-prefix mix must hit the prefix cache"
+        );
+        let reclaimed: u64 = report
+            .chip_stats
+            .iter()
+            .map(|c| c.kv.blocks_reclaimed)
+            .sum();
+        assert!(
+            reclaimed > 0,
+            "cascade pruning must return blocks mid-decode"
+        );
+        for chip in &report.chip_stats {
+            assert_eq!(chip.kv.blocks_allocated, chip.kv.blocks_freed);
+            assert!(chip.max_kv_in_use <= report.kv_budget_bytes);
+        }
+        let again = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completions, again.completions);
+    }
+
+    #[test]
+    fn paged_without_sharing_still_conserves_requests() {
+        // No class declares a shared prefix: the pager runs pure paged
+        // bookkeeping (no prefix entries, no cache) and must still
+        // complete everything across routing and stealing.
+        let trace = open_trace(200, 2000.0, 89);
+        let mut cfg = FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching);
+        cfg.sched.route = RouteSpec::FastestChip;
+        cfg.sched.steal = StealSpec::CostliestFit;
+        cfg.sched.kv = KvSpec::paged();
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 200);
+        let hits: u64 = report.chip_stats.iter().map(|c| c.kv.shared_hits).sum();
+        assert_eq!(hits, 0, "nothing to share without declared prefixes");
+    }
+
+    #[test]
+    fn contiguous_default_is_unchanged_by_the_kv_knob() {
+        // KvSpec::Contiguous is the default and must be bit-for-bit the
+        // pre-paging resource model: an explicit knob and the default
+        // produce identical reports, and no page counters ever move.
+        let trace = chat_trace(150, 3000.0, 97);
+        let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        let default_run = simulate_fleet(&cfg, &trace);
+        let mut explicit = FleetConfig::new(2, Policy::ContinuousBatching);
+        explicit.sched.kv = KvSpec::Contiguous;
+        let explicit_run = simulate_fleet(&explicit, &trace);
+        assert_eq!(default_run.completions, explicit_run.completions);
+        assert_eq!(default_run.makespan_cycles, explicit_run.makespan_cycles);
+        for chip in &default_run.chip_stats {
+            assert_eq!(chip.kv, crate::kv::KvStats::default());
+        }
+    }
+
+    #[test]
+    fn paged_sharing_admits_larger_batches_on_the_chat_mix() {
+        // Shared prefix pages are charged once: with the batch-slot cap
+        // lifted out of the way, KV capacity binds admission, and at
+        // equal budget the paged fleet packs strictly more residents
+        // than contiguous reservation (the sched_bench grid enforces
+        // the end-to-end latency/goodput win; this guards capacity).
+        let trace = chat_trace(300, 6000.0, 101);
+        let mut cfg = FleetConfig::new(1, Policy::ContinuousBatching);
+        cfg.max_batch = 64;
+        let contig = simulate_fleet(&cfg, &trace);
+        let mut paged_cfg = FleetConfig::new(1, Policy::ContinuousBatching);
+        paged_cfg.max_batch = 64;
+        paged_cfg.sched.kv = KvSpec::paged();
+        let paged = simulate_fleet(&paged_cfg, &trace);
+        assert_eq!(paged.completed, 300);
+        eprintln!(
+            "chat occupancy: paged {} vs contiguous {}",
+            paged.mean_occupancy(),
+            contig.mean_occupancy()
+        );
+        assert!(
+            paged.mean_occupancy() > contig.mean_occupancy(),
+            "prefix sharing must pack a larger resident set: {} vs {}",
+            paged.mean_occupancy(),
+            contig.mean_occupancy()
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use spatten_core::SpAttenConfig;
-use spatten_serve::{simulate_fleet, FleetConfig, Policy, PreemptSpec, RouteSpec, StealSpec};
+use spatten_serve::{
+    simulate_fleet, FleetConfig, KvSpec, Policy, PreemptSpec, RouteSpec, StealSpec,
+};
 use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
 
 fn open_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
@@ -334,6 +336,95 @@ proptest! {
             t
         };
         prop_assert_eq!(tokens(&report), tokens(&base));
+    }
+
+    /// Paged KV page accounting balances under the full scheduling
+    /// composition: routing × work-stealing × priority preemption on a
+    /// mixed 2-full + 2-eighth fleet, over the high-prefix-reuse chat
+    /// mix. At drain every chip's pager returns every block it handed
+    /// out (`blocks_allocated == blocks_freed`) — the pager itself
+    /// asserts zero refcounts and an empty page-table map inside the
+    /// event loop, so admission, eviction, resumption, stealing,
+    /// mid-decode reclaim and cache eviction all have to conserve pages
+    /// for the run to finish at all. The paged high-water mark never
+    /// exceeds the chip budget, requests are conserved, and the run is
+    /// deterministic.
+    #[test]
+    fn paged_pages_balance_across_route_steal_preempt(
+        requests in 40usize..140,
+        rate in 100.0f64..4000.0,
+        seed in 0u64..1000,
+        route_pick in 0usize..4,
+        steal_pick in 0usize..2,
+    ) {
+        let route = [
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+        ][route_pick];
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let mut spec = TraceSpec::chat(
+            ArrivalSpec::OpenPoisson { rate_rps: rate, requests },
+            seed,
+        );
+        spec.classes[0] = spec.classes[0].clone().with_priority(2);
+        let trace = spec.generate();
+        let chips = vec![
+            SpAttenConfig::default(),
+            SpAttenConfig::default(),
+            SpAttenConfig::eighth(),
+            SpAttenConfig::eighth(),
+        ];
+        let mut cfg = FleetConfig::with_chips(chips.clone(), Policy::Priority);
+        cfg.sched.route = route;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        for (chip, stats) in chips.iter().zip(&report.chip_stats) {
+            prop_assert!(
+                stats.kv.blocks_allocated == stats.kv.blocks_freed,
+                "chip {} leaked pages: {} allocated vs {} freed",
+                stats.id, stats.kv.blocks_allocated, stats.kv.blocks_freed
+            );
+            prop_assert!(
+                stats.max_kv_in_use <= 2 * chip.kv_sram_bytes,
+                "chip {} overflowed its KV budget: {} > {}",
+                stats.id, stats.max_kv_in_use, 2 * chip.kv_sram_bytes
+            );
+        }
+        let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests);
+        let again = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completions, again.completions);
+    }
+
+    /// With sharing disabled (`shared_prefix_tokens = 0` everywhere, the
+    /// default for every non-chat trace), the paged allocator is pure
+    /// mechanism: same completions as the contiguous model would admit
+    /// block-rounding aside, zero shared hits, zero cache evictions, and
+    /// the page ledger still balances.
+    #[test]
+    fn paged_without_prefixes_shares_nothing_and_balances(
+        requests in 30usize..100,
+        rate in 100.0f64..3000.0,
+        seed in 0u64..1000,
+    ) {
+        let trace = tiered_trace(requests, rate, seed);
+        let mut cfg = FleetConfig::new(2, Policy::Priority);
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        for stats in &report.chip_stats {
+            prop_assert_eq!(stats.kv.blocks_allocated, stats.kv.blocks_freed);
+            prop_assert_eq!(stats.kv.shared_hits, 0);
+            prop_assert_eq!(stats.kv.cache_evicted_blocks, 0);
+        }
     }
 
     /// Timestamps are causally ordered for every completion, under every
