@@ -41,6 +41,19 @@
 //!    once slots stop being one — admits a strictly larger resident
 //!    batch; and a warm prefix skips the shared head of the prefill
 //!    pass, so the larger batch also drains faster.
+//! 5. **Disaggregation grid** — the long-prefill/short-decode chat mix
+//!    (prompts ~10× the generations, long shared system prefixes) on
+//!    four full chips, paged KV everywhere, swept over a load ladder:
+//!    the best co-located policy (over {continuous batching,
+//!    decode-prioritized} × {shared queue, fastest-chip}) vs a
+//!    disaggregated split (2 prefill specialists feeding 2 decode
+//!    specialists via pool-aware routing and the priced KV handoff).
+//!    The same grid runs the *unpruned twin* — identical arrivals and
+//!    drawn lengths, dense KV — to price what cascade pruning saves the
+//!    handoff, and scans the ladder for the load point where co-location
+//!    wins end-to-end p99 (the handoff-tax inversion). `--disagg-out
+//!    FILE` additionally writes this grid's JSON to `FILE`
+//!    (`BENCH_disagg.json` in CI).
 //!
 //! Headline invariants (the saturation-band pair is enforced in `--smoke`
 //! too — it is the regression this bench exists to pin down; the rest
@@ -63,7 +76,19 @@
 //!   batch AND improves p99 and goodput over contiguous reservation on
 //!   the chat mix at saturation, at equal `kv_sram_bytes`** — enforced
 //!   in `--smoke` too: the capacity win is the headline of the paged
-//!   allocator and must never silently regress.
+//!   allocator and must never silently regress;
+//! * **disaggregated prefill/decode pools beat the best co-located
+//!   policy on TBT p99 under the long-prefill/short-decode mix** —
+//!   enforced in `--smoke` too: decode specialists never share an
+//!   iteration with a prompt pass, which is the subsystem's reason to
+//!   exist;
+//! * **pruned handoffs move strictly fewer bytes than the unpruned
+//!   twin** (enforced in `--smoke` too — byte counters are deterministic
+//!   at any trace size), and the full run must find a load point where
+//!   co-location wins end-to-end p99 (the handoff tax is real);
+//! * **contiguous KV with no pools reproduces the pre-disaggregation
+//!   event stream bit-for-bit**, and an all-`Flex` pool spec is
+//!   indistinguishable from no spec at all (always asserted).
 //!
 //! The JSON report goes to stdout (every run records the `SchedKnobs`
 //! and trace seed it used, so any row is reproducible from the report
@@ -71,6 +96,7 @@
 //!
 //! ```text
 //! sched_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
+//!             [--disagg-out FILE]
 //! ```
 //!
 //! `--smoke` caps the trace at 90 requests and skips all enforcement
@@ -82,10 +108,10 @@ use spatten_cluster::{ClusterConfig, ShardStrategy};
 use spatten_core::SpAttenConfig;
 use spatten_serve::json::{array, JsonObject};
 use spatten_serve::{
-    simulate_fleet, FleetConfig, FleetReport, KvSpec, Policy, PreemptSpec, RouteSpec, SchedKnobs,
-    StealSpec,
+    simulate_fleet, FleetConfig, FleetReport, KvSpec, Policy, PoolSpec, PreemptSpec, RouteSpec,
+    SchedKnobs, StealSpec,
 };
-use spatten_workloads::fleet::FleetSpec;
+use spatten_workloads::fleet::{FleetSpec, LinkSpec, PoolRole, TopologySpec};
 use spatten_workloads::{ArrivalSpec, Benchmark, Trace, TraceSpec};
 
 struct Args {
@@ -93,6 +119,7 @@ struct Args {
     rate_frac: f64,
     seed: u64,
     smoke: bool,
+    disagg_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +128,7 @@ fn parse_args() -> Args {
         rate_frac: 0.95,
         seed: 20260726,
         smoke: false,
+        disagg_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -113,6 +141,7 @@ fn parse_args() -> Args {
             "--rate-frac" => args.rate_frac = value().parse().expect("--rate-frac F"),
             "--seed" => args.seed = value().parse().expect("--seed S"),
             "--smoke" => args.smoke = true,
+            "--disagg-out" => args.disagg_out = Some(value()),
             other => panic!("unknown flag {other} (see sched_bench --help in the doc comment)"),
         }
     }
@@ -192,6 +221,7 @@ fn policy_json(r: &FleetReport) -> String {
         .f64("ttft_p99_s", r.ttft.p99)
         .f64("tbt_p99_s", r.tbt.p99)
         .f64("mean_batch_occupancy", r.mean_occupancy())
+        .u64("sim_events", r.sim_events)
         .build()
 }
 
@@ -338,6 +368,7 @@ fn grid_sweep(
 }
 
 fn main() {
+    let wall = std::time::Instant::now();
     let args = parse_args();
     let w = Benchmark::gpt2_small_wikitext2().workload();
     let fleets = [
@@ -715,6 +746,210 @@ fn main() {
     let kv_sat = &kv_bands.last().unwrap().3;
     let (kv_contig, kv_paged) = (&kv_sat[0], &kv_sat[1]);
 
+    // Disaggregation grid: the long-prefill/short-decode chat mix
+    // (prompts ~10× the generations, long shared system prefixes) on
+    // four full chips, paged KV on both sides. Co-located serving runs
+    // each job end-to-end wherever it lands, so every resident decode
+    // stream pays its time-between-tokens tail to other jobs' prompt
+    // passes — the strongest co-located baselines (decode-prioritized
+    // batching, fastest-chip routing) only cap that interference.
+    // Disaggregation (2 prefill specialists feeding 2 decode
+    // specialists) removes it: decode chips run nothing but decode
+    // steps, and each job migrates once, paying the priced KV handoff
+    // (unique dirty blocks of the pruned survivor set; warm shared
+    // prefix blocks ride free). The load ladder exposes the crossover:
+    // at light load there is no interference to remove, so the handoff
+    // tax and the halved prefill capacity let co-location win
+    // end-to-end — the inversion point the JSON records.
+    let disagg_chips = vec![SpAttenConfig::default(); 4];
+    let disagg_cfg = |policy: Policy, route: RouteSpec, pools: Option<PoolSpec>| {
+        let mut cfg = FleetConfig::with_chips(disagg_chips.clone(), policy);
+        cfg.max_batch = 64;
+        cfg.sched.kv = KvSpec::paged();
+        cfg.sched.route = route;
+        cfg.pools = pools;
+        cfg
+    };
+    let disagg_probe = TraceSpec::disagg_chat(
+        ArrivalSpec::ClosedLoop {
+            clients: 64,
+            think_s: 0.0,
+            requests: 256.min(args.requests.max(64)),
+        },
+        args.seed ^ 0xCAFE,
+    )
+    .generate();
+    let disagg_capacity = simulate_fleet(
+        &disagg_cfg(Policy::ContinuousBatching, RouteSpec::SharedQueue, None),
+        &disagg_probe,
+    )
+    .throughput_rps;
+    eprintln!(
+        "\ndisaggregation fleet (4 full chips): co-located capacity probe sustains \
+         {disagg_capacity:.0} req/s on the long-prefill chat mix"
+    );
+    struct DisaggRun {
+        label: String,
+        disagg: bool,
+        report: FleetReport,
+    }
+    impl DisaggRun {
+        fn handoffs(&self) -> u64 {
+            self.report.chip_stats.iter().map(|c| c.handoffs).sum()
+        }
+        fn handoff_bytes(&self) -> u64 {
+            self.report.chip_stats.iter().map(|c| c.handoff_bytes).sum()
+        }
+        fn handoff_cycles(&self) -> u64 {
+            self.report
+                .chip_stats
+                .iter()
+                .map(|c| c.handoff_cycles)
+                .sum()
+        }
+    }
+    let colo_cells = [
+        (Policy::ContinuousBatching, RouteSpec::SharedQueue),
+        (Policy::ContinuousBatching, RouteSpec::FastestChip),
+        (Policy::DecodePrioritized, RouteSpec::SharedQueue),
+        (Policy::DecodePrioritized, RouteSpec::FastestChip),
+    ];
+    let disagg_seed = args.seed ^ 0xD15A;
+    let disagg_bands: Vec<(f64, f64, Vec<DisaggRun>)> = [0.3, 0.6, 0.9, 1.2]
+        .into_iter()
+        .map(|frac| {
+            let rate = disagg_capacity * frac;
+            let trace = TraceSpec::disagg_chat(
+                ArrivalSpec::OpenPoisson {
+                    rate_rps: rate,
+                    requests: args.requests,
+                },
+                disagg_seed,
+            )
+            .generate();
+            eprintln!(
+                "\ndisaggregation grid ({frac}x co-located capacity): {} requests at \
+                 {rate:.0} req/s offered",
+                trace.len()
+            );
+            let mut runs: Vec<DisaggRun> = colo_cells
+                .iter()
+                .map(|&(policy, route)| DisaggRun {
+                    label: format!("colocated {}+{}", policy.name(), route.name()),
+                    disagg: false,
+                    report: simulate_fleet(&disagg_cfg(policy, route, None), &trace),
+                })
+                .collect();
+            runs.push(DisaggRun {
+                label: "disagg 2 prefill + 2 decode".into(),
+                disagg: true,
+                report: simulate_fleet(
+                    &disagg_cfg(
+                        Policy::ContinuousBatching,
+                        RouteSpec::PoolAware,
+                        Some(PoolSpec::split(2, 2)),
+                    ),
+                    &trace,
+                ),
+            });
+            for run in &runs {
+                assert_eq!(
+                    run.report.completed + run.report.rejected,
+                    trace.len(),
+                    "{}: lost requests",
+                    run.label
+                );
+                eprintln!(
+                    "{:<45} tbt p99 {:>7.4} ms   p99 {:>10.3} ms   handoffs {:>4} \
+                     ({:>10} B, {:>9} cyc)",
+                    run.label,
+                    run.report.tbt.p99 * 1e3,
+                    run.report.latency.p99 * 1e3,
+                    run.handoffs(),
+                    run.handoff_bytes(),
+                    run.handoff_cycles()
+                );
+            }
+            (frac, rate, runs)
+        })
+        .collect();
+    let (_, head_rate, head_runs) = disagg_bands.last().expect("bands simulated");
+    let disagg_head = head_runs.iter().find(|r| r.disagg).expect("disagg run");
+    let best_colo = head_runs
+        .iter()
+        .filter(|r| !r.disagg)
+        .min_by(|a, b| a.report.tbt.p99.total_cmp(&b.report.tbt.p99))
+        .expect("co-located runs");
+    // The unpruned twin: identical arrivals and drawn lengths (pruning
+    // parameters add no random draws), dense KV — the control that
+    // prices what cascade pruning saves the handoff.
+    let sum_bytes = |r: &FleetReport| r.chip_stats.iter().map(|c| c.handoff_bytes).sum::<u64>();
+    let unpruned_report = simulate_fleet(
+        &disagg_cfg(
+            Policy::ContinuousBatching,
+            RouteSpec::PoolAware,
+            Some(PoolSpec::split(2, 2)),
+        ),
+        &TraceSpec::disagg_chat(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: *head_rate,
+                requests: args.requests,
+            },
+            disagg_seed,
+        )
+        .unpruned()
+        .generate(),
+    );
+    let pruned_handoff_bytes = disagg_head.handoff_bytes();
+    let unpruned_handoff_bytes = sum_bytes(&unpruned_report);
+    eprintln!(
+        "\ndisaggregation beats the best co-located policy ({}) {:.2}x on tbt p99 at \
+         1.2x load; pruned handoffs move {} bytes vs {} unpruned ({:.1}% saved)",
+        best_colo.label,
+        best_colo.report.tbt.p99 / disagg_head.report.tbt.p99,
+        pruned_handoff_bytes,
+        unpruned_handoff_bytes,
+        (1.0 - pruned_handoff_bytes as f64 / unpruned_handoff_bytes.max(1) as f64) * 100.0
+    );
+    // The inversion point: the lightest load band where the best
+    // co-located end-to-end p99 beats disaggregation's — below the
+    // interference regime the handoff tax and the halved prefill
+    // capacity are pure cost.
+    let inversion = disagg_bands.iter().find_map(|(_, rate, runs)| {
+        let d = runs.iter().find(|r| r.disagg).expect("disagg run");
+        let best = runs
+            .iter()
+            .filter(|r| !r.disagg)
+            .map(|r| r.report.latency.p99)
+            .fold(f64::INFINITY, f64::min);
+        (best < d.report.latency.p99).then_some(*rate)
+    });
+    match inversion {
+        Some(rate) => {
+            eprintln!("co-location inverts (wins end-to-end p99) at {rate:.0} req/s offered");
+        }
+        None => eprintln!("co-location never won end-to-end p99 on this ladder"),
+    }
+    // Contiguous KV + no pools must reproduce the pre-disaggregation
+    // event stream bit-for-bit, and an all-Flex pool spec must be
+    // indistinguishable from declaring no pools at all.
+    let legacy_cfg = FleetConfig::with_chips(disagg_chips.clone(), Policy::ContinuousBatching);
+    let legacy = simulate_fleet(&legacy_cfg, &disagg_probe);
+    let mut flex_cfg = legacy_cfg.clone();
+    flex_cfg.pools = Some(PoolSpec::new(
+        vec![PoolRole::Flex; disagg_chips.len()],
+        TopologySpec::FullyConnected,
+        LinkSpec::default(),
+    ));
+    let flex = simulate_fleet(&flex_cfg, &disagg_probe);
+    assert_eq!(
+        legacy.completions, flex.completions,
+        "all-Flex pools must be bit-identical to no pools"
+    );
+    assert_eq!(legacy.makespan_cycles, flex.makespan_cycles);
+    assert_eq!(legacy.sim_events, flex.sim_events);
+    assert_eq!(sum_bytes(&flex), 0, "Flex chips never migrate");
+
     // Headline: decode-prioritized vs continuous batching on decode p99.
     let tbt_p99 = |s: &Scenario, p: Policy| {
         s.reports
@@ -844,6 +1079,100 @@ fn main() {
         kv_paged.kv_counter(|k| k.blocks_reclaimed),
     );
 
+    // The disaggregation grid serializes standalone so `--disagg-out`
+    // can check it in as `BENCH_disagg.json` (the perf trajectory) while
+    // the same object rides inside the main report.
+    let disagg_json = JsonObject::new()
+        .str(
+            "benchmark",
+            "spatten-serve disaggregated prefill/decode serving",
+        )
+        .str(
+            "mix",
+            "disagg-chat (long prefill, short decode, shared system prefixes)",
+        )
+        .u64("requests", args.requests as u64)
+        .u64("seed", disagg_seed)
+        .f64("colocated_capacity_rps", disagg_capacity)
+        .str("best_colocated", &best_colo.label)
+        .f64("best_colocated_tbt_p99_s", best_colo.report.tbt.p99)
+        .f64("disagg_tbt_p99_s", disagg_head.report.tbt.p99)
+        .f64(
+            "tbt_p99_speedup_disagg_over_best_colocated",
+            best_colo.report.tbt.p99 / disagg_head.report.tbt.p99,
+        )
+        .u64("handoffs", disagg_head.handoffs())
+        .u64("handoff_bytes_pruned", pruned_handoff_bytes)
+        .u64("handoff_bytes_unpruned", unpruned_handoff_bytes)
+        .f64(
+            "handoff_bytes_saved_by_pruning_frac",
+            1.0 - pruned_handoff_bytes as f64 / unpruned_handoff_bytes.max(1) as f64,
+        )
+        .raw(
+            "colocation_inversion_rps",
+            &inversion.map_or_else(|| "null".to_string(), |r| format!("{r}")),
+        )
+        .raw(
+            "bands",
+            &array(disagg_bands.iter().map(|(frac, rate, runs)| {
+                JsonObject::new()
+                    .f64("load_frac_of_colocated_capacity", *frac)
+                    .f64("offered_rps", *rate)
+                    .u64("seed", disagg_seed)
+                    .raw(
+                        "runs",
+                        &array(runs.iter().map(|r| {
+                            JsonObject::new()
+                                .str("config", &r.label)
+                                .bool("disaggregated", r.disagg)
+                                .f64("tbt_p99_s", r.report.tbt.p99)
+                                .f64("ttft_p99_s", r.report.ttft.p99)
+                                .f64("p99_s", r.report.latency.p99)
+                                .f64("goodput_rps", r.report.goodput_rps)
+                                .f64("mean_batch_occupancy", r.report.mean_occupancy())
+                                .u64("handoffs", r.handoffs())
+                                .u64("handoff_bytes", r.handoff_bytes())
+                                .u64("handoff_cycles", r.handoff_cycles())
+                                .u64("sim_events", r.report.sim_events)
+                                .build()
+                        })),
+                    )
+                    .build()
+            })),
+        )
+        .build();
+    if let Some(path) = &args.disagg_out {
+        std::fs::write(path, format!("{disagg_json}\n")).expect("write --disagg-out");
+        eprintln!("wrote disaggregation grid to {path}");
+    }
+
+    // Simulated-event throughput over every recorded run (probes and
+    // twins excluded): the groundwork metric for the perf trajectory.
+    let sim_events_total: u64 = scenarios
+        .iter()
+        .flat_map(|s| &s.reports)
+        .map(|r| r.sim_events)
+        .chain(
+            grid.iter()
+                .chain(&burst_grid)
+                .chain(&sat_grid)
+                .map(|r| r.report.sim_events),
+        )
+        .chain(
+            kv_bands
+                .iter()
+                .flat_map(|(_, _, _, runs)| runs)
+                .map(|r| r.report.sim_events),
+        )
+        .chain(
+            disagg_bands
+                .iter()
+                .flat_map(|(_, _, runs)| runs)
+                .map(|r| r.report.sim_events),
+        )
+        .sum();
+    let wall_s = wall.elapsed().as_secs_f64();
+
     let json = JsonObject::new()
         .str("benchmark", "spatten-serve scheduling-policy comparison")
         .str(
@@ -853,6 +1182,12 @@ fn main() {
         .u64("requests", args.requests as u64)
         .u64("seed", args.seed)
         .f64("rate_frac", args.rate_frac)
+        .u64("sim_events", sim_events_total)
+        .f64("wall_s", wall_s)
+        .f64(
+            "sim_events_per_sec",
+            sim_events_total as f64 / wall_s.max(f64::MIN_POSITIVE),
+        )
         .f64("continuous_batching_tbt_p99_s", cb)
         .f64("decode_prioritized_tbt_p99_s", dp)
         .f64("tbt_p99_speedup_dp_over_cb", cb / dp)
@@ -943,6 +1278,7 @@ fn main() {
                                         "stolen_cycles",
                                         r.report.chip_stats.iter().map(|c| c.stolen_cycles).sum(),
                                     )
+                                    .u64("sim_events", r.report.sim_events)
                                     .build()
                             })),
                         )
@@ -979,12 +1315,14 @@ fn main() {
                                     "kv_cache_evicted_blocks",
                                     r.kv_counter(|k| k.cache_evicted_blocks),
                                 )
+                                .u64("sim_events", r.report.sim_events)
                                 .build()
                         })),
                     )
                     .build()
             })),
         )
+        .raw("disagg", &disagg_json)
         .build();
     println!("{json}");
 
@@ -1079,6 +1417,38 @@ fn main() {
     }
     if kv_paged.kv_counter(|k| k.shared_hits) == 0 {
         eprintln!("error: the chat mix must actually share prefix pages (0 shared hits)");
+        std::process::exit(1);
+    }
+    // Disaggregation headliners — the TBT win and the pruning discount
+    // are enforced in --smoke too: the first is this subsystem's reason
+    // to exist, the second is a deterministic byte counter, stable at
+    // any trace size. The inversion scan needs full-size traces for a
+    // stable end-to-end p99.
+    let disagg_slack = if args.smoke { 1.10 } else { 1.0 };
+    if disagg_head.report.tbt.p99 >= best_colo.report.tbt.p99 * disagg_slack {
+        eprintln!(
+            "error: disaggregated pools must beat the best co-located policy on tbt \
+             p99 under the long-prefill/short-decode mix (disagg {}s vs {} {}s)",
+            disagg_head.report.tbt.p99, best_colo.label, best_colo.report.tbt.p99
+        );
+        std::process::exit(1);
+    }
+    if disagg_head.handoffs() == 0 {
+        eprintln!("error: the disaggregation band must actually migrate (0 handoffs recorded)");
+        std::process::exit(1);
+    }
+    if pruned_handoff_bytes >= unpruned_handoff_bytes {
+        eprintln!(
+            "error: pruned handoffs must move fewer bytes than the unpruned twin \
+             ({pruned_handoff_bytes} vs {unpruned_handoff_bytes})"
+        );
+        std::process::exit(1);
+    }
+    if !args.smoke && inversion.is_none() {
+        eprintln!(
+            "error: the load ladder must expose a point where co-location wins \
+             end-to-end p99 (the handoff tax must be real)"
+        );
         std::process::exit(1);
     }
 }

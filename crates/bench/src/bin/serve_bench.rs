@@ -82,6 +82,7 @@ fn report_json(offered_rps: f64, r: &FleetReport) -> String {
 }
 
 fn main() {
+    let wall = std::time::Instant::now();
     let args = parse_args();
 
     // --- 1. Capacity probe (closed loop, saturating). ---
@@ -160,12 +161,24 @@ fn main() {
         fifo_p99 / cb_p99
     );
 
+    // Simulated-event throughput across the probe and every policy run:
+    // the groundwork metric for the perf trajectory (each per-policy
+    // report also carries its own `sim_events`).
+    let sim_events_total: u64 =
+        probe.sim_events + reports.iter().map(|(_, r)| r.sim_events).sum::<u64>();
+    let wall_s = wall.elapsed().as_secs_f64();
     let json = JsonObject::new()
         .str("benchmark", "spatten-serve fleet comparison")
         .str("paper", "SpAtten (HPCA 2021) — serving-layer extension")
         .u64("requests", args.requests as u64)
         .u64("chips", args.chips as u64)
         .u64("seed", args.seed)
+        .u64("sim_events", sim_events_total)
+        .f64("wall_s", wall_s)
+        .f64(
+            "sim_events_per_sec",
+            sim_events_total as f64 / wall_s.max(f64::MIN_POSITIVE),
+        )
         .f64("capacity_probe_rps", capacity_rps)
         .f64("capacity_probe_tokens_per_sec", probe.tokens_per_sec)
         .f64("offered_rps", rate_rps)

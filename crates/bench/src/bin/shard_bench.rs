@@ -120,6 +120,7 @@ struct SweepPoint {
 }
 
 fn main() {
+    let wall = std::time::Instant::now();
     let args = parse_args();
     let w = decode_workload();
     let ctx = w.seq_len + w.gen_steps / 2; // mid-generation context
@@ -278,6 +279,13 @@ fn main() {
             .raw("report", &r.to_json())
             .build()
     }));
+    // Simulated-event throughput across the probe and every serving run:
+    // the groundwork metric for the perf trajectory (each serving report
+    // also carries its own `sim_events`).
+    let sim_events_total: u64 = probe.sim_events
+        + het_report.sim_events
+        + serving.iter().map(|(_, _, r)| r.sim_events).sum::<u64>();
+    let wall_s = wall.elapsed().as_secs_f64();
     let json = JsonObject::new()
         .str("benchmark", "spatten-cluster sharding sweep")
         .str(
@@ -287,6 +295,12 @@ fn main() {
         .u64("requests", args.requests as u64)
         .u64("seed", args.seed)
         .u64("chips", chips as u64)
+        .u64("sim_events", sim_events_total)
+        .f64("wall_s", wall_s)
+        .f64(
+            "sim_events_per_sec",
+            sim_events_total as f64 / wall_s.max(f64::MIN_POSITIVE),
+        )
         .f64("offered_rps", rate)
         .f64("tp4_decode_speedup", tp4_speedup)
         .raw("scaling_curve", &curve_json)

@@ -680,4 +680,48 @@ mod tests {
         assert_eq!(a, m.decode_on(0, &w, 100));
         assert_ne!(a, m.decode_on(1, &w, 100), "groups must not share memos");
     }
+
+    #[test]
+    fn handoff_pricing_inherits_the_shard_parallel_hbm_drain() {
+        // `FleetCost::handoff_cycles_on` has no cluster override on
+        // purpose: the trait default dispatches its drain and fill
+        // stages through `self.swap_bytes_cycles_on`, so the sharded
+        // override above prices them shard-parallel automatically. This
+        // pins that composition: a disaggregation handoff between 4-way
+        // TP groups is HBM-cheaper than between single-chip groups, and
+        // the wire stage stays on the `Interconnect` convention.
+        use crate::topology::{Interconnect, Topology};
+        let w = gpt2(256, 32);
+        let bytes = 1 << 22; // 4 MiB survivor set
+                             // A fat link (4 KiB/cycle) pushes the bottleneck onto the HBM
+                             // drain/fill legs, where sharding pays off.
+        let fat = LinkSpec {
+            latency_cycles: 500,
+            bytes_per_cycle: 4096,
+        };
+        let mut solo = ClusterCostModel::new(vec![tp_group(1), tp_group(1)], Some(8));
+        let mut tp4 = ClusterCostModel::new(vec![tp_group(4), tp_group(4)], Some(8));
+        let one = solo.handoff_cycles_on(0, 1, &w, bytes, 1, &fat);
+        let four = tp4.handoff_cycles_on(0, 1, &w, bytes, 1, &fat);
+        assert!(
+            four < one,
+            "4 HBM stacks drain the payload in parallel: {four} vs {one}"
+        );
+        // The default is exactly hop latency + max(wire, drain, fill),
+        // with the drain/fill legs priced by the sharded override.
+        let wire = bytes.div_ceil(fat.bytes_per_cycle);
+        let drain = tp4.swap_bytes_cycles_on(0, &w, bytes);
+        let fill = tp4.swap_bytes_cycles_on(1, &w, bytes);
+        assert_eq!(four, fat.latency_cycles + wire.max(drain).max(fill));
+        // On the default (thin, 32 B/cycle) link the wire is the
+        // bottleneck, and the handoff price collapses onto the
+        // interconnect's own transfer convention — a serve-side pool
+        // spec and a cluster-side fabric agree on the same cycles.
+        let thin = LinkSpec::default();
+        let fabric = Interconnect::new(Topology::new(TopologySpec::FullyConnected, 2), thin);
+        assert_eq!(
+            solo.handoff_cycles_on(0, 1, &w, bytes, 1, &thin),
+            fabric.transfer_cycles(0, 1, bytes)
+        );
+    }
 }

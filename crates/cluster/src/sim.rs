@@ -11,7 +11,7 @@
 use crate::group::{ClusterCostModel, GroupSpec};
 use crate::place::{plan_with_costs, resolve_chip, shard_costs, PlaceError};
 use crate::shard::ShardStrategy;
-use spatten_serve::{simulate_fleet_policy, FleetReport, Policy, SchedKnobs};
+use spatten_serve::{simulate_fleet_policy, FleetReport, Policy, PoolSpec, SchedKnobs};
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{Trace, Workload};
 
@@ -29,6 +29,10 @@ pub struct ClusterConfig {
     pub fc_weight_bits: Option<u32>,
     /// Policy tuning knobs (see `spatten_serve::SchedKnobs`).
     pub sched: SchedKnobs,
+    /// Disaggregated prefill/decode pools over the *groups* (one role
+    /// per group — a whole sharded group is a prefill or decode
+    /// specialist). `None` is co-located serving.
+    pub pools: Option<PoolSpec>,
 }
 
 impl ClusterConfig {
@@ -41,6 +45,7 @@ impl ClusterConfig {
             max_batch: 8,
             fc_weight_bits: Some(8),
             sched: SchedKnobs::default(),
+            pools: None,
         }
     }
 
@@ -120,6 +125,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig, trace: &Trace) -> FleetReport {
         cfg.groups.len(),
         cfg.policy,
         &cfg.sched,
+        cfg.pools.clone(),
         cfg.max_batch,
         clock,
         trace,

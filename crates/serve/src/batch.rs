@@ -37,8 +37,14 @@ pub enum RoundStep {
         /// Serial-cycle allowance for this job's prefill this round.
         chunk_cycles: u64,
     },
-    /// One decode token.
-    Decode,
+    /// `steps` decode tokens back-to-back (clamped by the chip to the
+    /// tokens the job still wants). Every bundled policy emits
+    /// `steps: 1` except the priority-weighted decode budget of
+    /// [`DecodePrioritizedBatch`].
+    Decode {
+        /// Decode tokens to run this round (≥ 1).
+        steps: usize,
+    },
     /// Nothing this round (budget exhausted); the job stays resident.
     Idle,
 }
@@ -48,6 +54,8 @@ pub enum RoundStep {
 pub struct ResidentView {
     /// Arrival time in cycles (for oldest-first budget hand-out).
     pub arrival_cycles: u64,
+    /// Scheduling priority tier (higher outranks lower).
+    pub priority: u8,
     /// Whether the prefill pass has fully executed.
     pub prefilled: bool,
     /// Serial prefill cycles still outstanding (0 once prefilled).
@@ -77,7 +85,7 @@ pub struct ResidentView {
 ///         residents
 ///             .iter()
 ///             .map(|r| match (r.prefilled, any_decode) {
-///                 (true, _) => RoundStep::Decode,
+///                 (true, _) => RoundStep::Decode { steps: 1 },
 ///                 (false, true) => RoundStep::Idle,
 ///                 (false, false) => RoundStep::Prefill { chunk_cycles: 250_000 },
 ///             })
@@ -163,7 +171,7 @@ impl BatchPolicy for IterationBatch {
             .iter()
             .map(|r| {
                 if r.prefilled {
-                    RoundStep::Decode
+                    RoundStep::Decode { steps: 1 }
                 } else {
                     RoundStep::Prefill {
                         chunk_cycles: self.prefill_chunk_cycles.max(1),
@@ -176,6 +184,15 @@ impl BatchPolicy for IterationBatch {
 
 /// Sarathi-style decode-prioritized iteration budgets: decode steps
 /// first, leftover budget filled with chunked prefill (oldest first).
+///
+/// Decode reservations are **priority-weighted**: a prefilled resident
+/// at priority tier `p` is reserved `(p + 1) / (p_min + 1)` decode
+/// tokens this round (integer division), where `p_min` is the lowest
+/// priority among the resident decode jobs — a tier-3 job decoding next
+/// to tier-0 background work runs four tokens per round to the
+/// background job's one. When every resident decode job sits on the
+/// same tier the weight collapses to exactly one token each, which
+/// reproduces the unweighted policy bit-for-bit.
 #[derive(Debug, Clone, Copy)]
 pub struct DecodePrioritizedBatch {
     /// Per-job prefill chunk cap (as in [`IterationBatch`]).
@@ -199,11 +216,18 @@ impl BatchPolicy for DecodePrioritizedBatch {
             }
             .plan(residents);
         }
+        let min_priority = residents
+            .iter()
+            .filter(|r| r.prefilled)
+            .map(|r| r.priority)
+            .min()
+            .unwrap_or(0);
         let mut steps: Vec<RoundStep> = residents
             .iter()
             .map(|r| {
                 if r.prefilled {
-                    RoundStep::Decode
+                    let weight = ((r.priority as usize + 1) / (min_priority as usize + 1)).max(1);
+                    RoundStep::Decode { steps: weight }
                 } else {
                     RoundStep::Idle
                 }
@@ -235,6 +259,7 @@ mod tests {
     fn prefilling(arrival: u64, remaining: u64) -> ResidentView {
         ResidentView {
             arrival_cycles: arrival,
+            priority: 0,
             prefilled: false,
             prefill_remaining_cycles: remaining,
             steps_done: 0,
@@ -246,6 +271,7 @@ mod tests {
     fn decoding(arrival: u64) -> ResidentView {
         ResidentView {
             arrival_cycles: arrival,
+            priority: 0,
             prefilled: true,
             prefill_remaining_cycles: 0,
             steps_done: 3,
@@ -264,7 +290,7 @@ mod tests {
             plan,
             vec![
                 RoundStep::Prefill { chunk_cycles: 1000 },
-                RoundStep::Decode,
+                RoundStep::Decode { steps: 1 },
                 RoundStep::Prefill { chunk_cycles: 1000 },
             ]
         );
@@ -285,7 +311,7 @@ mod tests {
             prefilling(5, 5000),
             prefilling(20, 5000),
         ]);
-        assert_eq!(plan[1], RoundStep::Decode);
+        assert_eq!(plan[1], RoundStep::Decode { steps: 1 });
         assert_eq!(plan[2], RoundStep::Prefill { chunk_cycles: 1000 }); // oldest
         assert_eq!(plan[0], RoundStep::Prefill { chunk_cycles: 500 });
         assert_eq!(plan[3], RoundStep::Idle);
@@ -314,5 +340,57 @@ mod tests {
         let plan = b.plan(&[decoding(0), prefilling(1, 100), prefilling(2, 5000)]);
         assert_eq!(plan[1], RoundStep::Prefill { chunk_cycles: 1000 });
         assert_eq!(plan[2], RoundStep::Prefill { chunk_cycles: 900 });
+    }
+
+    #[test]
+    fn uniform_priority_decode_weights_are_exactly_one() {
+        // The degenerate case: every resident decode job on one tier must
+        // reproduce the unweighted plan bit-for-bit, at every tier.
+        for tier in [0u8, 1, 3, 7] {
+            let mut b = DecodePrioritizedBatch {
+                prefill_chunk_cycles: 1000,
+                prefill_budget_cycles: 1500,
+            };
+            let residents: Vec<ResidentView> = [decoding(0), decoding(4), prefilling(2, 5000)]
+                .into_iter()
+                .map(|r| ResidentView {
+                    priority: tier,
+                    ..r
+                })
+                .collect();
+            let plan = b.plan(&residents);
+            assert_eq!(plan[0], RoundStep::Decode { steps: 1 }, "tier {tier}");
+            assert_eq!(plan[1], RoundStep::Decode { steps: 1 }, "tier {tier}");
+            assert_eq!(plan[2], RoundStep::Prefill { chunk_cycles: 1000 });
+        }
+    }
+
+    #[test]
+    fn higher_priority_decodes_get_proportionally_more_steps() {
+        let mut b = DecodePrioritizedBatch {
+            prefill_chunk_cycles: 1000,
+            prefill_budget_cycles: 1500,
+        };
+        let lo = ResidentView {
+            priority: 0,
+            ..decoding(0)
+        };
+        let mid = ResidentView {
+            priority: 1,
+            ..decoding(1)
+        };
+        let hi = ResidentView {
+            priority: 3,
+            ..decoding(2)
+        };
+        let plan = b.plan(&[lo, hi, mid]);
+        assert_eq!(plan[0], RoundStep::Decode { steps: 1 });
+        assert_eq!(plan[1], RoundStep::Decode { steps: 4 });
+        assert_eq!(plan[2], RoundStep::Decode { steps: 2 });
+        // Weights are relative to the resident floor, not absolute: with
+        // the tier-0 job gone the tier-1 job becomes the floor.
+        let plan = b.plan(&[hi, mid]);
+        assert_eq!(plan[0], RoundStep::Decode { steps: 2 });
+        assert_eq!(plan[1], RoundStep::Decode { steps: 1 });
     }
 }

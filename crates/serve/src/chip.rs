@@ -363,6 +363,80 @@ impl Chip {
         out
     }
 
+    /// Removes every resident that has just finished its prefill pass and
+    /// still wants decode tokens (`prefilled`, zero decode steps, a
+    /// generative workload) — the disaggregation migration set. Returns
+    /// each job paired with the bytes its departure freed on this chip:
+    /// under paged allocation the job's **unique dirty blocks** (the
+    /// pruned survivor set minus any shared prefix, which stays resident
+    /// for other sharers), under contiguous allocation its whole
+    /// footprint.
+    ///
+    /// Unlike [`Chip::evict`] this is a *handoff*, not a preemption: no
+    /// eviction or preemption counters tick, no churn is folded (routing
+    /// should not read a planned migration as instability), and no swap
+    /// is charged here — the event loop prices the transfer through
+    /// [`FleetCost::handoff_cycles_on`]
+    /// and charges both endpoints via [`Chip::charge_transfer_cycles`].
+    /// Each job leaves carrying a [`ResumeState`] pinned to this chip;
+    /// the event loop re-points the pin at the target decode chip once
+    /// it picks one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a round is in flight.
+    pub fn take_prefill_graduates(
+        &mut self,
+        mut pager: Option<&mut KvPager>,
+        now: u64,
+    ) -> Vec<(Job, u64)> {
+        assert!(!self.in_flight, "handoff extraction mid-round");
+        let migrants: Vec<usize> = (0..self.active.len())
+            .filter(|&i| {
+                let a = &self.active[i];
+                a.prefilled && a.steps_done == 0 && a.job.workload.gen_steps > 0
+            })
+            .collect();
+        let mut out = Vec::new();
+        // Highest index first keeps the remaining indices valid.
+        for &i in migrants.iter().rev() {
+            let a = self.active.remove(i);
+            let resume = ResumeState {
+                chip: self.id,
+                prefill_progress: a.prefill_progress,
+                prefilled: true,
+                steps_done: a.steps_done,
+                start_cycles: a.start_cycles,
+                first_token_cycles: a.first_token_cycles,
+            };
+            let dirty = match pager.as_deref_mut() {
+                Some(p) => {
+                    let unique = p.job_unique_bytes(a.job.id);
+                    p.unmap_job(a.job.id, now);
+                    self.kv_in_use = p.pinned_bytes();
+                    unique
+                }
+                None => {
+                    self.kv_in_use -= a.footprint;
+                    a.footprint
+                }
+            };
+            let mut job = a.job;
+            job.resume = Some(resume);
+            out.push((job, dirty));
+        }
+        out.reverse(); // resident order, for deterministic targeting
+        out
+    }
+
+    /// Charges `cycles` of KV-transfer time (one endpoint's leg of a
+    /// disaggregation handoff) to this chip: like preemption swaps, the
+    /// transfer occupies the SRAM ports and HBM channels, so it executes
+    /// at the head of the chip's next round and extends its busy time.
+    pub fn charge_transfer_cycles(&mut self, cycles: u64) {
+        self.pending_swap_cycles += cycles;
+    }
+
     /// Starts the next round at time `now`, executing whatever `batch`
     /// plans for the resident set. Returns the round length in cycles, or
     /// `None` if the chip has no resident jobs. Completions are buffered
@@ -405,6 +479,7 @@ impl Chip {
                 };
                 ResidentView {
                     arrival_cycles: a.job.arrival_cycles,
+                    priority: a.job.priority,
                     prefilled: a.prefilled,
                     prefill_remaining_cycles: prefill_remaining,
                     steps_done: a.steps_done,
@@ -534,17 +609,32 @@ impl Chip {
                         serial_cycles: (total.serial_cycles as f64 * frac) as u64,
                     }
                 }
-                RoundStep::Decode => {
+                RoundStep::Decode { steps } => {
                     assert!(a.prefilled, "decode step for an unprefilled job");
-                    a.steps_done += 1;
-                    // Cascade pruning retires tokens as decode proceeds:
-                    // under paging, whole blocks return to the free pool
-                    // while the job is still running.
-                    if let Some(p) = pager.as_deref_mut() {
-                        a.footprint = p.reclaim(a.job.id, a.steps_done as u64);
-                        self.kv_in_use = p.pinned_bytes();
+                    // Priority-weighted plans may bundle several tokens
+                    // into one round; the burst is clamped to the tokens
+                    // the job still wants. Each token prices at its own
+                    // context length, so the in-service estimate charged
+                    // at admission is spent exactly regardless of how
+                    // tokens group into rounds.
+                    let remaining = w.gen_steps.saturating_sub(a.steps_done);
+                    let burst = (*steps).max(1).min(remaining.max(1));
+                    let mut step = StepCost::default();
+                    for _ in 0..burst {
+                        a.steps_done += 1;
+                        // Cascade pruning retires tokens as decode
+                        // proceeds: under paging, whole blocks return to
+                        // the free pool while the job is still running.
+                        if let Some(p) = pager.as_deref_mut() {
+                            a.footprint = p.reclaim(a.job.id, a.steps_done as u64);
+                            self.kv_in_use = p.pinned_bytes();
+                        }
+                        let s = cost.decode_on(id, w, w.seq_len + a.steps_done);
+                        step.compute_cycles += s.compute_cycles;
+                        step.dram_cycles += s.dram_cycles;
+                        step.weight_dram_cycles += s.weight_dram_cycles;
+                        step.serial_cycles += s.serial_cycles;
                     }
-                    let step = cost.decode_on(id, w, w.seq_len + a.steps_done);
                     spent = step.serial_cycles;
                     step
                 }
@@ -909,6 +999,68 @@ mod tests {
             "the pruning ramp must return blocks while decoding"
         );
         pager.assert_drained();
+    }
+
+    #[test]
+    fn prefill_graduates_leave_without_preemption_accounting() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX,
+        };
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, None, job(0, 128, 6), 0);
+        // Mid-prefill there is nothing to hand off yet.
+        assert!(chip.take_prefill_graduates(None, 0).is_empty());
+        let now = chip.start_round(&mut cost, None, &mut batch, 0).unwrap();
+        chip.end_round();
+        let grads = chip.take_prefill_graduates(None, now);
+        assert_eq!(grads.len(), 1);
+        let (j, dirty) = &grads[0];
+        assert!(dirty > &0, "contiguous handoff ships the whole footprint");
+        let resume = j.resume.expect("handoff carries resume state");
+        assert!(resume.prefilled);
+        assert_eq!(resume.steps_done, 0);
+        assert_eq!(j.preemptions, 0, "a handoff is not a preemption");
+        assert_eq!(chip.evictions, 0);
+        assert_eq!(chip.kv_in_use(), 0, "departure releases the KV");
+        assert_eq!(chip.active_jobs(), 0);
+        assert_eq!(
+            chip.recent_evictions(now),
+            0.0,
+            "handoffs must not register as churn"
+        );
+
+        // A job already decoding is not a graduate.
+        let mut busy = Chip::new(1);
+        busy.admit(&mut cost, None, job(1, 128, 6), 0);
+        let mut t = 0;
+        for _ in 0..2 {
+            // prefill + one decode round
+            t += busy.start_round(&mut cost, None, &mut batch, t).unwrap();
+            busy.end_round();
+        }
+        assert!(busy.take_prefill_graduates(None, t).is_empty());
+        assert_eq!(busy.active_jobs(), 1);
+    }
+
+    #[test]
+    fn transfer_cycles_charge_into_the_next_round() {
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut batch = IterationBatch {
+            prefill_chunk_cycles: u64::MAX,
+        };
+        let mut plain = Chip::new(0);
+        plain.admit(&mut cost, None, job(0, 128, 0), 0);
+        let base = plain.start_round(&mut cost, None, &mut batch, 0).unwrap();
+        plain.end_round();
+
+        let mut charged = Chip::new(0);
+        charged.admit(&mut cost, None, job(0, 128, 0), 0);
+        charged.charge_transfer_cycles(12_345);
+        let round = charged.start_round(&mut cost, None, &mut batch, 0).unwrap();
+        charged.end_round();
+        assert_eq!(round, base + 12_345);
+        assert_eq!(charged.swap_cycles, 12_345);
     }
 
     #[test]

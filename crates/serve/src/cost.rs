@@ -26,6 +26,7 @@ use spatten_core::{
     decode_step_cost, prefill_cost, surviving_tokens, SpAttenConfig, SpAttenE2e, StepCost,
 };
 use spatten_nn::ModelConfig;
+use spatten_workloads::fleet::LinkSpec;
 use spatten_workloads::spec::BitwidthScheme;
 use spatten_workloads::Workload;
 use std::collections::HashMap;
@@ -242,6 +243,32 @@ pub trait FleetCost {
         let full_cycles = self.swap_cycles_on(chip, w, max_ctx).max(1);
         let full_bytes = self.raw_kv_bytes_on(chip, w, max_ctx).max(1);
         full_cycles.saturating_mul(bytes).div_ceil(full_bytes)
+    }
+
+    /// Cycles a prefill→decode KV handoff of `bytes` occupies **each** of
+    /// `src` and `dst`: the source drains the job's unique dirty blocks
+    /// from its SRAMs through HBM, the wire carries them `hops` hops over
+    /// `link`, and the destination fills its own KV store — three
+    /// pipelined stages, so the transfer runs at the slowest stage's rate
+    /// plus the per-hop propagation latency. The caller (the disaggregation
+    /// layer) supplies `hops` and `link` from its [`PoolSpec`]; oracles
+    /// with a real interconnect model (`spatten-cluster`) override this
+    /// with their fabric's occupancy-tracked price.
+    ///
+    /// [`PoolSpec`]: crate::disagg::PoolSpec
+    fn handoff_cycles_on(
+        &mut self,
+        src: usize,
+        dst: usize,
+        w: &Workload,
+        bytes: u64,
+        hops: u64,
+        link: &LinkSpec,
+    ) -> u64 {
+        let wire = bytes.div_ceil(link.bytes_per_cycle.max(1));
+        let drain = self.swap_bytes_cycles_on(src, w, bytes);
+        let fill = self.swap_bytes_cycles_on(dst, w, bytes);
+        hops.saturating_mul(link.latency_cycles) + wire.max(drain).max(fill)
     }
 
     /// Hints the oracle at the live resident-batch size on `chip` before a
@@ -669,6 +696,27 @@ mod tests {
         let big = m.swap_bytes_cycles_on(0, &w, 4 << 20);
         assert!(small > 0, "nonzero bytes cost nonzero cycles");
         assert!(big > small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn handoff_is_bottlenecked_by_its_slowest_stage_plus_hop_latency() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let link = spatten_workloads::LinkSpec::default();
+        let bytes = 4 << 20;
+        let wire = bytes / link.bytes_per_cycle;
+        let hbm = m.swap_bytes_cycles_on(0, &w, bytes);
+        let c = m.handoff_cycles_on(0, 1, &w, bytes, 2, &link);
+        assert_eq!(c, 2 * link.latency_cycles + wire.max(hbm));
+        // The default board link is an order of magnitude below HBM, so
+        // the wire stage dominates and pruning the payload pays off 1:1.
+        assert!(wire > hbm, "wire {wire} vs hbm {hbm}");
+        // Zero bytes still pay propagation latency; fewer hops cost less.
+        assert_eq!(m.handoff_cycles_on(0, 1, &w, 0, 3, &link), 1500);
+        assert!(
+            m.handoff_cycles_on(0, 1, &w, bytes, 1, &link)
+                < m.handoff_cycles_on(0, 1, &w, bytes, 4, &link)
+        );
     }
 
     #[test]

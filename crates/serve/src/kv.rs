@@ -405,7 +405,7 @@ impl KvPager {
     /// # Panics
     ///
     /// Panics if the job is already mapped or the charge was never
-    /// fit-checked (see [`Self::alloc`]).
+    /// fit-checked (see `Self::alloc`).
     pub fn map_job(&mut self, id: u64, need: JobKvNeed, steps_done: u64, now: u64) -> u64 {
         assert!(
             !self.jobs.contains_key(&id),
@@ -576,6 +576,18 @@ impl<C: FleetCost> FleetCost for PagedCost<'_, C> {
 
     fn swap_bytes_cycles_on(&mut self, chip: usize, w: &Workload, bytes: u64) -> u64 {
         self.base.swap_bytes_cycles_on(chip, w, bytes)
+    }
+
+    fn handoff_cycles_on(
+        &mut self,
+        src: usize,
+        dst: usize,
+        w: &Workload,
+        bytes: u64,
+        hops: u64,
+        link: &spatten_workloads::fleet::LinkSpec,
+    ) -> u64 {
+        self.base.handoff_cycles_on(src, dst, w, bytes, hops, link)
     }
 
     fn note_batch(&mut self, chip: usize, resident: usize) {

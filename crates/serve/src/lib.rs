@@ -48,6 +48,13 @@
 //!   prefixes with a scored persistent prefix cache, and pruning-aware
 //!   mid-stream page reclaim as the cascade retires tokens. Fit checks
 //!   price through [`PagedCost`]; preemption swaps unique pages only.
+//! * [`disagg`] — the **disaggregation layer** ([`PoolSpec`], opt-in
+//!   via fleet roles): prefill-specialist and decode-specialist pools,
+//!   pool-aware arrival routing, and a priced prefill→decode KV handoff
+//!   — bytes are the job's unique dirty pruned blocks (shared prefix
+//!   blocks already warm on the target move for free), cycles are
+//!   charged into both chips through
+//!   [`FleetCost::handoff_cycles_on`].
 //! * [`sim`] — the discrete-event fleet simulator, generic over
 //!   ([`FleetCost`], [`AdmissionPolicy`], [`BatchPolicy`]): every policy
 //!   runs through the one event loop. Drives open-loop (Poisson, MMPP,
@@ -77,6 +84,7 @@
 pub mod batch;
 pub mod chip;
 pub mod cost;
+pub mod disagg;
 pub mod json;
 pub mod kv;
 pub mod metrics;
@@ -90,6 +98,7 @@ pub use batch::{
     BatchPolicy, DecodePrioritizedBatch, IterationBatch, ResidentView, RoundStep, RunToCompletion,
 };
 pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
+pub use disagg::{PoolAwareRouting, PoolSpec};
 pub use kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
 pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
 pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};

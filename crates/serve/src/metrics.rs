@@ -84,6 +84,16 @@ pub struct ChipStats {
     pub steals: u64,
     /// Victim-side serial-cycle backlog those steals relieved.
     pub stolen_cycles: u64,
+    /// Prefill→decode handoffs this chip *originated* (disaggregation;
+    /// zero on co-located fleets).
+    pub handoffs: u64,
+    /// Payload bytes those handoffs shipped: unique dirty blocks plus
+    /// cold prefix blocks, after pruning and warm-prefix discounts.
+    pub handoff_bytes: u64,
+    /// Transfer cycles charged to this chip's rounds for handoffs it
+    /// participated in, as source or target (a subset of `busy_cycles`
+    /// once the charged round runs).
+    pub handoff_cycles: u64,
     /// Page-accounting counters from the chip's [`crate::kv::KvPager`];
     /// all-zero under the contiguous KV model.
     pub kv: KvStats,
@@ -159,6 +169,11 @@ pub struct FleetReport {
     /// are identical to the non-preemptive ones by construction — a
     /// sweep comparing them is comparing a policy to itself.
     pub preemption_inert: bool,
+    /// Discrete events the simulator processed (arrivals, round ends,
+    /// handoff deliveries) — the denominator behind events-per-second
+    /// wall-clock throughput in bench reports. Set by the event loop
+    /// after construction; 0 for hand-built reports.
+    pub sim_events: u64,
     /// Simulated makespan in cycles (last completion).
     pub makespan_cycles: u64,
     /// Completed requests per second of simulated time.
@@ -241,6 +256,7 @@ impl FleetReport {
             slo_violations: completions.len() - in_slo,
             preemptions,
             preemption_inert: false,
+            sim_events: 0,
             makespan_cycles,
             throughput_rps: per_sec(completions.len()),
             goodput_rps: per_sec(in_slo),
@@ -338,6 +354,9 @@ impl FleetReport {
                 .u64("swap_cycles", c.swap_cycles)
                 .u64("steals", c.steals)
                 .u64("stolen_cycles", c.stolen_cycles)
+                .u64("handoffs", c.handoffs)
+                .u64("handoff_bytes", c.handoff_bytes)
+                .u64("handoff_cycles", c.handoff_cycles)
                 .u64("kv_blocks_allocated", c.kv.blocks_allocated)
                 .u64("kv_blocks_freed", c.kv.blocks_freed)
                 .u64("kv_blocks_reclaimed", c.kv.blocks_reclaimed)
@@ -355,6 +374,12 @@ impl FleetReport {
             .u64("slo_violations", self.slo_violations as u64)
             .u64("preemptions", self.preemptions)
             .bool("preemption_inert", self.preemption_inert)
+            .u64("sim_events", self.sim_events)
+            .u64("handoffs", self.chip_stats.iter().map(|c| c.handoffs).sum())
+            .u64(
+                "handoff_bytes",
+                self.chip_stats.iter().map(|c| c.handoff_bytes).sum(),
+            )
             .u64("makespan_cycles", self.makespan_cycles)
             .f64(
                 "makespan_s",

@@ -46,10 +46,15 @@ pub struct Job {
 /// event loop resumes the job exactly where it stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResumeState {
-    /// The chip whose HBM holds the drained KV prefix. A resumed job is
-    /// **pinned** to this chip: routing and work-stealing must never
-    /// migrate it (the swap accounting lives there), and
-    /// [`Chip::admit`](crate::chip::Chip::admit) asserts the pin.
+    /// The chip holding this job's KV state. A resumed job is **pinned**
+    /// to this chip: routing and work-stealing must never migrate it,
+    /// and [`Chip::admit`](crate::chip::Chip::admit) asserts the pin.
+    /// For a preemption victim that is the *evicting* chip (its HBM
+    /// holds the drained prefix and the swap accounting lives there);
+    /// for a disaggregation handoff
+    /// ([`crate::disagg::PoolSpec`]) it is the *target decode* chip the
+    /// KV pages were transferred to — the pin always answers "which
+    /// chip holds my KV", not "which chip ran me last".
     pub chip: usize,
     /// Serial prefill cycles already executed.
     pub prefill_progress: u64,

@@ -51,12 +51,17 @@
 
 use crate::cost::FleetCost;
 use crate::request::Job;
+use spatten_workloads::PoolRole;
 use std::fmt;
 
 /// A live load snapshot of one chip, assembled by the event loop at every
 /// arrival and handed to [`RoutingPolicy::route`].
 #[derive(Debug, Clone, Copy)]
 pub struct ChipLoad {
+    /// The chip's disaggregation pool role ([`PoolRole::Flex`] on fleets
+    /// without pools). Phase-aware policies use it to keep prefill work
+    /// off decode specialists and vice versa.
+    pub role: PoolRole,
     /// Jobs currently resident (executing) on the chip.
     pub active: usize,
     /// KV SRAM bytes resident jobs currently pin.
@@ -87,6 +92,18 @@ impl ChipLoad {
     /// the quantity an arriving job waits behind.
     pub fn backlog_cycles(&self) -> u64 {
         self.pending_cycles.saturating_add(self.in_service_cycles)
+    }
+
+    /// Whether this chip's pool role accepts a job in the given phase
+    /// (`prefilled` = the job's prompt pass already ran and it only
+    /// needs decode steps). `Flex` accepts everything; a specialist
+    /// accepts only its own phase.
+    pub fn suits_phase(&self, prefilled: bool) -> bool {
+        match self.role {
+            PoolRole::Flex => true,
+            PoolRole::Prefill => !prefilled,
+            PoolRole::Decode => prefilled,
+        }
     }
 }
 
@@ -215,6 +232,23 @@ fn completion_estimate(job: &Job, cost: &mut dyn FleetCost, loads: &[ChipLoad], 
         .saturating_add(cost.job_serial_on(c, &job.workload))
 }
 
+/// Chips whose pool role matches `job`'s phase, falling back to the whole
+/// fleet when no specialist matches (work conservation beats purity). On
+/// a role-free fleet every chip is `Flex` and this is the identity.
+/// Shared by the cost-probing policies so none of them routes a prefill
+/// onto a decode specialist — the routing half of the pool blind spot.
+fn phase_eligible(job: &Job, loads: &[ChipLoad]) -> Vec<usize> {
+    let prefilled = job.resume.is_some_and(|r| r.prefilled);
+    let eligible: Vec<usize> = (0..loads.len())
+        .filter(|&c| loads[c].suits_phase(prefilled))
+        .collect();
+    if eligible.is_empty() {
+        (0..loads.len()).collect()
+    } else {
+        eligible
+    }
+}
+
 impl RoutingPolicy for FastestChipRouting {
     fn name(&self) -> &'static str {
         "fastest-chip"
@@ -227,7 +261,9 @@ impl RoutingPolicy for FastestChipRouting {
         loads: &[ChipLoad],
         _now: u64,
     ) -> Option<usize> {
-        (0..loads.len()).min_by_key(|&c| (completion_estimate(job, cost, loads, c), c))
+        phase_eligible(job, loads)
+            .into_iter()
+            .min_by_key(|&c| (completion_estimate(job, cost, loads, c), c))
     }
 }
 
@@ -265,20 +301,24 @@ impl RoutingPolicy for ChurnAwareRouting {
         loads: &[ChipLoad],
         _now: u64,
     ) -> Option<usize> {
-        // One score per chip up front (the memoized probe is cheap but
-        // not free, and min_by compares O(n log n) times).
-        let scores: Vec<f64> = (0..loads.len())
-            .map(|c| {
+        // One score per eligible chip up front (the memoized probe is
+        // cheap but not free, and min_by compares O(n log n) times).
+        let eligible = phase_eligible(job, loads);
+        let scores: Vec<f64> = eligible
+            .iter()
+            .map(|&c| {
                 completion_estimate(job, cost, loads, c) as f64
                     * (1.0 + self.churn_weight * loads[c].recent_evictions.max(0.0))
             })
             .collect();
-        (0..loads.len()).min_by(|&a, &b| {
-            scores[a]
-                .partial_cmp(&scores[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        })
+        (0..eligible.len())
+            .min_by(|&a, &b| {
+                scores[a]
+                    .partial_cmp(&scores[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(eligible[a].cmp(&eligible[b]))
+            })
+            .map(|i| eligible[i])
     }
 }
 
@@ -393,6 +433,7 @@ mod tests {
 
     fn idle(kv_budget: u64) -> ChipLoad {
         ChipLoad {
+            role: PoolRole::Flex,
             active: 0,
             kv_in_use: 0,
             kv_budget,
@@ -437,6 +478,33 @@ mod tests {
         // in-service backlog says otherwise.
         loads[0].in_service_cycles = eighth_serial * 2;
         assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(1));
+    }
+
+    #[test]
+    fn cost_probing_routers_respect_pool_roles() {
+        // The pool blind spot: an idle decode specialist must not win a
+        // fresh (prefill-phase) arrival from a busy flex chip — but when
+        // no chip suits the phase, work conservation takes over.
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut decode = idle(1000);
+        decode.role = PoolRole::Decode;
+        let mut flex = idle(1000);
+        flex.pending_cycles = 1_000_000; // busy, but prefill-capable
+        let loads = vec![decode, flex];
+        assert_eq!(
+            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0),
+            Some(1)
+        );
+        assert_eq!(
+            ChurnAwareRouting::default().route(&job(0, None), &mut cost, &loads, 0),
+            Some(1)
+        );
+        // All-decode fleet: fall back to the plain fastest chip.
+        let all_decode = vec![decode, decode];
+        assert_eq!(
+            FastestChipRouting.route(&job(0, None), &mut cost, &all_decode, 0),
+            Some(0)
+        );
     }
 
     #[test]

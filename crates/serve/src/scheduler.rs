@@ -73,6 +73,7 @@ use crate::route::{
     RoutingPolicy, SharedQueueRouting,
 };
 use serde::{Deserialize, Serialize};
+use spatten_workloads::PoolRole;
 use std::cmp::Reverse;
 use std::collections::VecDeque;
 use std::fmt;
@@ -198,6 +199,11 @@ pub enum RouteSpec {
     /// Deterministic client/request hash
     /// ([`crate::route::HashAffinityRouting`]).
     HashAffinity,
+    /// Pool-targeted: fastest-chip restricted to the pool matching the
+    /// job's phase — fresh arrivals to the prefill pool, decode-phase
+    /// work to the decode pool ([`crate::disagg::PoolAwareRouting`]).
+    /// On a role-free fleet it degrades to fastest-chip.
+    PoolAware,
 }
 
 impl RouteSpec {
@@ -209,6 +215,7 @@ impl RouteSpec {
             RouteSpec::ChurnAware => "churn-aware",
             RouteSpec::LeastKvLoaded => "least-kv-loaded",
             RouteSpec::HashAffinity => "hash-affinity",
+            RouteSpec::PoolAware => "pool-aware",
         }
     }
 
@@ -220,6 +227,7 @@ impl RouteSpec {
             RouteSpec::ChurnAware => Box::new(ChurnAwareRouting::default()),
             RouteSpec::LeastKvLoaded => Box::new(LeastKvLoadedRouting),
             RouteSpec::HashAffinity => Box::new(HashAffinityRouting),
+            RouteSpec::PoolAware => Box::new(crate::disagg::PoolAwareRouting),
         }
     }
 }
@@ -828,6 +836,11 @@ pub struct Scheduler<A: AdmissionPolicy, R: RoutingPolicy = SharedQueueRouting> 
     steals: Vec<u64>,
     /// Victim-side serial cycles relieved by each chip's steals.
     stolen_cycles: Vec<u64>,
+    /// Per-chip pool roles (all [`PoolRole::Flex`] on co-located
+    /// fleets): a decode-specialist thief never steals — the only
+    /// stealable jobs are fresh unprefilled arrivals, which need a
+    /// prefill pass the specialist refuses to run.
+    roles: Vec<PoolRole>,
     admitted: u64,
 }
 
@@ -846,6 +859,7 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
             pending_kv: vec![0; chips],
             steals: vec![0; chips],
             stolen_cycles: vec![0; chips],
+            roles: vec![PoolRole::Flex; chips],
             admitted: 0,
         }
     }
@@ -853,6 +867,17 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
     /// Sets the work-stealing knob.
     pub fn with_steal(mut self, steal: StealSpec) -> Self {
         self.steal = steal;
+        self
+    }
+
+    /// Sets the per-chip pool roles (disaggregated fleets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roles` doesn't cover every chip.
+    pub fn with_roles(mut self, roles: Vec<PoolRole>) -> Self {
+        assert_eq!(roles.len(), self.routed.len(), "one role per chip");
+        self.roles = roles;
         self
     }
 
@@ -991,6 +1016,12 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
         /// oldest jobs — the ones a steal helps most.
         const STEAL_SCAN_CAP: usize = 32;
         if self.steal == StealSpec::Off || cap.slots == 0 {
+            return false;
+        }
+        // A decode-specialist never steals: the only stealable jobs are
+        // fresh unprefilled arrivals (resumed jobs are pinned), and those
+        // need a prefill pass the specialist's pool exists to avoid.
+        if self.roles[thief] == PoolRole::Decode {
             return false;
         }
         // Peers by backlog, most loaded first (stable: index breaks ties).
@@ -1322,6 +1353,7 @@ mod tests {
         let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
         let loads = [
             ChipLoad {
+                role: PoolRole::Flex,
                 active: 0,
                 kv_in_use: 0,
                 kv_budget: c.budget_on(0),
@@ -1332,6 +1364,7 @@ mod tests {
                 recent_evictions: 0.0,
             },
             ChipLoad {
+                role: PoolRole::Flex,
                 active: 0,
                 kv_in_use: 0,
                 kv_budget: c.budget_on(1),
@@ -1525,5 +1558,38 @@ mod tests {
         off.charge(1, &j, &mut c);
         off.routed[1].push(j);
         assert!(!off.steal_into(&mut c, 0, idle_cap(8), 0));
+    }
+
+    #[test]
+    fn decode_specialist_thieves_never_steal_prefill_work() {
+        let mut c = cost();
+        // Chip 1 (a prefill specialist) is backlogged with fresh,
+        // perfectly stealable jobs; chip 0 is an idle decode specialist.
+        // The steal must not fire: the only stealable jobs are fresh
+        // unprefilled arrivals, and moving one onto a decode-specialist
+        // would run a prefill pass in the pool built to exclude them.
+        let mut s = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 2)
+            .with_steal(StealSpec::CostliestFit)
+            .with_roles(vec![PoolRole::Decode, PoolRole::Prefill]);
+        for i in 0..3 {
+            let j = job(i, 256, 16);
+            s.charge(1, &j, &mut c);
+            s.routed[1].push(j);
+        }
+        assert!(
+            !s.steal_into(&mut c, 0, idle_cap(8), 0),
+            "decode-specialist thief must decline"
+        );
+        assert_eq!(s.pending_on(1), 3, "backlog untouched");
+        assert_eq!(s.steals_on(0), 0);
+        // The identical fleet with flex roles steals as usual.
+        let mut flex = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 2)
+            .with_steal(StealSpec::CostliestFit);
+        for i in 0..3 {
+            let j = job(i, 256, 16);
+            flex.charge(1, &j, &mut c);
+            flex.routed[1].push(j);
+        }
+        assert!(flex.steal_into(&mut c, 0, idle_cap(8), 0));
     }
 }

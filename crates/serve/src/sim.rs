@@ -21,7 +21,8 @@
 use crate::batch::BatchPolicy;
 use crate::chip::Chip;
 use crate::cost::{CostModel, FleetCost};
-use crate::kv::{KvPager, KvSpec, KvStats, PagedCost};
+use crate::disagg::PoolSpec;
+use crate::kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
 use crate::metrics::{ChipStats, FleetReport};
 use crate::preempt::PreemptionPolicy;
 use crate::request::{Completion, Job, Rejection};
@@ -30,7 +31,7 @@ use crate::scheduler::{
     Admission, AdmissionPolicy, ChipCapacity, Policy, SchedKnobs, Scheduler, StealSpec,
 };
 use spatten_core::SpAttenConfig;
-use spatten_workloads::{Trace, TraceRequest};
+use spatten_workloads::{PoolRole, Trace, TraceRequest};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -57,6 +58,15 @@ pub struct FleetConfig {
     /// Policy tuning knobs (prefill chunk quantum, decode-prioritized
     /// prefill budget, KV-aware starvation bound).
     pub sched: SchedKnobs,
+    /// Disaggregated prefill/decode pools ([`crate::disagg`]). `None` —
+    /// the default — is co-located serving: every chip runs jobs
+    /// end-to-end, bit-for-bit the pre-disaggregation behavior (an
+    /// all-[`PoolRole::Flex`] spec is equivalent). When set, the roles
+    /// must cover every chip; a job whose last prefill chunk retires on
+    /// a `Prefill` chip hands its KV off to the decode pool over the
+    /// spec's wiring, priced by
+    /// [`FleetCost::handoff_cycles_on`].
+    pub pools: Option<PoolSpec>,
 }
 
 impl FleetConfig {
@@ -71,6 +81,7 @@ impl FleetConfig {
             max_batch: 8,
             fc_weight_bits: Some(8),
             sched: SchedKnobs::default(),
+            pools: None,
         }
     }
 
@@ -141,6 +152,17 @@ fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, cloc
 enum EventKind {
     Arrival(Box<Job>),
     RoundEnd(usize),
+    /// A prefill→decode KV handoff landing on its target chip: the
+    /// payload left its source `cycles` ago, and the job now re-enters
+    /// admission pinned (via its [`crate::request::ResumeState`]) to
+    /// `dst` — the chip that holds its KV from this moment on. While in
+    /// flight the job is owned by the transfer: it is in no queue and on
+    /// no chip, so preemption and stealing cannot touch it.
+    HandoffArrive {
+        job: Box<Job>,
+        dst: usize,
+        cycles: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -185,6 +207,14 @@ struct Fleet<
     /// Per-chip paged KV allocators under [`KvSpec::Paged`]; `None`
     /// reproduces the contiguous resource model bit-for-bit.
     pagers: Option<Vec<KvPager>>,
+    /// Disaggregation pool layout; `None` is co-located serving.
+    pools: Option<PoolSpec>,
+    /// Per-chip handoff counters. Sources count departures and payload
+    /// bytes; transfer cycles accumulate at **both** endpoints (the
+    /// drain leg at the source, the fill leg at the target).
+    handoffs: Vec<u64>,
+    handoff_bytes: Vec<u64>,
+    handoff_cycles: Vec<u64>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     completions: Vec<Completion>,
@@ -256,6 +286,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             .map(|i| {
                 let chip = &self.chips[i];
                 ChipLoad {
+                    role: self.pools.as_ref().map_or(PoolRole::Flex, |p| p.role(i)),
                     active: chip.active_jobs(),
                     kv_in_use: chip.kv_in_use(),
                     kv_budget: self.cost.budget_on(i),
@@ -355,6 +386,75 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         }
     }
 
+    /// The prefill→decode migration step: every resident on `src` whose
+    /// last prefill chunk just retired leaves for the decode pool. Fires
+    /// only on [`PoolRole::Prefill`] chips — `Flex` chips keep their
+    /// jobs, so an all-`Flex` (or absent) pool spec is the co-located
+    /// baseline bit-for-bit.
+    ///
+    /// Per migrant: the target is the least-loaded decode-capable chip
+    /// (by the same queued + in-service backlog estimate routing ranks
+    /// with, ties to the lowest index); the payload is the job's unique
+    /// dirty blocks — the pruned survivor set — plus the slice of its
+    /// shared prefix not already warm on the target (warm prefix blocks
+    /// transfer for free; contiguous KV has no block ledger, so the
+    /// whole footprint moves); the price comes from
+    /// [`FleetCost::handoff_cycles_on`] over the pool wiring and is
+    /// charged into the source's busy cycles now and the target's at
+    /// delivery, when the job re-enters admission pinned to the target.
+    fn migrate_graduates(&mut self, src: usize, now: u64) {
+        let Some(pools) = self.pools.clone() else {
+            return;
+        };
+        if pools.role(src) != PoolRole::Prefill {
+            return;
+        }
+        let pager = self.pagers.as_mut().map(|p| &mut p[src]);
+        for (mut job, dirty_bytes) in self.chips[src].take_prefill_graduates(pager, now) {
+            let dst = pools
+                .decode_targets(src)
+                .min_by_key(|&c| {
+                    let backlog = self
+                        .scheduler
+                        .pending_cycles_on(c)
+                        .saturating_add(self.chips[c].in_service_cycles());
+                    (backlog, c)
+                })
+                .expect("a pool spec with prefill chips has a decode-capable target");
+            let cold_prefix_bytes = match self.pagers.as_ref() {
+                Some(pagers) => {
+                    let need = JobKvNeed::of(&mut self.cost, dst, &job);
+                    let (warm, total) = pagers[dst].warm_prefix_blocks(&need);
+                    (total - warm) * pagers[dst].block_bytes()
+                }
+                None => 0,
+            };
+            let bytes = dirty_bytes + cold_prefix_bytes;
+            let cycles = self.cost.handoff_cycles_on(
+                src,
+                dst,
+                &job.workload,
+                bytes,
+                pools.hops(src, dst),
+                &pools.link,
+            );
+            // The pin now answers "which chip holds my KV": the target.
+            job.resume.as_mut().expect("graduate carries resume").chip = dst;
+            self.chips[src].charge_transfer_cycles(cycles);
+            self.handoffs[src] += 1;
+            self.handoff_bytes[src] += bytes;
+            self.handoff_cycles[src] += cycles;
+            self.push(
+                now + cycles,
+                EventKind::HandoffArrive {
+                    job: Box::new(job),
+                    dst,
+                    cycles,
+                },
+            );
+        }
+    }
+
     /// A client whose request left the system (completed or rejected)
     /// thinks, then issues its next request.
     fn next_client_request(&mut self, client: Option<usize>, freed_at: u64) {
@@ -386,7 +486,9 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
     }
 
     fn run(mut self) -> FleetReport {
+        let mut sim_events: u64 = 0;
         while let Some(Reverse(ev)) = self.events.pop() {
+            sim_events += 1;
             let now = ev.time;
             match ev.kind {
                 EventKind::Arrival(job) => {
@@ -407,6 +509,10 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                     for done in finished {
                         self.on_completion(done);
                     }
+                    // Disaggregation: residents whose last prefill chunk
+                    // just retired leave for the decode pool before this
+                    // chip can plan another round around them.
+                    self.migrate_graduates(chip_idx, now);
                     // The freed capacity may unblock any chip's admission
                     // (shared queue), so poll them all, this one first.
                     self.kick(chip_idx, now);
@@ -415,6 +521,16 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                             self.kick(other, now);
                         }
                     }
+                }
+                EventKind::HandoffArrive { job, dst, cycles } => {
+                    // The fill leg occupies the target's HBM just like
+                    // the drain occupied the source's: the same transfer
+                    // cycles extend the target's next round, so neither
+                    // pool's utilization hides the migration.
+                    self.chips[dst].charge_transfer_cycles(cycles);
+                    self.handoff_cycles[dst] += cycles;
+                    self.scheduler.requeue(dst, *job, &mut self.cost);
+                    self.kick(dst, now);
                 }
             }
         }
@@ -470,6 +586,9 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 swap_cycles: c.swap_cycles,
                 steals: self.scheduler.steals_on(c.id),
                 stolen_cycles: self.scheduler.stolen_cycles_on(c.id),
+                handoffs: self.handoffs[c.id],
+                handoff_bytes: self.handoff_bytes[c.id],
+                handoff_cycles: self.handoff_cycles[c.id],
                 kv: match &self.pagers {
                     Some(pagers) => pagers[c.id].stats,
                     None => KvStats::default(),
@@ -491,6 +610,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             chip_stats,
         );
         report.preemption_inert = preemption_inert;
+        report.sim_events = sim_events;
         report
     }
 }
@@ -507,6 +627,7 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
         cfg.chips,
         cfg.policy,
         &cfg.sched,
+        cfg.pools.clone(),
         cfg.max_batch,
         cfg.accel.clock_ghz,
         trace,
@@ -528,11 +649,13 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
 /// combination is flagged loudly — a warning on stderr here, and
 /// [`FleetReport::preemption_inert`] in the report — instead of letting
 /// a sweep quietly compare "preemptive" FIFO to itself.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_fleet_policy<C: FleetCost>(
     cost: C,
     chips: usize,
     policy: Policy,
     knobs: &SchedKnobs,
+    pools: Option<PoolSpec>,
     max_batch: usize,
     clock_ghz: f64,
     trace: &Trace,
@@ -557,6 +680,7 @@ pub fn simulate_fleet_policy<C: FleetCost>(
         knobs.steal,
         knobs.preempt.build(knobs),
         knobs.kv,
+        pools,
         max_batch,
         clock_ghz,
         trace,
@@ -589,12 +713,22 @@ pub fn simulate_fleet_with<
     steal: StealSpec,
     preempt: P,
     kv: KvSpec,
+    pools: Option<PoolSpec>,
     max_batch: usize,
     clock_ghz: f64,
     trace: &Trace,
 ) -> FleetReport {
     assert!(chips > 0, "fleet needs at least one chip");
     assert!(max_batch > 0, "max_batch must be positive");
+    if let Some(p) = &pools {
+        assert_eq!(
+            p.len(),
+            chips,
+            "pool spec declares {} roles for {} chips",
+            p.len(),
+            chips
+        );
+    }
     let clock = clock_ghz;
     // One pager per chip under paging, each sized to that chip's KV
     // budget (heterogeneous fleets get heterogeneous block counts).
@@ -603,16 +737,24 @@ pub fn simulate_fleet_with<
             .map(|c| KvPager::new(block, cost.budget_on(c)))
             .collect()
     });
+    let mut scheduler = Scheduler::new(admission, routing, chips).with_steal(steal);
+    if let Some(p) = &pools {
+        scheduler = scheduler.with_roles(p.roles.clone());
+    }
     let mut fleet = Fleet {
         label: label.to_string(),
         max_batch,
         clock_ghz,
         cost,
-        scheduler: Scheduler::new(admission, routing, chips).with_steal(steal),
+        scheduler,
         batch,
         preempt,
         chips: (0..chips).map(Chip::new).collect(),
         pagers,
+        pools,
+        handoffs: vec![0; chips],
+        handoff_bytes: vec![0; chips],
+        handoff_cycles: vec![0; chips],
         events: BinaryHeap::new(),
         seq: 0,
         completions: Vec::new(),
@@ -1252,6 +1394,139 @@ mod tests {
             paged.mean_occupancy(),
             contig.mean_occupancy()
         );
+    }
+
+    #[test]
+    fn poolless_and_all_flex_runs_are_bit_identical() {
+        // The co-located baseline must be untouched by the disaggregation
+        // subsystem: no pool spec and an all-Flex spec (roles that never
+        // migrate) produce the same report bit-for-bit, with zero
+        // handoffs and the same event count.
+        use spatten_workloads::fleet::{LinkSpec, TopologySpec};
+        let trace = chat_trace(150, 3000.0, 103);
+        let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        let plain = simulate_fleet(&cfg, &trace);
+        let mut flex = FleetConfig::new(2, Policy::ContinuousBatching);
+        flex.pools = Some(PoolSpec::new(
+            vec![PoolRole::Flex; 2],
+            TopologySpec::FullyConnected,
+            LinkSpec::default(),
+        ));
+        let pooled = simulate_fleet(&flex, &trace);
+        assert_eq!(plain.completions, pooled.completions);
+        assert_eq!(plain.makespan_cycles, pooled.makespan_cycles);
+        assert_eq!(plain.sim_events, pooled.sim_events);
+        assert!(plain.sim_events > 0);
+        for chip in &pooled.chip_stats {
+            assert_eq!(chip.handoffs, 0, "flex chips never migrate");
+            assert_eq!(chip.handoff_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn disaggregation_migrates_graduates_and_prices_both_endpoints() {
+        // 1 prefill-specialist + 1 decode-specialist under pool-aware
+        // routing: every generative job prefills on chip 0, hands its KV
+        // off, and decodes to completion on chip 1. The transfer is
+        // priced into both chips' busy cycles, the payload bytes are
+        // counted at the source, and nothing is lost or duplicated.
+        let trace = open_trace(200, 2000.0, 107);
+        let mut cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+        cfg.pools = Some(PoolSpec::split(1, 1));
+        cfg.sched.route = RouteSpec::PoolAware;
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 200);
+        let src = &report.chip_stats[0];
+        let dst = &report.chip_stats[1];
+        assert!(src.handoffs > 0, "generative prefills must migrate");
+        assert!(src.handoff_bytes > 0, "payloads are counted in bytes");
+        assert!(src.handoff_cycles > 0, "the drain leg busies the source");
+        assert!(dst.handoff_cycles > 0, "the fill leg busies the target");
+        assert_eq!(dst.handoffs, 0, "the decode specialist never migrates");
+        assert_eq!(dst.handoff_bytes, 0);
+        for c in &report.completions {
+            if c.generated_tokens > 0 {
+                assert_eq!(c.chip, 1, "job {} decoded on the prefill specialist", c.id);
+            }
+        }
+        let migrated = report
+            .completions
+            .iter()
+            .filter(|c| c.generated_tokens > 0)
+            .count() as u64;
+        assert_eq!(src.handoffs, migrated, "one handoff per generative job");
+        // Determinism survives migration.
+        let again = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completions, again.completions);
+        assert_eq!(again.chip_stats[0].handoff_bytes, src.handoff_bytes);
+    }
+
+    #[test]
+    fn pooled_grids_conserve_and_keep_decode_off_prefill_chips() {
+        // The adversarial-routing grid: whatever the router and thief do
+        // (hash routing happily targets the decode specialist, stealing
+        // pulls from backlogged peers), no decode-phase job ever runs on
+        // the prefill specialist, and every request completes exactly
+        // once under both KV models.
+        let trace = open_trace(150, 2000.0, 109);
+        for route in [
+            RouteSpec::SharedQueue,
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::HashAffinity,
+            RouteSpec::PoolAware,
+        ] {
+            for steal in [StealSpec::Off, StealSpec::CostliestFit] {
+                for kv in [KvSpec::Contiguous, KvSpec::paged()] {
+                    let mut cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+                    cfg.pools = Some(PoolSpec::split(1, 1));
+                    cfg.sched.route = route;
+                    cfg.sched.steal = steal;
+                    cfg.sched.kv = kv;
+                    let report = simulate_fleet(&cfg, &trace);
+                    let tag = format!("{}/{}/{}", route.name(), steal.name(), kv.name());
+                    assert_eq!(report.completed, 150, "{tag}");
+                    for c in &report.completions {
+                        assert!(
+                            c.generated_tokens == 0 || c.chip != 0,
+                            "{tag}: job {} decoded on the prefill specialist",
+                            c.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handoffs_compose_with_preemption_and_paging() {
+        // Disaggregation under fire: a two-tier paged chat mix with
+        // priority preemption on the decode side. Handoffs, evictions,
+        // prefix sharing and pruning-aware reclaim all fire in one run,
+        // and the drain ledgers (asserted inside run()) still close.
+        let mut spec = TraceSpec::chat(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 4000.0,
+                requests: 250,
+            },
+            113,
+        );
+        spec.classes[0] = spec.classes[0].clone().with_priority(2);
+        let trace = spec.generate();
+        let mut cfg = FleetConfig::new(3, Policy::Priority);
+        cfg.pools = Some(PoolSpec::split(1, 2));
+        cfg.sched.route = RouteSpec::PoolAware;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        let report = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completed, 250, "migration must not lose jobs");
+        let handoffs: u64 = report.chip_stats.iter().map(|c| c.handoffs).sum();
+        assert!(handoffs > 0, "the chat mix is generative: prefills migrate");
+        for chip in &report.chip_stats {
+            assert_eq!(chip.kv.blocks_allocated, chip.kv.blocks_freed);
+        }
+        let again = simulate_fleet(&cfg, &trace);
+        assert_eq!(report.completions, again.completions);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use spatten_core::SpAttenConfig;
 use spatten_serve::{
-    simulate_fleet, FleetConfig, KvSpec, Policy, PreemptSpec, RouteSpec, StealSpec,
+    simulate_fleet, FleetConfig, KvSpec, Policy, PoolSpec, PreemptSpec, RouteSpec, StealSpec,
 };
 use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
 
@@ -427,6 +427,127 @@ proptest! {
         }
     }
 
+    /// Handoff conservation: a disaggregated run moves exactly the
+    /// tokens the co-located run moves — same completion set, same
+    /// per-job prefill + generated counts — under every router, stealing
+    /// mode and preemption setting. Migration relocates work, never
+    /// loses or duplicates it, and no decode-phase job ever finishes on
+    /// the prefill specialist. Determinism rides along.
+    #[test]
+    fn handoffs_conserve_tokens_across_route_steal_preempt(
+        requests in 40usize..120,
+        rate in 200.0f64..4000.0,
+        seed in 0u64..1000,
+        route_pick in 0usize..5,
+        steal_pick in 0usize..2,
+        preempt_pick in 0usize..2,
+    ) {
+        let route = [
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+            RouteSpec::PoolAware,
+        ][route_pick];
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let preempt = [PreemptSpec::None, PreemptSpec::Priority][preempt_pick];
+        let trace = tiered_trace(requests, rate, seed);
+        let mut cfg = FleetConfig::new(3, Policy::Priority);
+        cfg.sched.route = route;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = preempt;
+        let base = simulate_fleet(&cfg, &trace);
+        let mut pooled = cfg.clone();
+        pooled.pools = Some(PoolSpec::split(1, 2));
+        let report = simulate_fleet(&pooled, &trace);
+        prop_assert_eq!(report.completed, requests);
+        let tokens = |r: &spatten_serve::FleetReport| -> Vec<(u64, usize)> {
+            let mut t: Vec<(u64, usize)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.prefill_tokens + c.generated_tokens))
+                .collect();
+            t.sort_unstable();
+            t
+        };
+        prop_assert_eq!(tokens(&report), tokens(&base));
+        for c in &report.completions {
+            prop_assert!(
+                c.generated_tokens == 0 || c.chip != 0,
+                "decode-phase job {} finished on the prefill specialist",
+                c.id
+            );
+        }
+        let again = simulate_fleet(&pooled, &trace);
+        prop_assert_eq!(report.completions, again.completions);
+    }
+
+    /// Both endpoints' pagers balance across a disaggregated run, and
+    /// the transfer payload is pruning- and sharing-aware: with prefix
+    /// sharing stripped every transferred byte is a whole unique block
+    /// (`handoff_bytes` divides by the block size), prefix blocks
+    /// already warm on the decode chip ride free (the shared-prefix run
+    /// never moves more bytes than its stripped twin on the identical
+    /// request stream), and the unpruned twin — same arrivals, same
+    /// drawn lengths, dense KV — always moves strictly more.
+    #[test]
+    fn pooled_pagers_balance_and_warm_prefixes_ride_free(
+        requests in 40usize..100,
+        rate in 200.0f64..3000.0,
+        seed in 0u64..1000,
+        steal_pick in 0usize..2,
+    ) {
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let spec = TraceSpec::chat(
+            ArrivalSpec::OpenPoisson { rate_rps: rate, requests },
+            seed,
+        );
+        let mut stripped = spec.clone();
+        for class in &mut stripped.classes {
+            *class = class.clone().with_shared_prefix(0);
+        }
+        let mut cfg = FleetConfig::new(2, Policy::Priority);
+        cfg.sched.route = RouteSpec::PoolAware;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        cfg.pools = Some(PoolSpec::split(1, 1));
+        let shared = simulate_fleet(&cfg, &spec.generate());
+        let plain = simulate_fleet(&cfg, &stripped.generate());
+        let dense = simulate_fleet(&cfg, &stripped.clone().unpruned().generate());
+        let bytes = |r: &spatten_serve::FleetReport| -> u64 {
+            r.chip_stats.iter().map(|c| c.handoff_bytes).sum()
+        };
+        for r in [&shared, &plain, &dense] {
+            prop_assert_eq!(r.completed, requests);
+            // Every chat job is generative, prefills on the specialist
+            // and migrates exactly once.
+            prop_assert_eq!(
+                r.chip_stats.iter().map(|c| c.handoffs).sum::<u64>(),
+                requests as u64
+            );
+            for stats in &r.chip_stats {
+                prop_assert!(
+                    stats.kv.blocks_allocated == stats.kv.blocks_freed,
+                    "chip {} leaked pages across the handoff: {} allocated vs {} freed",
+                    stats.id, stats.kv.blocks_allocated, stats.kv.blocks_freed
+                );
+            }
+        }
+        let bb = cfg.sched.kv.block_bytes().expect("paged spec has a block size");
+        prop_assert_eq!(bytes(&plain) % bb, 0);
+        prop_assert!(
+            bytes(&shared) <= bytes(&plain),
+            "warm shared prefixes must transfer free: {} > {}",
+            bytes(&shared), bytes(&plain)
+        );
+        prop_assert!(
+            bytes(&plain) < bytes(&dense),
+            "pruned survivor sets must be cheaper to move: {} >= {}",
+            bytes(&plain), bytes(&dense)
+        );
+    }
+
     /// Timestamps are causally ordered for every completion, under every
     /// policy: arrival <= start <= first token <= finish.
     #[test]
@@ -481,6 +602,40 @@ fn end_to_end_smoke() {
         assert_eq!(report.makespan_cycles, again.makespan_cycles);
         assert_eq!(report.completions, again.completions);
     }
+}
+
+/// Transferred bytes are exactly the unique dirty blocks at the
+/// migration instant: with a single request, no prefix sharing and paged
+/// KV, every block the prefill specialist ever allocated is dirty and
+/// unique when the job graduates — so the handoff payload equals the
+/// chip's entire allocation, and the unmap at departure returns every
+/// one of those blocks.
+#[test]
+fn single_job_handoff_moves_exactly_its_dirty_blocks() {
+    let trace = TraceSpec::gpt2_decode(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: 100.0,
+            requests: 1,
+        },
+        7,
+    )
+    .generate();
+    let mut cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+    cfg.sched.route = RouteSpec::PoolAware;
+    cfg.sched.kv = KvSpec::paged();
+    cfg.pools = Some(PoolSpec::split(1, 1));
+    let report = simulate_fleet(&cfg, &trace);
+    assert_eq!(report.completed, 1);
+    let bb = cfg
+        .sched
+        .kv
+        .block_bytes()
+        .expect("paged spec has a block size");
+    let src = &report.chip_stats[0];
+    assert_eq!(src.handoffs, 1);
+    assert_eq!(src.handoff_bytes, src.kv.blocks_allocated * bb);
+    assert_eq!(src.kv.blocks_allocated, src.kv.blocks_freed);
+    assert_eq!(report.completions[0].chip, 1, "decode runs on the target");
 }
 
 /// The closed-loop arrival process also conserves requests end to end.

@@ -19,6 +19,37 @@ pub enum ChipClass {
     Eighth,
 }
 
+/// A chip's role in a disaggregated serving fleet.
+///
+/// Disaggregation splits the fleet into a prefill pool (arrivals land
+/// here, run their prompt pass, then migrate away) and a decode pool
+/// (receives migrated KV and runs generation). `Flex` chips opt out:
+/// they serve jobs end-to-end exactly as every chip did before pools
+/// existed, so an all-`Flex` fleet is the co-located baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PoolRole {
+    /// Prefill specialist: arrivals target this pool; generative jobs
+    /// migrate off it once their last prefill chunk retires.
+    Prefill,
+    /// Decode specialist: receives migrated KV; routing and stealing
+    /// never place an unprefilled job here.
+    Decode,
+    /// Serves jobs end-to-end (the co-located default).
+    #[default]
+    Flex,
+}
+
+impl PoolRole {
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoolRole::Prefill => "prefill",
+            PoolRole::Decode => "decode",
+            PoolRole::Flex => "flex",
+        }
+    }
+}
+
 /// Inter-chip wiring shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TopologySpec {
@@ -59,6 +90,11 @@ pub struct FleetSpec {
     pub topology: TopologySpec,
     /// Link timing.
     pub link: LinkSpec,
+    /// Per-chip pool roles, parallel to `chips`. `None` (the default for
+    /// every pre-disaggregation trace) means all-`Flex` — co-located
+    /// serving with no migration.
+    #[serde(default)]
+    pub roles: Option<Vec<PoolRole>>,
 }
 
 impl FleetSpec {
@@ -68,6 +104,7 @@ impl FleetSpec {
             chips: vec![ChipClass::Full; n],
             topology: TopologySpec::Ring,
             link: LinkSpec::default(),
+            roles: None,
         }
     }
 
@@ -80,7 +117,28 @@ impl FleetSpec {
             chips,
             topology: TopologySpec::FullyConnected,
             link: LinkSpec::default(),
+            roles: None,
         }
+    }
+
+    /// A disaggregated fleet: `prefill` full chips feeding `decode` full
+    /// chips over a fully connected fabric with default links.
+    pub fn disagg(prefill: usize, decode: usize) -> Self {
+        let mut roles = vec![PoolRole::Prefill; prefill];
+        roles.extend(std::iter::repeat_n(PoolRole::Decode, decode));
+        Self {
+            chips: vec![ChipClass::Full; prefill + decode],
+            topology: TopologySpec::FullyConnected,
+            link: LinkSpec::default(),
+            roles: Some(roles),
+        }
+    }
+
+    /// Per-chip roles, defaulting to all-`Flex` when none were declared.
+    pub fn roles_or_flex(&self) -> Vec<PoolRole> {
+        self.roles
+            .clone()
+            .unwrap_or_else(|| vec![PoolRole::Flex; self.chips.len()])
     }
 
     /// Chips in the fleet.
@@ -116,6 +174,19 @@ mod tests {
             6
         );
         assert!(!mixed.is_empty());
+    }
+
+    #[test]
+    fn disagg_constructor_assigns_roles_and_default_is_flex() {
+        let d = FleetSpec::disagg(2, 3);
+        assert_eq!(d.len(), 5);
+        let roles = d.roles_or_flex();
+        assert_eq!(roles.iter().filter(|r| **r == PoolRole::Prefill).count(), 2);
+        assert_eq!(roles.iter().filter(|r| **r == PoolRole::Decode).count(), 3);
+        // Pre-disaggregation constructors stay role-free (co-located).
+        let ring = FleetSpec::ring_of(4);
+        assert!(ring.roles.is_none());
+        assert!(ring.roles_or_flex().iter().all(|r| *r == PoolRole::Flex));
     }
 
     #[test]

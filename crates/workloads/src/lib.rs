@@ -30,7 +30,7 @@ pub mod synth;
 pub mod text;
 pub mod trace;
 
-pub use fleet::{ChipClass, FleetSpec, LinkSpec, TopologySpec};
+pub use fleet::{ChipClass, FleetSpec, LinkSpec, PoolRole, TopologySpec};
 pub use registry::{Benchmark, TaskKind};
 pub use spec::{PruningSpec, QuantPolicy, Workload};
 pub use synth::{synthetic_probs, zipf_tokens};
