@@ -96,13 +96,19 @@
 //!
 //! ```text
 //! sched_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
-//!             [--disagg-out FILE]
+//!             [--disagg-out FILE] [--replay FILE]
 //! ```
 //!
 //! `--smoke` caps the trace at 90 requests and skips all enforcement
 //! except the saturation-band and paged-KV checks above — a fast CI gate
 //! that the binary still runs end to end and neither the saturation nor
 //! the paged-capacity regression can silently return.
+//!
+//! `--replay FILE` switches to replay mode: every policy is swept over a
+//! recorded `arrival_ns,class,prefill_tokens,decode_tokens` CSV log (see
+//! [`TraceSpec::replay`]; classes index the SLO-tagged mixed spec) on
+//! both fleets, and the synthetic grids and their enforcement are
+//! skipped — a production log carries whatever mix and load it carries.
 
 use spatten_cluster::{ClusterConfig, ShardStrategy};
 use spatten_core::SpAttenConfig;
@@ -120,6 +126,7 @@ struct Args {
     seed: u64,
     smoke: bool,
     disagg_out: Option<String>,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -129,6 +136,7 @@ fn parse_args() -> Args {
         seed: 20260726,
         smoke: false,
         disagg_out: None,
+        replay: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -142,6 +150,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value().parse().expect("--seed S"),
             "--smoke" => args.smoke = true,
             "--disagg-out" => args.disagg_out = Some(value()),
+            "--replay" => args.replay = Some(value()),
             other => panic!("unknown flag {other} (see sched_bench --help in the doc comment)"),
         }
     }
@@ -383,6 +392,56 @@ fn main() {
             .expect("mixed fleet hosts two 2-way groups"),
         ),
     ];
+
+    // Replay mode: sweep every policy over the recorded log on each
+    // fleet, then stop — the synthetic grids (and their enforcement)
+    // assume trace mixes a production log does not promise.
+    if let Some(path) = &args.replay {
+        let csv = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--replay {path}: {e}"));
+        let spec = slo_spec(
+            ArrivalSpec::OpenPoisson {
+                rate_rps: 1.0,
+                requests: 1,
+            },
+            args.seed,
+        );
+        let trace = spec.replay(&csv);
+        let span_s = match &trace {
+            Trace::Open { requests } => requests.last().map_or(0.0, |r| r.arrival_ns as f64 / 1e9),
+            Trace::Closed { .. } => unreachable!("replay traces are open-loop"),
+        };
+        let rate = trace.len() as f64 / span_s.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "replaying {path}: {} requests over {span_s:.3} s ({rate:.0} req/s recorded)",
+            trace.len()
+        );
+        let scenarios: Vec<Scenario> = fleets
+            .iter()
+            .map(|fleet| sweep(fleet, "replay", &trace, rate, args.seed))
+            .collect();
+        let json = JsonObject::new()
+            .str("benchmark", "spatten-serve scheduling-policy comparison")
+            .str("replay", path)
+            .u64("requests", trace.len() as u64)
+            .f64("recorded_rps", rate)
+            .f64("wall_s", wall.elapsed().as_secs_f64())
+            .raw(
+                "scenarios",
+                &array(scenarios.iter().map(|s| {
+                    JsonObject::new()
+                        .str("fleet", s.fleet)
+                        .str("arrival", s.arrival)
+                        .f64("offered_rps", s.offered_rps)
+                        .u64("seed", s.seed)
+                        .raw("sched_knobs", &knobs_json(&s.knobs))
+                        .raw("policies", &array(s.reports.iter().map(policy_json)))
+                        .build()
+                })),
+            )
+            .build();
+        println!("{json}");
+        return;
+    }
 
     let mut scenarios: Vec<Scenario> = Vec::new();
     for fleet in &fleets {

@@ -54,7 +54,8 @@ impl Channel {
             self.busy_cycles += activation_cycles;
             RowBufferOutcome::Miss
         };
-        self.busy_cycles += bytes.div_ceil(bytes_per_cycle);
+        self.busy_cycles +=
+            crate::address::fast_div(bytes + (bytes_per_cycle - 1), bytes_per_cycle);
         if is_write {
             self.write_bytes += bytes;
         } else {

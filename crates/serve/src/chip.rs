@@ -39,7 +39,6 @@ use crate::request::{Completion, Job, ResumeState};
 use crate::scheduler::remaining_cycles_on;
 use spatten_core::StepCost;
 use spatten_nn::ModelConfig;
-use std::collections::HashMap;
 
 /// Half life, in core cycles, of the per-chip eviction-churn counter
 /// behind [`crate::route::ChipLoad::recent_evictions`] (10 ms at the
@@ -109,6 +108,14 @@ pub struct Chip {
     churn: f64,
     /// Time the churn counter was last folded down.
     churn_seen: u64,
+    /// Reusable per-round scratch (resident views handed to the batch
+    /// policy; retire / first-token / shared-weight worklists built
+    /// while planning an iteration). Rounds fire millions of times per
+    /// trace — these buffers keep the hot loop allocation-free.
+    views_scratch: Vec<ResidentView>,
+    done_scratch: Vec<usize>,
+    emitters_scratch: Vec<usize>,
+    weights_scratch: Vec<(ModelConfig, u64)>,
 }
 
 impl Chip {
@@ -130,6 +137,10 @@ impl Chip {
             est_drift: 0,
             churn: 0.0,
             churn_seen: 0,
+            views_scratch: Vec::new(),
+            done_scratch: Vec::new(),
+            emitters_scratch: Vec::new(),
+            weights_scratch: Vec::new(),
         }
     }
 
@@ -465,35 +476,34 @@ impl Chip {
         // jobs, or occupancy would undercount every completing round.
         let batch_size = self.active.len();
         let id = self.id;
-        let views: Vec<ResidentView> = self
-            .active
-            .iter()
-            .map(|a| {
-                let w = &a.job.workload;
-                let (prefill_remaining, next_decode) = if a.prefilled {
-                    let step = cost.decode_on(id, w, w.seq_len + a.steps_done + 1);
-                    (0, step.serial_cycles)
-                } else {
-                    let total = cost.prefill_on(id, w).serial_cycles;
-                    (total - a.prefill_progress, 0)
-                };
-                ResidentView {
-                    arrival_cycles: a.job.arrival_cycles,
-                    priority: a.job.priority,
-                    prefilled: a.prefilled,
-                    prefill_remaining_cycles: prefill_remaining,
-                    steps_done: a.steps_done,
-                    gen_steps: w.gen_steps,
-                    next_decode_cycles: next_decode,
-                }
-            })
-            .collect();
+        let mut views = std::mem::take(&mut self.views_scratch);
+        views.clear();
+        for a in &self.active {
+            let w = &a.job.workload;
+            let (prefill_remaining, next_decode) = if a.prefilled {
+                let step = cost.decode_on(id, w, w.seq_len + a.steps_done + 1);
+                (0, step.serial_cycles)
+            } else {
+                let total = cost.prefill_on(id, w).serial_cycles;
+                (total - a.prefill_progress, 0)
+            };
+            views.push(ResidentView {
+                arrival_cycles: a.job.arrival_cycles,
+                priority: a.job.priority,
+                prefilled: a.prefilled,
+                prefill_remaining_cycles: prefill_remaining,
+                steps_done: a.steps_done,
+                gen_steps: w.gen_steps,
+                next_decode_cycles: next_decode,
+            });
+        }
         let plan = batch.plan(&views);
         assert_eq!(
             plan.len(),
             views.len(),
             "batch plan must cover every resident"
         );
+        self.views_scratch = views;
         let cycles = if plan == [RoundStep::WholeJob] {
             self.start_whole_job(cost, pager, now)
         } else {
@@ -520,6 +530,20 @@ impl Chip {
         assert!(self.in_flight, "no round in flight");
         self.in_flight = false;
         std::mem::take(&mut self.finished)
+    }
+
+    /// Ends the in-flight round, appending its completions to `out`
+    /// instead of handing back a fresh `Vec` — the allocation-free
+    /// variant the event loop uses (`out` and the chip's internal buffer
+    /// both keep their capacity across rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round is in flight.
+    pub fn end_round_into(&mut self, out: &mut Vec<Completion>) {
+        assert!(self.in_flight, "no round in flight");
+        self.in_flight = false;
+        out.append(&mut self.finished);
     }
 
     /// Run-to-completion round: exactly the whole job at the head of the
@@ -576,9 +600,14 @@ impl Chip {
         let mut advanced = 0usize;
         // Weight traffic per distinct model: charged once (the max of the
         // group, since per-job weight costs within a model are identical).
-        let mut shared_weights: HashMap<ModelConfig, u64> = HashMap::new();
-        let mut done: Vec<usize> = Vec::new();
-        let mut first_emitters: Vec<usize> = Vec::new();
+        // A flat (model, cycles) list beats a HashMap here — a batch
+        // holds a handful of distinct models at most.
+        let mut shared_weights = std::mem::take(&mut self.weights_scratch);
+        shared_weights.clear();
+        let mut done = std::mem::take(&mut self.done_scratch);
+        done.clear();
+        let mut first_emitters = std::mem::take(&mut self.emitters_scratch);
+        first_emitters.clear();
         let id = self.id;
         for (i, (a, directive)) in self.active.iter_mut().zip(plan).enumerate() {
             let w = &a.job.workload;
@@ -647,8 +676,10 @@ impl Chip {
             advanced += 1;
             compute += step.compute_cycles;
             dram += step.dram_cycles - step.weight_dram_cycles;
-            let shared = shared_weights.entry(w.model).or_insert(0);
-            *shared = (*shared).max(step.weight_dram_cycles);
+            match shared_weights.iter_mut().find(|(m, _)| *m == w.model) {
+                Some((_, shared)) => *shared = (*shared).max(step.weight_dram_cycles),
+                None => shared_weights.push((w.model, step.weight_dram_cycles)),
+            }
             // Each job contributes its non-overlappable slack: pipeline
             // fill plus the cross-layer serialization the serial model
             // charges beyond max(Σcompute, Σdram) (a layer can't overlap
@@ -671,10 +702,10 @@ impl Chip {
             }
         }
         assert!(advanced > 0, "batch plan advanced no job");
-        dram += shared_weights.values().sum::<u64>();
+        dram += shared_weights.iter().map(|&(_, v)| v).sum::<u64>();
         let cycles = compute.max(dram) + overhead;
         let end = now + cycles;
-        for i in first_emitters {
+        for &i in &first_emitters {
             self.active[i].first_token_cycles = Some(end);
         }
         // Retire finished jobs (highest index first keeps indices valid).
@@ -693,6 +724,9 @@ impl Chip {
             self.finished
                 .push(Self::completion(&a, self.id, end, generated));
         }
+        self.weights_scratch = shared_weights;
+        self.done_scratch = done;
+        self.emitters_scratch = first_emitters;
         cycles
     }
 

@@ -110,6 +110,7 @@ pub use route::{
 pub use scheduler::{
     remaining_cycles_on, Admission, AdmissionPolicy, ArrivalOrderAdmission, ChipCapacity,
     FifoAdmission, KvAwareAdmission, PendingQueue, Policy, PreemptSpec, PriorityAdmission,
-    QueuedJob, RouteSpec, SchedKnobs, Scheduler, SjfAdmission, SloAwareAdmission, StealSpec,
+    QueuedJob, RouteSpec, SchedKnobs, Scheduler, SimMode, SjfAdmission, SloAwareAdmission,
+    StealSpec,
 };
 pub use sim::{simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig};

@@ -102,7 +102,7 @@ pub struct ChipStats {
 /// Per-request-class accounting: latency, decode cadence, and the SLO
 /// ledger (goodput = deadline-meeting completions per second; rejections
 /// are requests SLO-aware admission shed before they touched a chip).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassStats {
     /// Index into the trace spec's class list.
     pub class: usize,
@@ -146,7 +146,7 @@ impl ClassStats {
 }
 
 /// Everything one fleet simulation produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Scheduling policy name.
     pub policy: String,

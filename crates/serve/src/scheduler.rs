@@ -304,6 +304,50 @@ impl PreemptSpec {
     }
 }
 
+/// Execution mode of the fleet simulator.
+///
+/// The event loop itself is inherently serial — its determinism contract
+/// *is* the total order of `(time, seq)` keys — but the expensive part
+/// of a large simulation is not the loop: it is the cycle-accurate cost
+/// plane (every distinct `(chip config, class, context bucket)` price is
+/// computed once by running the `spatten-core` perf model). Those
+/// entries are pure functions of their key, so they can be computed on
+/// worker threads in any order and merged deterministically before the
+/// event loop starts.
+///
+/// [`SimMode::ParallelRounds`] does exactly that: the trace's class ×
+/// context-length grid is pre-priced across `threads` scoped workers,
+/// and the serial event loop then runs entirely on memo hits. The
+/// resulting [`FleetReport`](crate::FleetReport) is **bit-for-bit
+/// identical** to [`SimMode::Serial`] — by construction, since the memo
+/// is semantically transparent — and independent of `threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimMode {
+    /// Everything on the calling thread (the default).
+    #[default]
+    Serial,
+    /// Pre-price the cost plane on worker threads, then run the serial
+    /// event loop on a warm memo.
+    ParallelRounds {
+        /// Worker threads for the pre-pricing pass; `0` = one per
+        /// available CPU.
+        threads: usize,
+    },
+}
+
+impl SimMode {
+    /// The worker-thread count this mode resolves to on this machine.
+    pub fn threads(&self) -> usize {
+        match self {
+            SimMode::Serial => 1,
+            SimMode::ParallelRounds { threads: 0 } => {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+            SimMode::ParallelRounds { threads } => *threads,
+        }
+    }
+}
+
 /// Tuning knobs shared by the canonical policies. Defaults match the
 /// Table-I serving configuration and reproduce the pre-routing,
 /// non-preemptive behavior exactly.
@@ -350,6 +394,9 @@ pub struct SchedKnobs {
     /// copy-on-write prefix sharing and pruning-aware reclaim
     /// ([`crate::kv::KvPager`]).
     pub kv: KvSpec,
+    /// Simulator execution mode: serial (default) or parallel cost-plane
+    /// pre-pricing with a bit-identical report ([`SimMode`]).
+    pub mode: SimMode,
 }
 
 impl Default for SchedKnobs {
@@ -363,6 +410,7 @@ impl Default for SchedKnobs {
             preempt: PreemptSpec::None,
             max_preemptions: 4,
             kv: KvSpec::Contiguous,
+            mode: SimMode::Serial,
         }
     }
 }
@@ -842,6 +890,10 @@ pub struct Scheduler<A: AdmissionPolicy, R: RoutingPolicy = SharedQueueRouting> 
     /// prefill pass the specialist refuses to run.
     roles: Vec<PoolRole>,
     admitted: u64,
+    /// Reusable steal-scan ranking buffer (peer indices by backlog),
+    /// refilled per [`Scheduler::steal_into`] call instead of allocated
+    /// — the scan runs on every idle kick at saturation.
+    steal_scratch: Vec<usize>,
 }
 
 impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
@@ -861,6 +913,7 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
             stolen_cycles: vec![0; chips],
             roles: vec![PoolRole::Flex; chips],
             admitted: 0,
+            steal_scratch: Vec::with_capacity(chips),
         }
     }
 
@@ -1024,12 +1077,20 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
         if self.roles[thief] == PoolRole::Decode {
             return false;
         }
-        // Peers by backlog, most loaded first (stable: index breaks ties).
-        let mut peers: Vec<usize> = (0..self.routed.len())
-            .filter(|&c| c != thief && self.pending_cycles[c] > 0 && !self.routed[c].is_empty())
-            .collect();
-        peers.sort_by_key(|&c| (Reverse(self.pending_cycles[c]), c));
-        for victim in peers {
+        // Peers by backlog, most loaded first, ranked in a reusable
+        // scratch buffer. The sort key carries the index as an explicit
+        // tie-break, so the allocation-free unstable sort yields exactly
+        // the order the old stable sort did.
+        let mut peers = std::mem::take(&mut self.steal_scratch);
+        peers.clear();
+        peers.extend(
+            (0..self.routed.len()).filter(|&c| {
+                c != thief && self.pending_cycles[c] > 0 && !self.routed[c].is_empty()
+            }),
+        );
+        peers.sort_unstable_by_key(|&c| (Reverse(self.pending_cycles[c]), c));
+        let mut stole = false;
+        for &victim in &peers {
             // The costliest eligible job, priced on the victim chip (the
             // backlog being relieved); top priority tier first so
             // stealing never inverts the order admission would use, and
@@ -1065,9 +1126,11 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
             self.stolen_cycles[thief] += remaining_cycles_on(cost, victim, &job);
             self.charge(thief, &job, cost);
             self.routed[thief].push(job);
-            return true;
+            stole = true;
+            break;
         }
-        false
+        self.steal_scratch = peers;
+        stole
     }
 
     /// Asks the policy what the calling chip should admit right now: its
@@ -1558,6 +1621,46 @@ mod tests {
         off.charge(1, &j, &mut c);
         off.routed[1].push(j);
         assert!(!off.steal_into(&mut c, 0, idle_cap(8), 0));
+    }
+
+    #[test]
+    fn steal_scan_order_survives_the_scratch_ranking() {
+        // The scratch-buffer rewrite of the steal scan (reused ranking
+        // Vec + unstable sort on a (backlog, index) key) must visit
+        // victims in exactly the order the old allocating stable sort
+        // did: descending backlog, ties broken by the lower chip index.
+        let mut c = cost();
+        let mut s = Scheduler::new(ArrivalOrderAdmission, SharedQueueRouting, 5)
+            .with_steal(StealSpec::CostliestFit);
+        // Chips 1..=4 backlogged, two jobs each so the second-in-line is
+        // always profitable to steal; chips 3 and 4 carry identical
+        // queues (a backlog tie), chip 2 is heaviest, chip 1 lightest.
+        for (chip, seq) in [(1usize, 48usize), (2, 512), (3, 128), (4, 128)] {
+            for copy in 0..2u64 {
+                let j = job(chip as u64 * 10 + copy, seq, 8);
+                s.charge(chip, &j, &mut c);
+                s.routed[chip].push(j);
+            }
+        }
+        assert_eq!(s.pending_cycles[3], s.pending_cycles[4], "tie premise");
+        // The reference ranking: what the pre-scratch stable sort over
+        // the same filter produced.
+        let mut expect: Vec<usize> = (0..5)
+            .filter(|&p| p != 0 && s.pending_cycles[p] > 0 && !s.routed[p].is_empty())
+            .collect();
+        expect.sort_by_key(|&p| (Reverse(s.pending_cycles[p]), p));
+        assert_eq!(expect, vec![2, 3, 4, 1]);
+        assert!(s.steal_into(&mut c, 0, idle_cap(8), 0));
+        // The scratch buffer still holds the scan's ranking: identical
+        // to the reference, and the job moved came from its head.
+        assert_eq!(s.steal_scratch, expect, "steal scan order changed");
+        assert_eq!(s.routed[0].get(0).job.id, 21, "stolen from ranking head");
+        // Scratch reuse must not leak state into later scans: a second
+        // steal re-ranks from live backlogs, walks past chip 2 (its lone
+        // remaining head job fails the profitability guard) and raids
+        // the tied pair lowest-index-first — chip 3's second-in-line.
+        assert!(s.steal_into(&mut c, 0, idle_cap(8), 0));
+        assert_eq!(s.routed[0].get(1).job.id, 31, "tie broken by index");
     }
 
     #[test]

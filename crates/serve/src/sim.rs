@@ -32,8 +32,6 @@ use crate::scheduler::{
 };
 use spatten_core::SpAttenConfig;
 use spatten_workloads::{PoolRole, Trace, TraceRequest};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Fleet-level configuration.
 #[derive(Debug, Clone)]
@@ -148,10 +146,50 @@ fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, cloc
     }
 }
 
-#[derive(Debug)]
+/// Handle into the fleet's [`JobArena`]. Events carry these 4-byte
+/// indices instead of boxed jobs, so the event queue moves small `Copy`
+/// structs and job state never moves until the event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JobId(u32);
+
+/// Slab of event-owned jobs: pre-drawn open-loop arrivals, deferred
+/// closed-loop arrivals, and in-flight handoff payloads. Slots freed by
+/// fired events go on a free list and are reused, so steady-state
+/// simulation allocates no per-event job storage at all.
+#[derive(Debug, Default)]
+struct JobArena {
+    slots: Vec<Option<Job>>,
+    free: Vec<u32>,
+}
+
+impl JobArena {
+    fn insert(&mut self, job: Job) -> JobId {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(job);
+                JobId(i)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("more than 2^32 live jobs");
+                self.slots.push(Some(job));
+                JobId(i)
+            }
+        }
+    }
+
+    fn take(&mut self, id: JobId) -> Job {
+        let job = self.slots[id.0 as usize]
+            .take()
+            .expect("event fired for a job no longer in the arena");
+        self.free.push(id.0);
+        job
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 enum EventKind {
-    Arrival(Box<Job>),
-    RoundEnd(usize),
+    Arrival(JobId),
+    RoundEnd(u32),
     /// A prefill→decode KV handoff landing on its target chip: the
     /// payload left its source `cycles` ago, and the job now re-enters
     /// admission pinned (via its [`crate::request::ResumeState`]) to
@@ -159,33 +197,80 @@ enum EventKind {
     /// flight the job is owned by the transfer: it is in no queue and on
     /// no chip, so preemption and stealing cannot touch it.
     HandoffArrive {
-        job: Box<Job>,
-        dst: usize,
+        job: JobId,
+        dst: u32,
         cycles: u64,
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Event {
     time: u64,
     seq: u64,
     kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
+impl Event {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Index-based binary min-heap over [`Event`]s, ordered by `(time,
+/// seq)`. Hand-rolled rather than `BinaryHeap<Reverse<Event>>`: events
+/// are 24-byte `Copy` values sifted in place in one flat `Vec`, with no
+/// `Reverse` wrapper and no per-arrival box. Pushing an already-sorted
+/// open-loop preload is O(1) per event (each new event is the maximum,
+/// so sift-up exits immediately).
+#[derive(Debug, Default)]
+struct EventHeap {
+    heap: Vec<Event>,
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+impl EventHeap {
+    fn peek(&self) -> Option<&Event> {
+        self.heap.first()
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.heap.push(ev);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let ev = self.heap.pop();
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < n && self.heap[right].key() < self.heap[left].key() {
+                best = right;
+            }
+            if self.heap[best].key() < self.heap[i].key() {
+                self.heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        ev
     }
 }
 
@@ -215,13 +300,21 @@ struct Fleet<
     handoffs: Vec<u64>,
     handoff_bytes: Vec<u64>,
     handoff_cycles: Vec<u64>,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventHeap,
+    /// Jobs owned by not-yet-fired events, referenced by [`JobId`].
+    jobs: JobArena,
     seq: u64,
     completions: Vec<Completion>,
     rejections: Vec<Rejection>,
     /// Closed-loop state: per-client pending queues + think time.
     client_queues: Vec<Vec<TraceRequest>>,
     think_cycles: u64,
+    /// Reusable routing-snapshot buffer (one slot per chip), refilled on
+    /// each routed arrival instead of allocated.
+    loads_scratch: Vec<ChipLoad>,
+    /// Reusable round-completion buffer, swapped with the chip's
+    /// finished list at each round end.
+    finished_scratch: Vec<Completion>,
 }
 
 impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: PreemptionPolicy>
@@ -230,7 +323,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
     fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.push(Event { time, seq, kind });
     }
 
     fn capacity(&self, chip_idx: usize) -> ChipCapacity {
@@ -280,24 +373,26 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         }
     }
 
-    /// The per-chip load snapshot the routing policy sees at an arrival.
-    fn loads(&self, now: u64) -> Vec<ChipLoad> {
-        (0..self.chips.len())
-            .map(|i| {
-                let chip = &self.chips[i];
-                ChipLoad {
-                    role: self.pools.as_ref().map_or(PoolRole::Flex, |p| p.role(i)),
-                    active: chip.active_jobs(),
-                    kv_in_use: chip.kv_in_use(),
-                    kv_budget: self.cost.budget_on(i),
-                    pending_jobs: self.scheduler.pending_on(i),
-                    pending_cycles: self.scheduler.pending_cycles_on(i),
-                    pending_kv: self.scheduler.pending_kv_on(i),
-                    in_service_cycles: chip.in_service_cycles(),
-                    recent_evictions: chip.recent_evictions(now),
-                }
-            })
-            .collect()
+    /// Refills the reusable per-chip load snapshot the routing policy
+    /// sees at an arrival (`self.loads_scratch`), in place.
+    fn fill_loads(&mut self, now: u64) {
+        let mut loads = std::mem::take(&mut self.loads_scratch);
+        loads.clear();
+        for i in 0..self.chips.len() {
+            let chip = &self.chips[i];
+            loads.push(ChipLoad {
+                role: self.pools.as_ref().map_or(PoolRole::Flex, |p| p.role(i)),
+                active: chip.active_jobs(),
+                kv_in_use: chip.kv_in_use(),
+                kv_budget: self.cost.budget_on(i),
+                pending_jobs: self.scheduler.pending_on(i),
+                pending_cycles: self.scheduler.pending_cycles_on(i),
+                pending_kv: self.scheduler.pending_kv_on(i),
+                in_service_cycles: chip.in_service_cycles(),
+                recent_evictions: chip.recent_evictions(now),
+            });
+        }
+        self.loads_scratch = loads;
     }
 
     /// Offers work to `chip` — possibly evicting residents for queued
@@ -382,7 +477,7 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         let pager = self.pagers.as_mut().map(|p| &mut p[chip_idx]);
         let chip = &mut self.chips[chip_idx];
         if let Some(cycles) = chip.start_round(&mut self.cost, pager, &mut self.batch, now) {
-            self.push(now + cycles, EventKind::RoundEnd(chip_idx));
+            self.push(now + cycles, EventKind::RoundEnd(chip_idx as u32));
         }
     }
 
@@ -403,10 +498,13 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
     /// charged into the source's busy cycles now and the target's at
     /// delivery, when the job re-enters admission pinned to the target.
     fn migrate_graduates(&mut self, src: usize, now: u64) {
-        let Some(pools) = self.pools.clone() else {
+        // Taken (not cloned) for the duration of the walk — the spec is
+        // restored below, and nothing on this path reads `self.pools`.
+        let Some(pools) = self.pools.take() else {
             return;
         };
         if pools.role(src) != PoolRole::Prefill {
+            self.pools = Some(pools);
             return;
         }
         let pager = self.pagers.as_mut().map(|p| &mut p[src]);
@@ -444,15 +542,17 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             self.handoffs[src] += 1;
             self.handoff_bytes[src] += bytes;
             self.handoff_cycles[src] += cycles;
+            let job = self.jobs.insert(job);
             self.push(
                 now + cycles,
                 EventKind::HandoffArrive {
-                    job: Box::new(job),
-                    dst,
+                    job,
+                    dst: dst as u32,
                     cycles,
                 },
             );
         }
+        self.pools = Some(pools);
     }
 
     /// A client whose request left the system (completed or rejected)
@@ -462,7 +562,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             if let Some(next) = self.client_queues.get_mut(client).and_then(Vec::pop) {
                 let t = freed_at + self.think_cycles;
                 let job = job_from(&next, Some(client), t, self.clock_ghz);
-                self.push(t, EventKind::Arrival(Box::new(job)));
+                let job = self.jobs.insert(job);
+                self.push(t, EventKind::Arrival(job));
             }
         }
     }
@@ -485,30 +586,66 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         });
     }
 
-    fn run(mut self) -> FleetReport {
+    fn handle_arrival(&mut self, job: Job, now: u64) {
+        // The load snapshot exists for the router; the default shared
+        // queue never reads it.
+        if self.scheduler.routes() {
+            self.fill_loads(now);
+        } else {
+            self.loads_scratch.clear();
+        }
+        self.scheduler
+            .on_arrival(job, &mut self.cost, &self.loads_scratch, now);
+        for chip_idx in 0..self.chips.len() {
+            self.kick(chip_idx, now);
+        }
+    }
+
+    /// Drains the simulation. `open` is the open-loop arrival stream,
+    /// already sorted by arrival time: instead of preloading one heap
+    /// entry (and one arena slot) per request, arrivals are merged in
+    /// from a cursor and the heap only ever holds the dynamic events —
+    /// round ends and KV handoffs, a handful per chip. Ordering is
+    /// unchanged: streamed arrival `i` owns sequence number `i` (the
+    /// caller starts `self.seq` past them), so the merge key
+    /// `(time, seq)` reproduces the old preloaded heap order exactly.
+    fn run(mut self, open: &[TraceRequest]) -> FleetReport {
         let mut sim_events: u64 = 0;
-        while let Some(Reverse(ev)) = self.events.pop() {
+        let mut next_open: usize = 0;
+        loop {
+            let arrival = open
+                .get(next_open)
+                .map(|r| (ns_to_cycles(self.clock_ghz, r.arrival_ns), next_open as u64));
+            let fire_arrival = match (arrival, self.events.peek()) {
+                (Some(a), Some(ev)) => a < ev.key(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
             sim_events += 1;
+            if fire_arrival {
+                let (now, _) = arrival.expect("arrival key present");
+                let req = &open[next_open];
+                next_open += 1;
+                let job = job_from(req, None, now, self.clock_ghz);
+                self.handle_arrival(job, now);
+                continue;
+            }
+            let ev = self.events.pop().expect("heap non-empty");
             let now = ev.time;
             match ev.kind {
-                EventKind::Arrival(job) => {
-                    // The load snapshot exists for the router; the
-                    // default shared queue never reads it.
-                    let loads = if self.scheduler.routes() {
-                        self.loads(now)
-                    } else {
-                        Vec::new()
-                    };
-                    self.scheduler.on_arrival(*job, &mut self.cost, &loads, now);
-                    for chip_idx in 0..self.chips.len() {
-                        self.kick(chip_idx, now);
-                    }
+                EventKind::Arrival(id) => {
+                    let job = self.jobs.take(id);
+                    self.handle_arrival(job, now);
                 }
                 EventKind::RoundEnd(chip_idx) => {
-                    let finished = self.chips[chip_idx].end_round();
-                    for done in finished {
+                    let chip_idx = chip_idx as usize;
+                    let mut finished = std::mem::take(&mut self.finished_scratch);
+                    self.chips[chip_idx].end_round_into(&mut finished);
+                    for done in finished.drain(..) {
                         self.on_completion(done);
                     }
+                    self.finished_scratch = finished;
                     // Disaggregation: residents whose last prefill chunk
                     // just retired leave for the decode pool before this
                     // chip can plan another round around them.
@@ -527,9 +664,11 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                     // the drain occupied the source's: the same transfer
                     // cycles extend the target's next round, so neither
                     // pool's utilization hides the migration.
+                    let dst = dst as usize;
+                    let job = self.jobs.take(job);
                     self.chips[dst].charge_transfer_cycles(cycles);
                     self.handoff_cycles[dst] += cycles;
-                    self.scheduler.requeue(dst, *job, &mut self.cost);
+                    self.scheduler.requeue(dst, job, &mut self.cost);
                     self.kick(dst, now);
                 }
             }
@@ -651,7 +790,7 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
 /// a sweep quietly compare "preemptive" FIFO to itself.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_fleet_policy<C: FleetCost>(
-    cost: C,
+    mut cost: C,
     chips: usize,
     policy: Policy,
     knobs: &SchedKnobs,
@@ -660,7 +799,18 @@ pub fn simulate_fleet_policy<C: FleetCost>(
     clock_ghz: f64,
     trace: &Trace,
 ) -> FleetReport {
-    use crate::scheduler::PreemptSpec;
+    use crate::scheduler::{PreemptSpec, SimMode};
+    if let SimMode::ParallelRounds { .. } = knobs.mode {
+        let threads = knobs.mode.threads();
+        match trace {
+            Trace::Open { requests } => {
+                cost.prewarm(&mut requests.iter().map(|r| &r.workload), threads)
+            }
+            Trace::Closed { clients, .. } => {
+                cost.prewarm(&mut clients.iter().flatten().map(|r| &r.workload), threads)
+            }
+        }
+    }
     if matches!(policy, Policy::Fifo | Policy::Sjf) && knobs.preempt != PreemptSpec::None {
         eprintln!(
             "warning: preemption ({}) is inert under run-to-completion policy {}: \
@@ -755,20 +905,29 @@ pub fn simulate_fleet_with<
         handoffs: vec![0; chips],
         handoff_bytes: vec![0; chips],
         handoff_cycles: vec![0; chips],
-        events: BinaryHeap::new(),
+        events: EventHeap::default(),
+        jobs: JobArena::default(),
         seq: 0,
         completions: Vec::new(),
         rejections: Vec::new(),
         client_queues: Vec::new(),
         think_cycles: 0,
+        loads_scratch: Vec::with_capacity(chips),
+        finished_scratch: Vec::new(),
     };
-    match trace {
+    let open_requests: &[TraceRequest] = match trace {
         Trace::Open { requests } => {
-            for req in requests {
-                let t = ns_to_cycles(clock, req.arrival_ns);
-                let job = job_from(req, None, t, clock);
-                fleet.push(t, EventKind::Arrival(Box::new(job)));
-            }
+            // Open-loop arrivals are streamed straight from the sorted
+            // trace inside `run`; reserve them the sequence numbers
+            // they would have owned had they been preloaded.
+            assert!(
+                requests
+                    .windows(2)
+                    .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+                "open trace must be sorted by arrival time"
+            );
+            fleet.seq = requests.len() as u64;
+            requests
         }
         Trace::Closed { clients, think_ns } => {
             fleet.think_cycles = ns_to_cycles(clock, *think_ns);
@@ -779,13 +938,14 @@ pub fn simulate_fleet_with<
                 .collect();
             for client in 0..fleet.client_queues.len() {
                 if let Some(first) = fleet.client_queues[client].pop() {
-                    let job = job_from(&first, Some(client), 0, clock);
-                    fleet.push(0, EventKind::Arrival(Box::new(job)));
+                    let job = fleet.jobs.insert(job_from(&first, Some(client), 0, clock));
+                    fleet.push(0, EventKind::Arrival(job));
                 }
             }
+            &[]
         }
-    }
-    fleet.run()
+    };
+    fleet.run(open_requests)
 }
 
 #[cfg(test)]

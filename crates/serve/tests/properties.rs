@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use spatten_core::SpAttenConfig;
 use spatten_serve::{
-    simulate_fleet, FleetConfig, KvSpec, Policy, PoolSpec, PreemptSpec, RouteSpec, StealSpec,
+    simulate_fleet, FleetConfig, KvSpec, Policy, PoolSpec, PreemptSpec, RouteSpec, SimMode,
+    StealSpec,
 };
 use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
 
@@ -546,6 +547,63 @@ proptest! {
             "pruned survivor sets must be cheaper to move: {} >= {}",
             bytes(&plain), bytes(&dense)
         );
+    }
+
+    /// [`SimMode::ParallelRounds`] is bit-identical to serial: the
+    /// parallel cost-plane pre-warm prices the same pure functions the
+    /// serial run would price lazily, so the full [`FleetReport`] — every
+    /// completion timestamp, per-job token count, chip counter and the
+    /// fired-event total — must match exactly, independent of thread
+    /// count, across the whole routing × stealing × preemption × pooling
+    /// scheduling surface.
+    ///
+    /// [`FleetReport`]: spatten_serve::FleetReport
+    #[test]
+    fn parallel_rounds_is_bit_identical_to_serial(
+        requests in 40usize..120,
+        rate in 200.0f64..4000.0,
+        seed in 0u64..3,
+        route_pick in 0usize..5,
+        steal_pick in 0usize..2,
+        preempt_pick in 0usize..2,
+        pools_pick in 0usize..2,
+        threads in 2usize..9,
+    ) {
+        let route = [
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+            RouteSpec::PoolAware,
+        ][route_pick];
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let preempt = [PreemptSpec::None, PreemptSpec::Priority][preempt_pick];
+        let trace = tiered_trace(requests, rate, seed);
+        let mut cfg = FleetConfig::new(3, Policy::Priority);
+        cfg.sched.route = route;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = preempt;
+        if pools_pick == 1 {
+            cfg.pools = Some(PoolSpec::split(1, 2));
+        }
+        let serial = simulate_fleet(&cfg, &trace);
+        let mut par = cfg.clone();
+        par.sched.mode = SimMode::ParallelRounds { threads };
+        let parallel = simulate_fleet(&par, &trace);
+        // Per-job token vectors and the fired-event count first, for a
+        // readable failure; then the whole report bit-for-bit.
+        let tokens = |r: &spatten_serve::FleetReport| -> Vec<(u64, usize, usize)> {
+            let mut t: Vec<(u64, usize, usize)> = r
+                .completions
+                .iter()
+                .map(|c| (c.id, c.prefill_tokens, c.generated_tokens))
+                .collect();
+            t.sort_unstable();
+            t
+        };
+        prop_assert_eq!(tokens(&parallel), tokens(&serial));
+        prop_assert_eq!(parallel.sim_events, serial.sim_events);
+        prop_assert_eq!(&parallel, &serial);
     }
 
     /// Timestamps are causally ordered for every completion, under every
