@@ -54,6 +54,17 @@
 //!    wins end-to-end p99 (the handoff-tax inversion). `--disagg-out
 //!    FILE` additionally writes this grid's JSON to `FILE`
 //!    (`BENCH_disagg.json` in CI).
+//! 6. **Elasticity grid** — the SLO-tagged mixed trace under a diurnal
+//!    envelope (two load cycles across the trace, peak ~3.2× and trough
+//!    ~0.8× of one chip's capacity) on a 2-chip base fleet with a 2-chip
+//!    reserve: static under-provisioning (base only), static
+//!    over-provisioning (base + reserve all online) and the
+//!    threshold-hysteresis autoscaler over the same reserve, compared on
+//!    SLO goodput and total online chip-cycles. A separate seeded
+//!    revocation schedule runs against its fault-free twin to check that
+//!    spot-style preemption loses no admitted work outside the displaced
+//!    jobs. `--elastic-out FILE` additionally writes this grid's JSON to
+//!    `FILE` (`BENCH_elastic.json` in CI).
 //!
 //! Headline invariants (the saturation-band pair is enforced in `--smoke`
 //! too — it is the regression this bench exists to pin down; the rest
@@ -88,7 +99,19 @@
 //!   co-location wins end-to-end p99 (the handoff tax is real);
 //! * **contiguous KV with no pools reproduces the pre-disaggregation
 //!   event stream bit-for-bit**, and an all-`Flex` pool spec is
-//!   indistinguishable from no spec at all (always asserted).
+//!   indistinguishable from no spec at all (always asserted);
+//! * **the autoscaler beats the static under-provisioned fleet on
+//!   diurnal SLO goodput AND the static over-provisioned fleet on total
+//!   online chip-cycles** — enforced in `--smoke` too: riding the load
+//!   envelope on both axes at once is the elasticity layer's reason to
+//!   exist;
+//! * **revocation with grace loses zero admitted work beyond the
+//!   cutoff**: under a seeded revoke schedule every request still
+//!   completes, and every completion the faults never displaced moves
+//!   exactly its fault-free twin's tokens (enforced in `--smoke` too —
+//!   token counters are deterministic at any trace size). An empty
+//!   elasticity spec is bit-identical to no spec at all (always
+//!   asserted).
 //!
 //! The JSON report goes to stdout (every run records the `SchedKnobs`
 //! and trace seed it used, so any row is reproducible from the report
@@ -96,7 +119,7 @@
 //!
 //! ```text
 //! sched_bench [--requests N] [--rate-frac F] [--seed S] [--smoke]
-//!             [--disagg-out FILE] [--replay FILE]
+//!             [--disagg-out FILE] [--elastic-out FILE] [--replay FILE]
 //! ```
 //!
 //! `--smoke` caps the trace at 90 requests and skips all enforcement
@@ -114,8 +137,8 @@ use spatten_cluster::{ClusterConfig, ShardStrategy};
 use spatten_core::SpAttenConfig;
 use spatten_serve::json::{array, JsonObject};
 use spatten_serve::{
-    simulate_fleet, FleetConfig, FleetReport, KvSpec, Policy, PoolSpec, PreemptSpec, RouteSpec,
-    SchedKnobs, StealSpec,
+    simulate_fleet, AutoscaleSpec, ElasticSpec, FleetConfig, FleetEvents, FleetReport, KvSpec,
+    LeaveMode, Policy, PoolSpec, PreemptSpec, RouteSpec, SchedKnobs, StealSpec,
 };
 use spatten_workloads::fleet::{FleetSpec, LinkSpec, PoolRole, TopologySpec};
 use spatten_workloads::{ArrivalSpec, Benchmark, Trace, TraceSpec};
@@ -126,6 +149,7 @@ struct Args {
     seed: u64,
     smoke: bool,
     disagg_out: Option<String>,
+    elastic_out: Option<String>,
     replay: Option<String>,
 }
 
@@ -136,6 +160,7 @@ fn parse_args() -> Args {
         seed: 20260726,
         smoke: false,
         disagg_out: None,
+        elastic_out: None,
         replay: None,
     };
     let mut it = std::env::args().skip(1);
@@ -150,6 +175,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value().parse().expect("--seed S"),
             "--smoke" => args.smoke = true,
             "--disagg-out" => args.disagg_out = Some(value()),
+            "--elastic-out" => args.elastic_out = Some(value()),
             "--replay" => args.replay = Some(value()),
             other => panic!("unknown flag {other} (see sched_bench --help in the doc comment)"),
         }
@@ -181,7 +207,8 @@ enum Fleet {
     SingleChip,
     /// Planner-placed 2-way tensor-parallel groups carved from a mixed
     /// (full + 1/8-scale) fleet — heaviest shards on the fastest silicon.
-    Cluster(ClusterConfig),
+    /// Boxed: a `ClusterConfig` dwarfs the dataless variant.
+    Cluster(Box<ClusterConfig>),
 }
 
 impl Fleet {
@@ -382,7 +409,7 @@ fn main() {
     let w = Benchmark::gpt2_small_wikitext2().workload();
     let fleets = [
         Fleet::SingleChip,
-        Fleet::Cluster(
+        Fleet::Cluster(Box::new(
             ClusterConfig::carve(
                 &FleetSpec::mixed(2, 2),
                 &ShardStrategy::tensor(2),
@@ -390,7 +417,7 @@ fn main() {
                 Policy::ContinuousBatching,
             )
             .expect("mixed fleet hosts two 2-way groups"),
-        ),
+        )),
     ];
 
     // Replay mode: sweep every policy over the recorded log on each
@@ -1009,6 +1036,255 @@ fn main() {
     assert_eq!(legacy.sim_events, flex.sim_events);
     assert_eq!(sum_bytes(&flex), 0, "Flex chips never migrate");
 
+    // ── Elasticity grid ──────────────────────────────────────────────
+    // A diurnal envelope over a small fleet: static under-provisioning
+    // (trough-sized), static over-provisioning (peak-sized), and the
+    // threshold-hysteresis autoscaler over the same reserve. The
+    // autoscaler has to beat the under-provisioned fleet on SLO goodput
+    // AND the over-provisioned one on total online chip-cycles — one
+    // without the other is just picking a different static fleet.
+    let elastic_seed = args.seed ^ 0xE1A5;
+    let chip_probe = TraceSpec::mixed(
+        ArrivalSpec::ClosedLoop {
+            clients: 32,
+            think_s: 0.0,
+            requests: 256,
+        },
+        elastic_seed ^ 0xCAFE,
+    )
+    .generate();
+    let chip_capacity = simulate_fleet(
+        &FleetConfig::new(1, Policy::ContinuousBatching),
+        &chip_probe,
+    )
+    .throughput_rps;
+    let base_chips = 2usize;
+    let reserve_chips = 2usize;
+    // Mean load sized so the peak (base × 1.6) overwhelms the base fleet
+    // while the trough (base × 0.4) idles half of it.
+    let base_rps = chip_capacity * 2.0;
+    let swing = 0.6;
+    let elastic_span_s = args.requests as f64 / base_rps;
+    let diurnal = slo_spec(
+        ArrivalSpec::Diurnal {
+            base_rps,
+            swing,
+            period_s: elastic_span_s / 2.0,
+            requests: args.requests,
+        },
+        elastic_seed,
+    )
+    .generate();
+    eprintln!(
+        "\nelasticity fleet ({base_chips} base + {reserve_chips} reserve full chips): diurnal \
+         envelope at {base_rps:.0} req/s mean, swing {swing}, {:.3} s period",
+        elastic_span_s / 2.0
+    );
+    let elastic_fleet = |chips: usize, elastic: Option<ElasticSpec>| {
+        let mut cfg = FleetConfig::new(chips, Policy::ContinuousBatching);
+        cfg.elastic = elastic;
+        cfg
+    };
+    let under = simulate_fleet(&elastic_fleet(base_chips, None), &diurnal);
+    let over = simulate_fleet(&elastic_fleet(base_chips + reserve_chips, None), &diurnal);
+    let auto_run = simulate_fleet(
+        &elastic_fleet(
+            base_chips,
+            Some(ElasticSpec {
+                events: FleetEvents::default(),
+                reserve: vec![SpAttenConfig::default(); reserve_chips],
+                autoscale: Some(AutoscaleSpec::default()),
+                models: None,
+            }),
+        ),
+        &diurnal,
+    );
+    let online_cost = |r: &FleetReport| {
+        r.chip_stats
+            .iter()
+            .map(|c| c.elastic.online_cycles)
+            .sum::<u64>()
+    };
+    let elastic_sum = |r: &FleetReport, f: fn(&spatten_serve::ElasticChipStats) -> u64| {
+        r.chip_stats.iter().map(|c| f(&c.elastic)).sum::<u64>()
+    };
+    let auto_ups = elastic_sum(&auto_run, |e| e.joins);
+    eprintln!(
+        "autoscaler goodput {:.0} req/s vs {:.0} static under-provisioned ({:.2}x); online cost \
+         {} chip-cycles vs {} static over-provisioned ({:.1}% saved, {} reserve bring-ups)",
+        auto_run.goodput_rps,
+        under.goodput_rps,
+        auto_run.goodput_rps / under.goodput_rps.max(f64::MIN_POSITIVE),
+        online_cost(&auto_run),
+        online_cost(&over),
+        (1.0 - online_cost(&auto_run) as f64 / online_cost(&over).max(1) as f64) * 100.0,
+        auto_ups
+    );
+    // An empty elasticity spec must be bit-identical to no spec at all
+    // (the fixed-fleet fast path) — always asserted, like the all-Flex
+    // pool gate above.
+    let empty_elastic = simulate_fleet(
+        &elastic_fleet(base_chips, Some(ElasticSpec::default())),
+        &diurnal,
+    );
+    assert_eq!(
+        under.completions, empty_elastic.completions,
+        "an empty elasticity spec must be bit-identical to a fixed fleet"
+    );
+    assert_eq!(under.makespan_cycles, empty_elastic.makespan_cycles);
+    assert_eq!(under.sim_events, empty_elastic.sim_events);
+
+    // Revocation-with-grace conservation: the first seed offset whose
+    // drawn schedule actually revokes, against the fault-free twin on
+    // the identical trace. Every request must still complete, and every
+    // completion the revocations never displaced must move exactly the
+    // twin's tokens.
+    let fault_chips = 4usize;
+    let fault_rate = chip_capacity * fault_chips as f64 * 0.9;
+    let fault_trace = slo_spec(
+        ArrivalSpec::OpenPoisson {
+            rate_rps: fault_rate,
+            requests: args.requests,
+        },
+        elastic_seed ^ 0xFA11,
+    )
+    .generate();
+    let fault_horizon_ns = (args.requests as f64 / fault_rate * 1e9) as u64;
+    let fault_twin = simulate_fleet(&elastic_fleet(fault_chips, None), &fault_trace);
+    // Seeded graces can span an eighth of the horizon — long enough for
+    // every resident to finish politely, which tests nothing. Clamp them
+    // tight so the cutoff lands mid-service, and scan seed offsets until
+    // the drawn schedule actually displaces a job (deterministic in the
+    // base seed; offset 0 almost always suffices).
+    let (fault_events, faulted) = (0u64..64)
+        .find_map(|i| {
+            let mut events =
+                FleetEvents::seeded(elastic_seed.wrapping_add(i), fault_chips, fault_horizon_ns);
+            let mut revokes = false;
+            for l in &mut events.leaves {
+                if let LeaveMode::Revoke { grace_ns } = &mut l.mode {
+                    *grace_ns = (*grace_ns).min(fault_horizon_ns / 256);
+                    revokes = true;
+                }
+            }
+            if !revokes {
+                return None;
+            }
+            let report = simulate_fleet(
+                &elastic_fleet(
+                    fault_chips,
+                    Some(ElasticSpec {
+                        events: events.clone(),
+                        ..ElasticSpec::default()
+                    }),
+                ),
+                &fault_trace,
+            );
+            report
+                .completions
+                .iter()
+                .any(|c| c.revoked)
+                .then_some((events, report))
+        })
+        .expect("a seeded revoke schedule within 64 offsets displaces work");
+    let twin_tokens: Vec<(u64, usize, usize)> = {
+        let mut t: Vec<(u64, usize, usize)> = fault_twin
+            .completions
+            .iter()
+            .map(|c| (c.id, c.prefill_tokens, c.generated_tokens))
+            .collect();
+        t.sort_unstable();
+        t
+    };
+    let untouched_diverged = faulted
+        .completions
+        .iter()
+        .filter(|c| !c.revoked)
+        .filter(|c| {
+            twin_tokens
+                .binary_search(&(c.id, c.prefill_tokens, c.generated_tokens))
+                .is_err()
+        })
+        .count();
+    let revoked_completions = faulted.completions.iter().filter(|c| c.revoked).count();
+    eprintln!(
+        "revocation conservation: {} scheduled leaves displaced {} jobs; {} of {} untouched \
+         completions diverged from the fault-free twin",
+        fault_events.leaves.len(),
+        revoked_completions,
+        untouched_diverged,
+        faulted.completions.len() - revoked_completions
+    );
+
+    let elastic_run_json = |label: &str, r: &FleetReport| {
+        JsonObject::new()
+            .str("config", label)
+            .f64("goodput_rps", r.goodput_rps)
+            .f64("p99_s", r.latency.p99)
+            .u64("slo_violations", r.slo_violations as u64)
+            .u64("online_chip_cycles", online_cost(r))
+            .u64(
+                "weight_load_cycles",
+                elastic_sum(r, |e| e.weight_load_cycles),
+            )
+            .u64("joins", elastic_sum(r, |e| e.joins))
+            .u64("leaves", elastic_sum(r, |e| e.leaves))
+            .u64("revoked_jobs", elastic_sum(r, |e| e.revoked_jobs))
+            .u64("sim_events", r.sim_events)
+            .build()
+    };
+    let elastic_json = JsonObject::new()
+        .str("benchmark", "spatten-serve elastic fleet membership")
+        .str(
+            "mix",
+            "SLO-tagged mixed trace under a diurnal envelope (two load cycles)",
+        )
+        .u64("requests", args.requests as u64)
+        .u64("seed", elastic_seed)
+        .f64("chip_capacity_rps", chip_capacity)
+        .f64("base_rps", base_rps)
+        .f64("swing", swing)
+        .u64("base_chips", base_chips as u64)
+        .u64("reserve_chips", reserve_chips as u64)
+        .f64(
+            "goodput_gain_over_under_provisioned",
+            auto_run.goodput_rps / under.goodput_rps.max(f64::MIN_POSITIVE),
+        )
+        .f64(
+            "online_cost_saving_vs_over_provisioned_frac",
+            1.0 - online_cost(&auto_run) as f64 / online_cost(&over).max(1) as f64,
+        )
+        .u64("reserve_bring_ups", auto_ups)
+        .raw(
+            "runs",
+            &array(
+                [
+                    ("static under-provisioned (base only)", &under),
+                    ("static over-provisioned (base + reserve)", &over),
+                    ("threshold-hysteresis autoscaler", &auto_run),
+                ]
+                .into_iter()
+                .map(|(label, r)| elastic_run_json(label, r)),
+            ),
+        )
+        .raw(
+            "revocation",
+            &JsonObject::new()
+                .f64("offered_rps", fault_rate)
+                .u64("chips", fault_chips as u64)
+                .u64("scheduled_leaves", fault_events.leaves.len() as u64)
+                .u64("revoked_completions", revoked_completions as u64)
+                .u64("untouched_diverged", untouched_diverged as u64)
+                .bool("all_completed", faulted.completed == args.requests)
+                .u64("sim_events", faulted.sim_events)
+                .build(),
+        )
+        .build();
+    if let Some(path) = &args.elastic_out {
+        std::fs::write(path, format!("{elastic_json}\n")).expect("write --elastic-out");
+        eprintln!("wrote elasticity grid to {path}");
+    }
+
     // Headline: decode-prioritized vs continuous batching on decode p99.
     let tbt_p99 = |s: &Scenario, p: Policy| {
         s.reports
@@ -1229,6 +1505,11 @@ fn main() {
                 .flat_map(|(_, _, runs)| runs)
                 .map(|r| r.report.sim_events),
         )
+        .chain(
+            [&under, &over, &auto_run, &fault_twin, &faulted]
+                .into_iter()
+                .map(|r| r.sim_events),
+        )
         .sum();
     let wall_s = wall.elapsed().as_secs_f64();
 
@@ -1382,6 +1663,15 @@ fn main() {
             })),
         )
         .raw("disagg", &disagg_json)
+        .f64(
+            "elastic_goodput_gain_over_under_provisioned",
+            auto_run.goodput_rps / under.goodput_rps.max(f64::MIN_POSITIVE),
+        )
+        .f64(
+            "elastic_online_cost_saving_vs_over_provisioned_frac",
+            1.0 - online_cost(&auto_run) as f64 / online_cost(&over).max(1) as f64,
+        )
+        .raw("elastic", &elastic_json)
         .build();
     println!("{json}");
 
@@ -1507,6 +1797,49 @@ fn main() {
         eprintln!(
             "error: the load ladder must expose a point where co-location wins \
              end-to-end p99 (the handoff tax must be real)"
+        );
+        std::process::exit(1);
+    }
+    // Elasticity headliners — enforced in --smoke too. Goodput is a
+    // mean, online cost a deterministic cycle counter, and the
+    // revocation-conservation check a token-count identity: all three
+    // are stable at any trace size.
+    if auto_run.goodput_rps <= under.goodput_rps {
+        eprintln!(
+            "error: the autoscaler must beat the static under-provisioned fleet on \
+             diurnal SLO goodput ({} vs {} req/s)",
+            auto_run.goodput_rps, under.goodput_rps
+        );
+        std::process::exit(1);
+    }
+    if online_cost(&auto_run) >= online_cost(&over) {
+        eprintln!(
+            "error: the autoscaler must beat the static over-provisioned fleet on \
+             total online chip-cycles ({} vs {})",
+            online_cost(&auto_run),
+            online_cost(&over)
+        );
+        std::process::exit(1);
+    }
+    if auto_ups == 0 {
+        eprintln!("error: the diurnal peak must actually bring reserve up (0 joins recorded)");
+        std::process::exit(1);
+    }
+    if faulted.completed != args.requests {
+        eprintln!(
+            "error: every request must survive the revocation schedule ({} of {} completed)",
+            faulted.completed, args.requests
+        );
+        std::process::exit(1);
+    }
+    if revoked_completions == 0 {
+        eprintln!("error: the revocation schedule must actually displace work (0 revoked jobs)");
+        std::process::exit(1);
+    }
+    if untouched_diverged != 0 {
+        eprintln!(
+            "error: revocation with grace must lose zero admitted work beyond the cutoff \
+             ({untouched_diverged} untouched completions diverged from the fault-free twin)"
         );
         std::process::exit(1);
     }

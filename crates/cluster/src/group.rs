@@ -724,4 +724,28 @@ mod tests {
             fabric.transfer_cycles(0, 1, bytes)
         );
     }
+
+    #[test]
+    fn weight_load_inherits_the_shard_parallel_hbm_drain() {
+        // Like the handoff above, `FleetCost::weight_load_cycles_on` has
+        // no cluster override: the trait default streams the weight
+        // plane through `self.swap_bytes_cycles_on`, so a cold TP group
+        // joining the fleet pays an even per-shard slice priced by the
+        // slowest shard — 4 HBM stacks load a model faster than one.
+        use spatten_serve::model_weight_bytes;
+        let w = gpt2(256, 32);
+        let mut solo = ClusterCostModel::new(vec![tp_group(1)], Some(8));
+        let mut tp4 = ClusterCostModel::new(vec![tp_group(4)], Some(8));
+        let one = solo.weight_load_cycles_on(0, &w);
+        let four = tp4.weight_load_cycles_on(0, &w);
+        assert!(one > 0 && four > 0);
+        assert!(
+            four < one,
+            "4 HBM stacks stream weight slices in parallel: {four} vs {one}"
+        );
+        // The default composes exactly through the sharded swap plane at
+        // the cluster's configured FC bitwidth.
+        let bytes = model_weight_bytes(&w.model, 8);
+        assert_eq!(four, tp4.swap_bytes_cycles_on(0, &w, bytes));
+    }
 }

@@ -11,7 +11,9 @@
 use crate::group::{ClusterCostModel, GroupSpec};
 use crate::place::{plan_with_costs, resolve_chip, shard_costs, PlaceError};
 use crate::shard::ShardStrategy;
-use spatten_serve::{simulate_fleet_policy, FleetReport, Policy, PoolSpec, SchedKnobs};
+use spatten_serve::{
+    simulate_fleet_policy, ElasticSchedule, FleetReport, Policy, PoolSpec, SchedKnobs,
+};
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{Trace, Workload};
 
@@ -33,6 +35,15 @@ pub struct ClusterConfig {
     /// per group — a whole sharded group is a prefill or decode
     /// specialist). `None` is co-located serving.
     pub pools: Option<PoolSpec>,
+    /// Elasticity schedule over the *groups*: every index is a group
+    /// index, and a group-level leave drains (or revokes) the whole
+    /// sharded group at once — a maintenance window takes all of a
+    /// group's shards out together, never half a tensor-parallel slice.
+    /// Groups listed as joins or reserve must already be in
+    /// [`ClusterConfig::groups`] (they start cold and pay their
+    /// weight-load delay — every shard streams its slice, priced by the
+    /// slowest — when brought up). `None` is a fixed cluster.
+    pub elastic: Option<ElasticSchedule>,
 }
 
 impl ClusterConfig {
@@ -46,6 +57,7 @@ impl ClusterConfig {
             fc_weight_bits: Some(8),
             sched: SchedKnobs::default(),
             pools: None,
+            elastic: None,
         }
     }
 
@@ -126,6 +138,7 @@ pub fn simulate_cluster(cfg: &ClusterConfig, trace: &Trace) -> FleetReport {
         cfg.policy,
         &cfg.sched,
         cfg.pools.clone(),
+        cfg.elastic.clone(),
         cfg.max_batch,
         clock,
         trace,

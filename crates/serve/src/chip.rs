@@ -104,6 +104,10 @@ pub struct Chip {
     /// retire. The estimator is exact by construction, so any nonzero
     /// value is a bookkeeping bug — the simulator asserts it stays 0.
     pub est_drift: u64,
+    /// Whether the chip has left the fleet (drained out or revoked, or a
+    /// cold reserve/join chip that has not come up yet). A left chip
+    /// admits nothing — [`Chip::admit`] asserts it.
+    left: bool,
     /// Decayed eviction-churn counter (see [`CHURN_HALF_LIFE_CYCLES`]).
     churn: f64,
     /// Time the churn counter was last folded down.
@@ -135,6 +139,7 @@ impl Chip {
             swap_cycles: 0,
             pending_swap_cycles: 0,
             est_drift: 0,
+            left: false,
             churn: 0.0,
             churn_seen: 0,
             views_scratch: Vec::new(),
@@ -174,6 +179,42 @@ impl Chip {
         self.in_flight
     }
 
+    /// Whether the chip has left the fleet (see [`Chip::leave`]).
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Takes the chip out of the fleet: a completed drain, an executed
+    /// revocation, or a cold chip that has not joined yet. Any swap work
+    /// still pending against a future round (a revocation's final KV
+    /// drain) is booked directly — the drain physically happens on this
+    /// chip before it disappears, and no future round exists to absorb
+    /// it. After this, [`Chip::admit`] panics until [`Chip::rejoin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if residents remain or a round is in flight — departures
+    /// happen only once the chip is empty and quiescent.
+    pub fn leave(&mut self) {
+        assert!(
+            self.active.is_empty() && !self.in_flight,
+            "chip {} left the fleet with {} residents (in flight: {})",
+            self.id,
+            self.active.len(),
+            self.in_flight
+        );
+        let final_drain = std::mem::take(&mut self.pending_swap_cycles);
+        self.busy_cycles += final_drain;
+        self.swap_cycles += final_drain;
+        self.left = true;
+    }
+
+    /// Brings a left (or cold) chip back into service after its weight
+    /// load completes.
+    pub fn rejoin(&mut self) {
+        self.left = false;
+    }
+
     /// Admits a job into the resident set at time `now`. A job carrying
     /// [`Job::resume`] state (it was preempted earlier) restores its KV
     /// prefix from HBM — the swap-in is priced by
@@ -194,10 +235,12 @@ impl Chip {
     /// # Panics
     ///
     /// Panics if called while a round is in flight (admission happens only
-    /// at round boundaries), or if `job` carries a [`ResumeState`] pinned
-    /// to a *different* chip — its swapped-out KV prefix lives in that
-    /// chip's HBM, so routing or work-stealing migrating it here would
-    /// silently corrupt the swap accounting.
+    /// at round boundaries), if the chip has left the fleet
+    /// ([`Chip::leave`] — a departed chip must never receive work), or if
+    /// `job` carries a [`ResumeState`] pinned to a *different* chip — its
+    /// swapped-out KV prefix lives in that chip's HBM, so routing or
+    /// work-stealing migrating it here would silently corrupt the swap
+    /// accounting.
     pub fn admit<C: FleetCost>(
         &mut self,
         cost: &mut C,
@@ -206,6 +249,11 @@ impl Chip {
         now: u64,
     ) {
         assert!(!self.in_flight, "admission mid-round");
+        assert!(
+            !self.left,
+            "job {} admitted to chip {}, which has left the fleet",
+            job.id, self.id
+        );
         let est_remaining = remaining_cycles_on(cost, self.id, &job);
         let mut prefix_skip = 0u64;
         let paged_unique = match pager {
@@ -745,6 +793,7 @@ impl Chip {
             preemptions: a.job.preemptions,
             prefill_tokens: a.job.workload.seq_len,
             generated_tokens: generated,
+            revoked: a.job.revoked,
         }
     }
 }
@@ -771,6 +820,7 @@ mod tests {
             preemptions: 0,
             resume: None,
             shared_prefix_tokens: 0,
+            revoked: false,
             workload,
         }
     }
@@ -941,6 +991,53 @@ mod tests {
         let evicted = home.evict(&mut cost, None, &[0], now.unwrap());
         let mut wrong = Chip::new(0);
         wrong.admit(&mut cost, None, evicted.into_iter().next().unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has left the fleet")]
+    fn admitting_to_a_departed_chip_panics() {
+        // The guard the elastic event loop leans on: once a drain or
+        // revocation completes, any placement path that still targets
+        // the chip (routing, stealing, handoff) is a bug, not a quiet
+        // re-admission.
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut chip = Chip::new(0);
+        chip.leave();
+        chip.admit(&mut cost, None, job(0, 128, 4), 0);
+    }
+
+    #[test]
+    fn leave_books_the_pending_final_swap_and_rejoin_rearms() {
+        // An executed revocation's final KV drain has no future round to
+        // absorb it: leave() books it straight into busy + swap cycles.
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut chip = Chip::new(0);
+        chip.admit(&mut cost, None, job(0, 256, 8), 0);
+        let now = chip
+            .start_round(
+                &mut cost,
+                None,
+                &mut IterationBatch {
+                    prefill_chunk_cycles: u64::MAX,
+                },
+                0,
+            )
+            .unwrap();
+        chip.end_round();
+        chip.evict(&mut cost, None, &[0], now);
+        let busy_before = chip.busy_cycles;
+        let swap_before = chip.swap_cycles;
+        chip.leave();
+        assert!(chip.has_left());
+        assert!(
+            chip.busy_cycles > busy_before && chip.swap_cycles > swap_before,
+            "the eviction's swap-out must be booked at departure"
+        );
+        // A rejoin re-arms admission without touching the ledgers.
+        chip.rejoin();
+        assert!(!chip.has_left());
+        chip.admit(&mut cost, None, job(1, 64, 2), now);
+        assert_eq!(chip.active_jobs(), 1);
     }
 
     #[test]

@@ -290,6 +290,21 @@ pub trait FleetCost {
         full_cycles.saturating_mul(bytes).div_ceil(full_bytes)
     }
 
+    /// Cycles to stream `w`'s model weights into `chip`'s HBM before it
+    /// can serve: the price of bringing a cold chip online
+    /// ([`ChipJoin`](crate::elastic::ChipJoin) model-load delay) or of a
+    /// cross-model placement evicting the resident weight plane. The
+    /// default prices [`model_weight_bytes`] at 8-bit storage through
+    /// [`FleetCost::swap_bytes_cycles_on`], so any oracle with a real
+    /// HBM drain model inherits a consistent weight-stream rate;
+    /// `CostModel` overrides with its quantized FC width and a memo,
+    /// and `ClusterCostModel` composes shards via its slowest-shard
+    /// swap pricing for free.
+    fn weight_load_cycles_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        let bytes = model_weight_bytes(&w.model, 8);
+        self.swap_bytes_cycles_on(chip, w, bytes)
+    }
+
     /// Cycles a prefill→decode KV handoff of `bytes` occupies **each** of
     /// `src` and `dst`: the source drains the job's unique dirty blocks
     /// from its SRAMs through HBM, the wire carries them `hops` hops over
@@ -359,6 +374,21 @@ pub trait FleetCost {
     }
 }
 
+/// Weight-plane bytes of model `m` at `bits`-bit storage: the attention
+/// projections (Q/K/V/O, `4·hidden²` per layer) plus the FFN up/down
+/// pair at the canonical 4× expansion (`8·hidden²` per layer). This is
+/// the byte count a cold chip must stream through HBM before it can
+/// serve its first request — the price [`FleetCost::weight_load_cycles_on`]
+/// charges a [`ChipJoin`](crate::elastic::ChipJoin) or a cross-model
+/// placement.
+pub fn model_weight_bytes(m: &ModelConfig, bits: u32) -> u64 {
+    (m.layers as u64)
+        .saturating_mul(12)
+        .saturating_mul((m.hidden as u64).saturating_mul(m.hidden as u64))
+        .saturating_mul(u64::from(bits))
+        .div_ceil(8)
+}
+
 /// KV-cache bytes of a `tokens`-token context of `w` on `cfg`: the
 /// deepest-layer survivor set, K and V planes at the workload's MSB
 /// storage precision. The single working-set convention
@@ -383,6 +413,7 @@ struct MemoShard {
     footprint: Vec<Vec<Option<u64>>>,
     swap: Vec<Vec<Option<u64>>>,
     raw: Vec<Vec<Option<u64>>>,
+    weight_load: Vec<Vec<Option<u64>>>,
 }
 
 /// The dense-table hit path: `None` both when the class row or the length
@@ -703,6 +734,23 @@ impl FleetCost for CostModel {
         let per_hbm_cycle = (cfg.hbm.channels as u64 * cfg.hbm.bytes_per_cycle).max(1);
         let hbm_cycles = bytes.div_ceil(per_hbm_cycle);
         (hbm_cycles as f64 * cfg.clock_ghz / cfg.hbm.clock_ghz).ceil() as u64
+    }
+
+    fn weight_load_cycles_on(&mut self, chip: usize, w: &Workload) -> u64 {
+        let slot = self.slot(chip);
+        let shard = self.slot_shards[slot];
+        let class = self.classes.id(w);
+        if let Some(c) = memo_get(&self.shards[shard].weight_load, class, 0) {
+            return c;
+        }
+        // Weights stream at the chip's quantized FC width when the oracle
+        // is end-to-end (the same bits `SpAttenE2e` streams per decode
+        // step), at 8-bit storage for attention-only oracles.
+        let bits = self.fc_weight_bits.unwrap_or(8);
+        let bytes = model_weight_bytes(&w.model, bits);
+        let cycles = self.swap_bytes_cycles_on(chip, w, bytes);
+        memo_put(&mut self.shards[shard].weight_load, class, 0, cycles);
+        cycles
     }
 
     fn prewarm(&mut self, jobs: &mut dyn Iterator<Item = &Workload>, threads: usize) {
@@ -1030,6 +1078,56 @@ mod tests {
         assert!(
             m.handoff_cycles_on(0, 1, &w, bytes, 1, &link)
                 < m.handoff_cycles_on(0, 1, &w, bytes, 4, &link)
+        );
+    }
+
+    #[test]
+    fn weight_load_scales_with_the_weight_plane_and_is_memoized() {
+        let mut m = model();
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let small = m.weight_load_cycles_on(0, &w);
+        assert!(small > 0, "a cold chip pays for its weights");
+        // Twice the layers is twice the bytes — and at least (HBM
+        // pricing rounds) proportionally more cycles.
+        let mut deep = w.clone();
+        deep.model.layers *= 2;
+        let big = m.weight_load_cycles_on(0, &deep);
+        assert_eq!(
+            model_weight_bytes(&deep.model, 8),
+            2 * model_weight_bytes(&w.model, 8)
+        );
+        assert!(big > small, "{big} vs {small}");
+        // The price is a pure function of (chip config, model): the memo
+        // hit returns the identical value, and the table actually holds
+        // it (no silent recompute).
+        assert_eq!(m.weight_load_cycles_on(0, &w), small);
+        assert!(
+            m.shards[0].weight_load.iter().flatten().flatten().count() >= 2,
+            "weight-load prices are memoized per class"
+        );
+        // Bit width scales bytes linearly.
+        assert_eq!(
+            model_weight_bytes(&w.model, 16),
+            2 * model_weight_bytes(&w.model, 8)
+        );
+    }
+
+    #[test]
+    fn weight_load_is_cheaper_on_the_bigger_hbm_chip() {
+        // A heterogeneous pair: the eighth-scale chip has an eighth the
+        // HBM bandwidth, so streaming the same weight plane takes
+        // longer there — the join delay the autoscaler pays depends on
+        // which reserve chip it brings up.
+        let mut m = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let w = Benchmark::gpt2_small_wikitext2().workload();
+        let full = m.weight_load_cycles_on(0, &w);
+        let eighth = m.weight_load_cycles_on(1, &w);
+        assert!(
+            eighth > full,
+            "eighth-scale chip must load slower: {eighth} vs {full}"
         );
     }
 

@@ -190,10 +190,21 @@ impl RoutingPolicy for PoolAwareRouting {
                 .backlog_cycles()
                 .saturating_add(cost.job_serial_on(c, &job.workload))
         };
+        // Leaving (draining/offline) chips are never placement targets,
+        // in the pooled pass or the work-conserving fallback — a job
+        // routed there would strand when the chip departs.
+        let open = |c: &usize| !loads[*c].leaving;
         let pooled = (0..loads.len())
+            .filter(open)
             .filter(|&c| loads[c].suits_phase(prefilled))
             .min_by_key(|&c| (estimate(cost, c), c));
-        pooled.or_else(|| (0..loads.len()).min_by_key(|&c| (estimate(cost, c), c)))
+        pooled
+            .or_else(|| {
+                (0..loads.len())
+                    .filter(open)
+                    .min_by_key(|&c| (estimate(cost, c), c))
+            })
+            .or_else(|| (0..loads.len()).min_by_key(|&c| (estimate(cost, c), c)))
     }
 }
 

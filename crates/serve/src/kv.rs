@@ -759,6 +759,7 @@ mod tests {
             preemptions: 0,
             resume: None,
             shared_prefix_tokens: shared,
+            revoked: false,
             workload: w.clone(),
         };
         // The default trait method is the contiguous charge.

@@ -55,6 +55,14 @@
 //!   blocks already warm on the target move for free), cycles are
 //!   charged into both chips through
 //!   [`FleetCost::handoff_cycles_on`].
+//! * [`elastic`] — the **elasticity layer** ([`FleetEvents`], opt-in via
+//!   `FleetConfig::elastic`): scheduled chip drains and spot-style
+//!   revocations (residents migrate through the preemption machinery,
+//!   losing no work), cold joins priced by weight streaming through
+//!   [`FleetCost::weight_load_cycles_on`], resident-model tags that
+//!   charge cross-model placements the weight-swap price, and the
+//!   [`AutoscalePolicy`] seam with a threshold-hysteresis default
+//!   against a reserve fleet.
 //! * [`sim`] — the discrete-event fleet simulator, generic over
 //!   ([`FleetCost`], [`AdmissionPolicy`], [`BatchPolicy`]): every policy
 //!   runs through the one event loop. Drives open-loop (Poisson, MMPP,
@@ -85,6 +93,7 @@ pub mod batch;
 pub mod chip;
 pub mod cost;
 pub mod disagg;
+pub mod elastic;
 pub mod json;
 pub mod kv;
 pub mod metrics;
@@ -97,8 +106,14 @@ pub mod sim;
 pub use batch::{
     BatchPolicy, DecodePrioritizedBatch, IterationBatch, ResidentView, RoundStep, RunToCompletion,
 };
-pub use cost::{representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET};
+pub use cost::{
+    model_weight_bytes, representative, CfgKey, ClassKey, CostModel, FleetCost, CTX_BUCKET,
+};
 pub use disagg::{PoolAwareRouting, PoolSpec};
+pub use elastic::{
+    AutoscalePolicy, AutoscaleSpec, Availability, ChipJoin, ChipLeave, ElasticChipStats,
+    ElasticSchedule, ElasticSpec, FleetEvents, FleetLoadView, LeaveMode, ThresholdHysteresis,
+};
 pub use kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
 pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
 pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};

@@ -1,6 +1,7 @@
 //! Metrics aggregation: throughput, utilization, latency percentiles,
 //! and per-class SLO accounting (goodput, violations, rejections).
 
+use crate::elastic::ElasticChipStats;
 use crate::json::{array, JsonObject};
 use crate::kv::KvStats;
 use crate::request::{Completion, Rejection};
@@ -97,6 +98,10 @@ pub struct ChipStats {
     /// Page-accounting counters from the chip's [`crate::kv::KvPager`];
     /// all-zero under the contiguous KV model.
     pub kv: KvStats,
+    /// Elasticity counters (online time, weight loads, joins/leaves);
+    /// on a fixed fleet every chip is online for the whole makespan and
+    /// the event counters are zero.
+    pub elastic: ElasticChipStats,
 }
 
 /// Per-request-class accounting: latency, decode cadence, and the SLO
@@ -362,6 +367,12 @@ impl FleetReport {
                 .u64("kv_blocks_reclaimed", c.kv.blocks_reclaimed)
                 .u64("kv_shared_hits", c.kv.shared_hits)
                 .u64("kv_cache_evicted_blocks", c.kv.cache_evicted_blocks)
+                .u64("online_cycles", c.elastic.online_cycles)
+                .u64("weight_load_cycles", c.elastic.weight_load_cycles)
+                .u64("model_swaps", c.elastic.model_swaps)
+                .u64("leaves", c.elastic.leaves)
+                .u64("revoked_jobs", c.elastic.revoked_jobs)
+                .u64("joins", c.elastic.joins)
                 .build()
         }));
         let classes = array(self.class_stats.iter().map(ClassStats::to_json));
@@ -379,6 +390,24 @@ impl FleetReport {
             .u64(
                 "handoff_bytes",
                 self.chip_stats.iter().map(|c| c.handoff_bytes).sum(),
+            )
+            .u64(
+                "online_chip_cycles",
+                self.chip_stats
+                    .iter()
+                    .map(|c| c.elastic.online_cycles)
+                    .sum(),
+            )
+            .u64(
+                "weight_load_cycles",
+                self.chip_stats
+                    .iter()
+                    .map(|c| c.elastic.weight_load_cycles)
+                    .sum(),
+            )
+            .u64(
+                "revoked_jobs",
+                self.chip_stats.iter().map(|c| c.elastic.revoked_jobs).sum(),
             )
             .u64("makespan_cycles", self.makespan_cycles)
             .f64(
@@ -450,6 +479,7 @@ mod tests {
             preemptions: if class == 1 { 2 } else { 0 },
             prefill_tokens: 64,
             generated_tokens: generated,
+            revoked: false,
         }
     }
 

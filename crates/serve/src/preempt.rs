@@ -285,6 +285,7 @@ mod tests {
             preemptions: 0,
             resume: None,
             shared_prefix_tokens: 0,
+            revoked: false,
             workload,
         }
     }

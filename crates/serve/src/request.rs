@@ -36,6 +36,15 @@ pub struct Job {
     /// refcounted per-class prefix charged once per chip; `0` (the
     /// default) shares nothing and reproduces contiguous accounting.
     pub shared_prefix_tokens: usize,
+    /// Whether an elastic revocation ([`LeaveMode::Revoke`]) ever
+    /// displaced this job off a departing chip. Revocation-touched jobs
+    /// keep their generated work (the `resume` state migrates with
+    /// them), but their timing is perturbed — the conservation harness
+    /// uses this marker to separate them from jobs whose trajectory a
+    /// fault-free twin must reproduce exactly.
+    ///
+    /// [`LeaveMode::Revoke`]: crate::elastic::LeaveMode::Revoke
+    pub revoked: bool,
     /// The per-request workload.
     pub workload: Workload,
 }
@@ -114,6 +123,11 @@ pub struct Completion {
     pub prefill_tokens: usize,
     /// Tokens generated by the decode stage (0 for BERT jobs).
     pub generated_tokens: usize,
+    /// Whether an elastic revocation displaced this job mid-flight (see
+    /// [`Job::revoked`]). Untouched jobs must match their fault-free
+    /// twin token-for-token; revoked jobs keep their work but not their
+    /// timing.
+    pub revoked: bool,
 }
 
 impl Completion {

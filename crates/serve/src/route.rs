@@ -85,6 +85,11 @@ pub struct ChipLoad {
     /// life [`crate::chip::CHURN_HALF_LIFE_CYCLES`]): the preemption-
     /// hotspot signal [`ChurnAwareRouting`] penalizes.
     pub recent_evictions: f64,
+    /// Whether the chip is leaving the fleet (draining or already
+    /// offline, [`crate::elastic::Availability`]). No policy may place
+    /// new work here — a job routed to a leaving chip would strand when
+    /// the chip goes away. Always `false` on a fixed fleet.
+    pub leaving: bool,
 }
 
 impl ChipLoad {
@@ -232,18 +237,37 @@ fn completion_estimate(job: &Job, cost: &mut dyn FleetCost, loads: &[ChipLoad], 
         .saturating_add(cost.job_serial_on(c, &job.workload))
 }
 
-/// Chips whose pool role matches `job`'s phase, falling back to the whole
-/// fleet when no specialist matches (work conservation beats purity). On
-/// a role-free fleet every chip is `Flex` and this is the identity.
-/// Shared by the cost-probing policies so none of them routes a prefill
-/// onto a decode specialist — the routing half of the pool blind spot.
+/// Chips that may receive new placements at all: everything not leaving
+/// the fleet, falling back to the whole fleet only in the degenerate
+/// all-leaving case (the event loop never routes arrivals then, but the
+/// fallback keeps every policy total). Shared by every routing policy —
+/// the leaving-chip guard lives here so no policy can strand a job on a
+/// departing chip.
+fn placeable(loads: &[ChipLoad]) -> Vec<usize> {
+    let open: Vec<usize> = (0..loads.len()).filter(|&c| !loads[c].leaving).collect();
+    if open.is_empty() {
+        (0..loads.len()).collect()
+    } else {
+        open
+    }
+}
+
+/// Chips whose pool role matches `job`'s phase, falling back to every
+/// placeable chip when no specialist matches (work conservation beats
+/// purity). On a role-free fleet every chip is `Flex` and this is
+/// [`placeable`]. Shared by the cost-probing policies so none of them
+/// routes a prefill onto a decode specialist — the routing half of the
+/// pool blind spot.
 fn phase_eligible(job: &Job, loads: &[ChipLoad]) -> Vec<usize> {
     let prefilled = job.resume.is_some_and(|r| r.prefilled);
-    let eligible: Vec<usize> = (0..loads.len())
+    let open = placeable(loads);
+    let eligible: Vec<usize> = open
+        .iter()
+        .copied()
         .filter(|&c| loads[c].suits_phase(prefilled))
         .collect();
     if eligible.is_empty() {
-        (0..loads.len()).collect()
+        open
     } else {
         eligible
     }
@@ -354,7 +378,7 @@ impl RoutingPolicy for LeastKvLoadedRouting {
         let serial: Vec<u64> = (0..loads.len())
             .map(|c| cost.job_serial_on(c, &job.workload))
             .collect();
-        (0..loads.len()).min_by(|&a, &b| {
+        placeable(loads).into_iter().min_by(|&a, &b| {
             let (la, lb) = (&loads[a], &loads[b]);
             let (ba, bb) = (la.kv_budget.max(1), lb.kv_budget.max(1));
             let fa = serial[a] as u128
@@ -404,7 +428,12 @@ impl RoutingPolicy for HashAffinityRouting {
             Some(client) => client as u64 | 1 << 63,
             None => job.id,
         };
-        Some((splitmix64(key) % loads.len() as u64) as usize)
+        // Hash over the placeable set, not the full roster: a session
+        // whose home chip drains re-hashes onto the survivors (real
+        // affinity tiers re-shard exactly the same way), and on a fixed
+        // fleet the set is the identity so placement is unchanged.
+        let open = placeable(loads);
+        Some(open[(splitmix64(key) % open.len() as u64) as usize])
     }
 }
 
@@ -427,6 +456,7 @@ mod tests {
             preemptions: 0,
             resume: None,
             shared_prefix_tokens: 0,
+            revoked: false,
             workload,
         }
     }
@@ -442,6 +472,7 @@ mod tests {
             pending_kv: 0,
             in_service_cycles: 0,
             recent_evictions: 0.0,
+            leaving: false,
         }
     }
 
@@ -576,6 +607,58 @@ mod tests {
             .map(|c| r.route(&job(0, Some(c)), &mut cost, &loads, 0).unwrap())
             .collect();
         assert!(chips.len() > 1, "64 clients must not all hash to one chip");
+    }
+
+    #[test]
+    fn every_policy_skips_leaving_chips() {
+        // The stranding guard: a chip that is draining (or already
+        // offline) must never win a placement, no matter how idle it
+        // looks — work routed there would die with the chip.
+        let mut cost = CostModel::end_to_end(SpAttenConfig::default(), 8);
+        let mut loads = vec![idle(1000), idle(1000), idle(1000)];
+        loads[0].leaving = true; // the index tie-break favorite
+        loads[2].leaving = true;
+        assert_eq!(
+            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0),
+            Some(1)
+        );
+        assert_eq!(
+            ChurnAwareRouting::default().route(&job(0, None), &mut cost, &loads, 0),
+            Some(1)
+        );
+        assert_eq!(
+            LeastKvLoadedRouting.route(&job(0, None), &mut cost, &loads, 0),
+            Some(1)
+        );
+        // Hash affinity re-hashes every key onto the lone survivor.
+        let mut hash = HashAffinityRouting;
+        for id in 0..32 {
+            assert_eq!(
+                hash.route(&job(id, Some(id as usize)), &mut cost, &loads, 0),
+                Some(1)
+            );
+        }
+        // A leaving decode specialist loses to an online one even when
+        // phase filtering is in play.
+        let mut decode_gone = idle(1000);
+        decode_gone.role = PoolRole::Decode;
+        decode_gone.leaving = true;
+        let mut decode_up = idle(1000);
+        decode_up.role = PoolRole::Decode;
+        decode_up.pending_cycles = 1_000_000;
+        let mut resumed = job(0, None);
+        resumed.resume = Some(crate::request::ResumeState {
+            chip: 1,
+            prefill_progress: 0,
+            prefilled: true,
+            steps_done: 1,
+            start_cycles: 0,
+            first_token_cycles: Some(0),
+        });
+        assert_eq!(
+            FastestChipRouting.route(&resumed, &mut cost, &[decode_gone, decode_up], 0),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1162,6 +1162,71 @@ impl<A: AdmissionPolicy, R: RoutingPolicy> Scheduler<A, R> {
         self.admitted += out.jobs.len() as u64;
         out
     }
+
+    /// Like [`Scheduler::take`], but against `chip`'s private queue
+    /// only — the admission path of a *draining* chip
+    /// ([`Availability::Draining`]): after [`Scheduler::drain_chip`]
+    /// strips its unpinned jobs, the private queue holds only work whose
+    /// KV prefix lives in this chip's HBM, which the chip must finish
+    /// before departing; the shared queue belongs to the survivors.
+    ///
+    /// [`Availability::Draining`]: crate::elastic::Availability::Draining
+    pub fn take_local<C: FleetCost>(
+        &mut self,
+        cost: &mut C,
+        chip: usize,
+        cap: ChipCapacity,
+        now: u64,
+    ) -> Admission {
+        let out = self
+            .policy
+            .admit(&mut self.routed[chip], cost, chip, cap, now);
+        for job in out.jobs.iter().chain(out.rejected.iter()) {
+            self.discharge(chip, job, cost);
+        }
+        self.admitted += out.jobs.len() as u64;
+        out
+    }
+
+    /// Empties `chip`'s private queue for an elastic departure and
+    /// returns the removed jobs in queue order. With `include_pinned`
+    /// false (a drain) only unpinned jobs leave — work pinned to the
+    /// chip's HBM stays and finishes there; with it true (a revocation)
+    /// everything goes, and the caller migrates the pinned jobs' KV.
+    /// Ledgers are discharged per removed job, so the chip's backlog
+    /// estimate ends exactly where re-charging the survivors elsewhere
+    /// expects it.
+    pub fn drain_chip<C: FleetCost>(
+        &mut self,
+        chip: usize,
+        cost: &mut C,
+        include_pinned: bool,
+    ) -> Vec<Job> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.routed[chip].len() {
+            if include_pinned || self.routed[chip].get(i).job.resume.is_none() {
+                let job = self.routed[chip].remove(i);
+                self.discharge(chip, &job, cost);
+                out.push(job);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Returns a job stripped from a draining chip's private queue to
+    /// the *front* of the shared queue (it arrived before anything still
+    /// waiting there). The caller iterates its drained batch in reverse
+    /// so arrival order is preserved front-to-back.
+    pub fn unroute_to_shared_front(&mut self, job: Job) {
+        debug_assert!(
+            job.resume.is_none(),
+            "pinned jobs never return to the shared queue"
+        );
+        self.shared.push_front(job);
+    }
 }
 
 #[cfg(test)]
@@ -1185,6 +1250,7 @@ mod tests {
             preemptions: 0,
             resume: None,
             shared_prefix_tokens: 0,
+            revoked: false,
             workload,
         }
     }
@@ -1425,6 +1491,7 @@ mod tests {
                 pending_kv: 0,
                 in_service_cycles: 0,
                 recent_evictions: 0.0,
+                leaving: false,
             },
             ChipLoad {
                 role: PoolRole::Flex,
@@ -1436,6 +1503,7 @@ mod tests {
                 pending_kv: 0,
                 in_service_cycles: 0,
                 recent_evictions: 0.0,
+                leaving: false,
             },
         ];
         // An idle heterogeneous pair: the full-size chip 0 wins the probe.

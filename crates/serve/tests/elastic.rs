@@ -1,0 +1,203 @@
+//! Property harness for the elasticity layer: seeded random fault
+//! schedules swept across the routing × stealing × preemption × pooling
+//! scheduling surface. Every request still completes (or is SLO-shed),
+//! jobs the faults never touched move exactly the tokens their
+//! fault-free twin moves, and the event loop's own drain-time asserts —
+//! zero in-service estimator drift, zero pager refcounts, discharged
+//! pending ledgers — gate every run: a conservation bug anywhere panics
+//! the simulation rather than skewing a number.
+
+use proptest::prelude::*;
+use spatten_serve::{
+    simulate_fleet, ElasticSpec, FleetConfig, FleetEvents, FleetReport, KvSpec, Policy, PoolSpec,
+    PreemptSpec, RouteSpec, SimMode, StealSpec,
+};
+use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
+
+/// A two-tier trace: the BERT class rides a high priority over the
+/// low-priority GPT-2 batch tier.
+fn tiered_trace(requests: usize, rate_rps: f64, seed: u64) -> Trace {
+    let mut spec = TraceSpec::mixed(ArrivalSpec::OpenPoisson { rate_rps, requests }, seed);
+    spec.classes[0] = spec.classes[0].clone().with_priority(3);
+    spec.generate()
+}
+
+/// The nominal trace span in nanoseconds — the fault horizon, so seeded
+/// leaves land while the fleet is actually serving.
+fn horizon_ns(requests: usize, rate_rps: f64) -> u64 {
+    (requests as f64 / rate_rps * 1e9) as u64
+}
+
+/// Per-job token vector for conservation checks, keyed by request id.
+fn tokens(r: &FleetReport) -> Vec<(u64, usize, usize)> {
+    let mut t: Vec<(u64, usize, usize)> = r
+        .completions
+        .iter()
+        .map(|c| (c.id, c.prefill_tokens, c.generated_tokens))
+        .collect();
+    t.sort_unstable();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under a seeded random leave schedule (drains and revocations with
+    /// random grace windows), across every router, stealing mode,
+    /// preemption setting and pooling layout: no request is lost or
+    /// duplicated, every completion untouched by a revocation moves
+    /// exactly the tokens of its fault-free twin, and the run is
+    /// deterministic. An empty drawn schedule must reproduce the twin
+    /// bit-for-bit.
+    #[test]
+    fn faulted_runs_conserve_requests_and_untouched_tokens(
+        requests in 40usize..120,
+        rate in 500.0f64..4000.0,
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        route_pick in 0usize..5,
+        steal_pick in 0usize..2,
+        preempt_pick in 0usize..2,
+        pools_pick in 0usize..2,
+    ) {
+        let route = [
+            RouteSpec::FastestChip,
+            RouteSpec::ChurnAware,
+            RouteSpec::LeastKvLoaded,
+            RouteSpec::HashAffinity,
+            RouteSpec::PoolAware,
+        ][route_pick];
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let preempt = [PreemptSpec::None, PreemptSpec::Priority][preempt_pick];
+        let trace = tiered_trace(requests, rate, seed);
+        let chips = 4;
+        let mut cfg = FleetConfig::new(chips, Policy::Priority);
+        cfg.sched.route = route;
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = preempt;
+        if pools_pick == 1 {
+            // Chip 0 — the seeded schedule's guaranteed survivor — is
+            // the prefill specialist, so the prefill pool never empties;
+            // the decode pool may lose every member and fall back.
+            cfg.pools = Some(PoolSpec::split(1, 3));
+        }
+        let twin = simulate_fleet(&cfg, &trace);
+
+        let events = FleetEvents::seeded(fault_seed, chips, horizon_ns(requests, rate));
+        let empty = events.is_empty();
+        let mut faulted_cfg = cfg.clone();
+        faulted_cfg.elastic = Some(ElasticSpec {
+            events,
+            ..ElasticSpec::default()
+        });
+        let faulted = simulate_fleet(&faulted_cfg, &trace);
+
+        // Conservation: every request completes exactly once (no SLO
+        // classes in this mix, so nothing is shed).
+        prop_assert_eq!(faulted.completed, requests);
+        let mut ids: Vec<u64> = faulted.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests);
+
+        // Jobs the revocations never displaced move exactly the twin's
+        // tokens. (A leave-only schedule keeps the roster identical, so
+        // the twin prices every job the same way.)
+        let twin_tokens = tokens(&twin);
+        let untouched: Vec<(u64, usize, usize)> = tokens(&faulted)
+            .into_iter()
+            .filter(|&(id, _, _)| {
+                !faulted
+                    .completions
+                    .iter()
+                    .any(|c| c.id == id && c.revoked)
+            })
+            .collect();
+        for entry in &untouched {
+            prop_assert!(
+                twin_tokens.binary_search(entry).is_ok(),
+                "untouched job {:?} diverged from its fault-free twin",
+                entry
+            );
+        }
+
+        // An empty drawn schedule is the fixed fleet, bit-for-bit.
+        if empty {
+            prop_assert_eq!(&faulted, &twin);
+        }
+
+        // Deterministic replay.
+        let again = simulate_fleet(&faulted_cfg, &trace);
+        prop_assert_eq!(faulted.completions, again.completions);
+        prop_assert_eq!(faulted.makespan_cycles, again.makespan_cycles);
+    }
+
+    /// Paged KV page accounting balances under faults: drains and
+    /// revocations unmap every block they displace, so at drain each
+    /// chip's pager has returned every page it handed out — the pager
+    /// asserts zero refcounts inside the event loop, and the ledger
+    /// totals must agree here.
+    #[test]
+    fn paged_pagers_balance_under_faults(
+        requests in 40usize..100,
+        rate in 500.0f64..3000.0,
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        steal_pick in 0usize..2,
+    ) {
+        let steal = [StealSpec::Off, StealSpec::CostliestFit][steal_pick];
+        let mut spec = TraceSpec::chat(
+            ArrivalSpec::OpenPoisson { rate_rps: rate, requests },
+            seed,
+        );
+        spec.classes[0] = spec.classes[0].clone().with_priority(2);
+        let trace = spec.generate();
+        let chips = 3;
+        let mut cfg = FleetConfig::new(chips, Policy::Priority);
+        cfg.sched.steal = steal;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.sched.kv = KvSpec::paged();
+        cfg.elastic = Some(ElasticSpec {
+            events: FleetEvents::seeded(fault_seed, chips, horizon_ns(requests, rate)),
+            ..ElasticSpec::default()
+        });
+        let report = simulate_fleet(&cfg, &trace);
+        prop_assert_eq!(report.completed, requests);
+        for stats in &report.chip_stats {
+            prop_assert!(
+                stats.kv.blocks_allocated == stats.kv.blocks_freed,
+                "chip {} leaked pages across a fault: {} allocated vs {} freed",
+                stats.id, stats.kv.blocks_allocated, stats.kv.blocks_freed
+            );
+        }
+    }
+
+    /// [`SimMode::ParallelRounds`] reproduces faulted runs exactly: the
+    /// parallel cost-plane pre-warm prices the same pure functions, so
+    /// the full report — completions, revocation flags, elastic chip
+    /// counters, fired-event totals — is bit-identical to serial at
+    /// every thread count.
+    #[test]
+    fn parallel_rounds_reproduces_faulted_runs(
+        requests in 40usize..100,
+        rate in 500.0f64..3000.0,
+        seed in 0u64..5,
+        fault_seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let trace = tiered_trace(requests, rate, seed);
+        let chips = 4;
+        let mut cfg = FleetConfig::new(chips, Policy::Priority);
+        cfg.sched.steal = StealSpec::CostliestFit;
+        cfg.sched.preempt = PreemptSpec::Priority;
+        cfg.elastic = Some(ElasticSpec {
+            events: FleetEvents::seeded(fault_seed, chips, horizon_ns(requests, rate)),
+            ..ElasticSpec::default()
+        });
+        let serial = simulate_fleet(&cfg, &trace);
+        let mut par = cfg.clone();
+        par.sched.mode = SimMode::ParallelRounds { threads };
+        let parallel = simulate_fleet(&par, &trace);
+        prop_assert_eq!(&parallel, &serial);
+    }
+}

@@ -81,6 +81,59 @@ impl Default for LinkSpec {
     }
 }
 
+/// How a scheduled chip departure takes the chip out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaveKind {
+    /// Maintenance drain: the chip stops accepting new work and serves
+    /// its residents to completion before going offline.
+    Drain,
+    /// Spot-style revocation: residents are preempted (KV swapped out,
+    /// jobs requeued elsewhere) within the grace window.
+    Revoke {
+        /// Nanoseconds of notice between the leave and the hard cutoff.
+        grace_ns: u64,
+    },
+}
+
+/// One scheduled departure in an elasticity scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaveSpec {
+    /// Index of the departing chip in the fleet inventory.
+    pub chip: usize,
+    /// Departure time, nanoseconds from trace start.
+    pub at_ns: u64,
+    /// Drain or revoke.
+    pub kind: LeaveKind,
+}
+
+/// One scheduled cold join in an elasticity scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// Class of the joining chip (appended after the base inventory).
+    pub chip_class: ChipClass,
+    /// Join time, nanoseconds from trace start; the chip comes online
+    /// after this plus its weight-load delay.
+    pub at_ns: u64,
+}
+
+/// The elasticity side of a serving scenario: scheduled joins/leaves plus
+/// an autoscaler-managed reserve. Descriptive, like the rest of the
+/// fleet spec — the serving layer resolves classes to configurations and
+/// prices the weight-load delays.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ElasticitySpec {
+    /// Scheduled departures of inventory chips.
+    pub leaves: Vec<LeaveSpec>,
+    /// Scheduled cold joins (chips appended after the base inventory).
+    pub joins: Vec<JoinSpec>,
+    /// Reserve chips the autoscaler may bring up or drain; they start
+    /// offline and are appended after the base inventory and joins.
+    pub reserve: Vec<ChipClass>,
+    /// Autoscaler observation window in nanoseconds (`None` = no
+    /// autoscaler; the reserve, if any, stays cold).
+    pub autoscale_window_ns: Option<u64>,
+}
+
 /// The hardware side of a cluster serving scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetSpec {
@@ -95,6 +148,10 @@ pub struct FleetSpec {
     /// serving with no migration.
     #[serde(default)]
     pub roles: Option<Vec<PoolRole>>,
+    /// Elasticity scenario riding along with the fleet. `None` (the
+    /// default for every pre-elasticity trace) means a fixed fleet.
+    #[serde(default)]
+    pub elastic: Option<ElasticitySpec>,
 }
 
 impl FleetSpec {
@@ -105,6 +162,7 @@ impl FleetSpec {
             topology: TopologySpec::Ring,
             link: LinkSpec::default(),
             roles: None,
+            elastic: None,
         }
     }
 
@@ -118,6 +176,7 @@ impl FleetSpec {
             topology: TopologySpec::FullyConnected,
             link: LinkSpec::default(),
             roles: None,
+            elastic: None,
         }
     }
 
@@ -131,6 +190,7 @@ impl FleetSpec {
             topology: TopologySpec::FullyConnected,
             link: LinkSpec::default(),
             roles: Some(roles),
+            elastic: None,
         }
     }
 

@@ -30,7 +30,10 @@ pub mod synth;
 pub mod text;
 pub mod trace;
 
-pub use fleet::{ChipClass, FleetSpec, LinkSpec, PoolRole, TopologySpec};
+pub use fleet::{
+    ChipClass, ElasticitySpec, FleetSpec, JoinSpec, LeaveKind, LeaveSpec, LinkSpec, PoolRole,
+    TopologySpec,
+};
 pub use registry::{Benchmark, TaskKind};
 pub use spec::{PruningSpec, QuantPolicy, Workload};
 pub use synth::{synthetic_probs, zipf_tokens};
