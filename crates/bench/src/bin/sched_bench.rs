@@ -111,7 +111,13 @@
 //!   exactly its fault-free twin's tokens (enforced in `--smoke` too —
 //!   token counters are deterministic at any trace size). An empty
 //!   elasticity spec is bit-identical to no spec at all (always
-//!   asserted).
+//!   asserted);
+//! * **the resumable step API reproduces the offline entry point
+//!   bit-for-bit** (always asserted): `fleet_engine` driven by
+//!   inject/`load_closed` + `drain` must land on the identical report as
+//!   `simulate_fleet` on the pooled disaggregation fleet, the autoscaled
+//!   diurnal fleet and the mid-service revocation schedule — the live
+//!   front-end (`spatten-frontd`) steps the very same engine.
 //!
 //! The JSON report goes to stdout (every run records the `SchedKnobs`
 //! and trace seed it used, so any row is reproducible from the report
@@ -137,8 +143,9 @@ use spatten_cluster::{ClusterConfig, ShardStrategy};
 use spatten_core::SpAttenConfig;
 use spatten_serve::json::{array, JsonObject};
 use spatten_serve::{
-    simulate_fleet, AutoscaleSpec, ElasticSpec, FleetConfig, FleetEvents, FleetReport, KvSpec,
-    LeaveMode, Policy, PoolSpec, PreemptSpec, RouteSpec, SchedKnobs, StealSpec,
+    fleet_engine, simulate_fleet, AutoscaleSpec, ElasticSpec, FleetConfig, FleetEvents,
+    FleetReport, KvSpec, LeaveMode, Policy, PoolSpec, PreemptSpec, RouteSpec, SchedKnobs,
+    StealSpec,
 };
 use spatten_workloads::fleet::{FleetSpec, LinkSpec, PoolRole, TopologySpec};
 use spatten_workloads::{ArrivalSpec, Benchmark, Trace, TraceSpec};
@@ -702,6 +709,12 @@ fn main() {
             (
                 Policy::ContinuousBatching,
                 RouteSpec::FastestChip,
+                PreemptSpec::None,
+                StealSpec::CostliestFit,
+            ),
+            (
+                Policy::ContinuousBatching,
+                RouteSpec::FastestStealAware,
                 PreemptSpec::None,
                 StealSpec::CostliestFit,
             ),
@@ -1285,6 +1298,70 @@ fn main() {
         eprintln!("wrote elasticity grid to {path}");
     }
 
+    // ── Engine bit-identity gate ─────────────────────────────────────
+    // The offline entry point is now a thin replay wrapper over the
+    // resumable `FleetEngine`; driving the same `FleetConfig` through
+    // the live step API (inject / load_closed, then drain) must
+    // reproduce the one-shot report bit-for-bit. Always asserted, like
+    // the pool and elasticity gates above, on this run's hardest cells:
+    // the pooled disaggregation fleet (closed-loop handoffs), the
+    // autoscaled diurnal fleet (reserve chips extend the roster, so the
+    // heterogeneous lowering is on the line), and the mid-service
+    // revocation schedule.
+    let engine_replay = |cfg: &FleetConfig, trace: &Trace| -> FleetReport {
+        let mut engine = fleet_engine(cfg);
+        match trace {
+            Trace::Open { requests } => {
+                for r in requests {
+                    engine.inject(r);
+                }
+            }
+            Trace::Closed { clients, think_ns } => engine.load_closed(clients, *think_ns),
+        }
+        engine.drain()
+    };
+    let disagg_split_cfg = disagg_cfg(
+        Policy::ContinuousBatching,
+        RouteSpec::PoolAware,
+        Some(PoolSpec::split(2, 2)),
+    );
+    assert_eq!(
+        engine_replay(&disagg_split_cfg, &disagg_probe),
+        simulate_fleet(&disagg_split_cfg, &disagg_probe),
+        "step-API replay diverged from simulate_fleet on the pooled disaggregation fleet"
+    );
+    let auto_cfg = elastic_fleet(
+        base_chips,
+        Some(ElasticSpec {
+            events: FleetEvents::default(),
+            reserve: vec![SpAttenConfig::default(); reserve_chips],
+            autoscale: Some(AutoscaleSpec::default()),
+            models: None,
+        }),
+    );
+    assert_eq!(
+        engine_replay(&auto_cfg, &diurnal),
+        auto_run,
+        "step-API replay diverged from simulate_fleet on the autoscaled diurnal fleet"
+    );
+    let fault_cfg = elastic_fleet(
+        fault_chips,
+        Some(ElasticSpec {
+            events: fault_events.clone(),
+            ..ElasticSpec::default()
+        }),
+    );
+    assert_eq!(
+        engine_replay(&fault_cfg, &fault_trace),
+        faulted,
+        "step-API replay diverged from simulate_fleet under mid-service revocation"
+    );
+    eprintln!(
+        "\nengine bit-identity gate: the resumable step API reproduced all three offline \
+         reports (pooled disaggregation, autoscaled diurnal, mid-service revocation) \
+         bit-for-bit"
+    );
+
     // Headline: decode-prioritized vs continuous batching on decode p99.
     let tbt_p99 = |s: &Scenario, p: Policy| {
         s.reports
@@ -1358,6 +1435,20 @@ fn main() {
         PreemptSpec::None,
         StealSpec::Off,
     );
+    let sat_fastest_steal = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::FastestChip,
+        PreemptSpec::None,
+        StealSpec::CostliestFit,
+    );
+    let sat_steal_aware = cell(
+        &sat_grid,
+        Policy::ContinuousBatching,
+        RouteSpec::FastestStealAware,
+        PreemptSpec::None,
+        StealSpec::CostliestFit,
+    );
     let sat_hash = cell(
         &sat_grid,
         Policy::ContinuousBatching,
@@ -1389,6 +1480,13 @@ fn main() {
          holds {:.2}x vs the shared queue (PR 4's queued-only estimate lost \
          this band)",
         sat_shared.report.latency.p99 / sat_fastest.report.latency.p99
+    );
+    eprintln!(
+        "steal-aware routing holds {:.2}x fleet p99 vs plain fastest-chip under \
+         costliest-fit stealing at saturation ({} steals vs {})",
+        sat_fastest_steal.report.latency.p99 / sat_steal_aware.report.latency.p99,
+        sat_steal_aware.steals(),
+        sat_fastest_steal.steals()
     );
     eprintln!(
         "work-stealing recovers {:.2}x fleet p99 under adversarial hash-affinity \

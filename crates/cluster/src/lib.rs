@@ -66,7 +66,7 @@ pub use shard::{
     activation_bytes, prefill_survivors, shard_decode, shard_kv_footprint, shard_kv_peak,
     shard_prefill, ShardStrategy,
 };
-pub use sim::{simulate_cluster, unsharded_cluster, ClusterConfig};
+pub use sim::{cluster_engine, simulate_cluster, unsharded_cluster, ClusterConfig, ClusterEngine};
 pub use topology::{Interconnect, Topology};
 
 // The scheduling knobs a cluster run composes with, re-exported so

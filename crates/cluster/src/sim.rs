@@ -12,10 +12,21 @@ use crate::group::{ClusterCostModel, GroupSpec};
 use crate::place::{plan_with_costs, resolve_chip, shard_costs, PlaceError};
 use crate::shard::ShardStrategy;
 use spatten_serve::{
-    simulate_fleet_policy, ElasticSchedule, FleetReport, Policy, PoolSpec, SchedKnobs,
+    fleet_engine_policy, simulate_fleet_policy, AdmissionPolicy, BatchPolicy, ElasticSchedule,
+    FleetEngine, FleetReport, Policy, PoolSpec, PreemptionPolicy, RoutingPolicy, SchedKnobs,
 };
 use spatten_workloads::fleet::FleetSpec;
 use spatten_workloads::{Trace, Workload};
+
+/// The resumable engine type [`cluster_engine`] returns: one logical
+/// executor per sharded group, behind the boxed policy quadruple.
+pub type ClusterEngine = FleetEngine<
+    ClusterCostModel,
+    Box<dyn AdmissionPolicy>,
+    Box<dyn BatchPolicy>,
+    Box<dyn RoutingPolicy>,
+    Box<dyn PreemptionPolicy>,
+>;
 
 /// A cluster of sharded chip groups plus serving parameters.
 #[derive(Debug, Clone)]
@@ -145,6 +156,31 @@ pub fn simulate_cluster(cfg: &ClusterConfig, trace: &Trace) -> FleetReport {
     )
 }
 
+/// The cluster as a resumable [`FleetEngine`]: the same wiring as
+/// [`simulate_cluster`], paused before the first event. Attach a
+/// `TokenSink`, inject live requests, and step virtual time explicitly —
+/// replaying a full trace through it reproduces [`simulate_cluster`]
+/// bit-for-bit, so sharded groups serve streaming traffic through the
+/// identical timeline the offline sweeps report.
+///
+/// # Panics
+///
+/// Panics if the cluster has no groups or inconsistent clocks.
+pub fn cluster_engine(cfg: &ClusterConfig) -> ClusterEngine {
+    let clock = cfg.clock_ghz();
+    let cost = ClusterCostModel::new(cfg.groups.clone(), cfg.fc_weight_bits);
+    fleet_engine_policy(
+        cost,
+        cfg.groups.len(),
+        cfg.policy,
+        &cfg.sched,
+        cfg.pools.clone(),
+        cfg.elastic.clone(),
+        cfg.max_batch,
+        clock,
+    )
+}
+
 /// Convenience: a cluster carved from a [`FleetSpec`] by resolving every
 /// chip class, without sharding (one single-chip group per chip) — the
 /// degenerate baseline sharded sweeps compare against.
@@ -199,6 +235,36 @@ mod tests {
         // Deterministic.
         let again = simulate_cluster(&tp_cluster(2, 4), &trace);
         assert_eq!(report.completions, again.completions);
+    }
+
+    #[test]
+    fn cluster_engine_replay_matches_the_offline_entry_point() {
+        use std::sync::{Arc, Mutex};
+
+        struct CountingSink(Arc<Mutex<usize>>);
+        impl spatten_serve::TokenSink for CountingSink {
+            fn on_tokens(&mut self, ev: &spatten_serve::TokenEvent) {
+                *self.0.lock().unwrap() += ev.count;
+            }
+        }
+
+        let trace = decode_trace(80, 400.0, 5);
+        let cfg = tp_cluster(2, 2);
+        let offline = simulate_cluster(&cfg, &trace);
+        let tokens = Arc::new(Mutex::new(0usize));
+        let mut engine = cluster_engine(&cfg);
+        engine.set_sink(Box::new(CountingSink(tokens.clone())));
+        let Trace::Open { requests } = &trace else {
+            unreachable!()
+        };
+        for r in requests {
+            engine.inject(r);
+        }
+        let streamed = engine.drain();
+        assert_eq!(streamed, offline);
+        let generated: usize = offline.completions.iter().map(|c| c.generated_tokens).sum();
+        assert_eq!(*tokens.lock().unwrap(), generated);
+        assert!(generated > 0, "a decode trace generates tokens");
     }
 
     #[test]

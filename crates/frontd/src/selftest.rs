@@ -1,0 +1,413 @@
+//! Loopback smoke test: a swarm of hand-rolled HTTP clients against an
+//! in-process server. CI runs this through `spatten-frontd --selftest`
+//! with ~200 concurrent requests; the library tests run a smaller swarm.
+//!
+//! Every client either streams its full token count (200 + chunked
+//! `accepted … tokens … done` records whose counts add up) or gets a
+//! well-formed SLO rejection (429 with a JSON `error`, or a terminal
+//! `rejected` record mid-stream). Anything else is a failure.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use spatten_serve::json::{self, JsonObject, JsonValue};
+
+use crate::{Server, ServerConfig};
+
+/// What one client observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// 200 and a complete stream of `total` tokens.
+    Streamed {
+        /// Tokens the `done` record reported (validated against the
+        /// per-record sum).
+        total: u64,
+    },
+    /// A well-formed 429 SLO rejection.
+    Rejected,
+    /// A well-formed terminal `rejected` record after streaming began.
+    RejectedMidStream,
+    /// Anything malformed, with a description.
+    Broken(String),
+}
+
+/// Aggregate of one smoke run.
+#[derive(Debug)]
+pub struct SmokeReport {
+    /// Per-client outcomes, request-index order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// The `/metrics` snapshot JSON taken after all clients finished.
+    pub snapshot_json: String,
+    /// The engine's final post-mortem report JSON (after shutdown).
+    pub report_json: String,
+}
+
+impl SmokeReport {
+    /// Clients that streamed to completion.
+    pub fn streamed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, ClientOutcome::Streamed { .. }))
+            .count()
+    }
+
+    /// Clients rejected by live admission (either shape).
+    pub fn rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    ClientOutcome::Rejected | ClientOutcome::RejectedMidStream
+                )
+            })
+            .count()
+    }
+
+    /// Malformed exchanges (must be zero for the smoke to pass).
+    pub fn broken(&self) -> Vec<&ClientOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, ClientOutcome::Broken(_)))
+            .collect()
+    }
+
+    /// The combined metrics artifact CI uploads: live snapshot plus
+    /// final report under one object.
+    pub fn artifact_json(&self) -> String {
+        JsonObject::new()
+            .u64("requests", self.outcomes.len() as u64)
+            .u64("streamed", self.streamed() as u64)
+            .u64("rejected", self.rejected() as u64)
+            .u64("broken", self.broken().len() as u64)
+            .raw("live_snapshot", &self.snapshot_json)
+            .raw("final_report", &self.report_json)
+            .build()
+    }
+}
+
+/// Runs the loopback smoke: starts a server, fires `requests` concurrent
+/// clients at it (every eighth with an unmeetable SLO to exercise live
+/// rejection), snapshots `/metrics`, shuts down, and returns everything
+/// observed. Panics on nothing — callers assert on the report.
+pub fn run(requests: usize, cfg: ServerConfig) -> SmokeReport {
+    let server = Server::start(cfg, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+    let clients: Vec<_> = (0..requests)
+        .map(|i| {
+            thread::Builder::new()
+                .name(format!("client-{i}"))
+                .spawn(move || client_once(addr, i))
+                .expect("spawn client")
+        })
+        .collect();
+    let outcomes = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let snapshot_json = match simple_get(addr, "/metrics") {
+        Ok((200, body)) => body,
+        other => format!("{{\"error\":\"metrics fetch failed: {other:?}\"}}"),
+    };
+    let report = server.shutdown();
+    SmokeReport {
+        outcomes,
+        snapshot_json,
+        report_json: report.to_json(),
+    }
+}
+
+/// One client exchange. Every eighth request asks for an SLO no
+/// scheduler can meet (sub-microsecond end-to-end), so live admission
+/// must shed it; the rest are generous.
+fn client_once(addr: SocketAddr, index: usize) -> ClientOutcome {
+    let body = if index % 8 == 7 {
+        JsonObject::new()
+            .u64("prompt_tokens", 192)
+            .u64("gen_tokens", 24)
+            .f64("slo_ms", 0.0001)
+            .build()
+    } else {
+        JsonObject::new()
+            .u64("prompt_tokens", 64 + (index as u64 % 5) * 32)
+            .u64("gen_tokens", 8 + (index as u64 % 4) * 8)
+            .f64("slo_ms", 60_000.0)
+            .build()
+    };
+    let response = match request(addr, "POST", "/v1/generate", &body) {
+        Ok(r) => r,
+        Err(e) => return ClientOutcome::Broken(format!("transport: {e}")),
+    };
+    let (status, payload) = response;
+    match status {
+        200 => parse_stream(&payload),
+        429 => match json::parse(&payload) {
+            Ok(doc) if doc.get("error").and_then(JsonValue::as_str).is_some() => {
+                ClientOutcome::Rejected
+            }
+            _ => ClientOutcome::Broken(format!("429 with malformed body: {payload}")),
+        },
+        other => ClientOutcome::Broken(format!("unexpected status {other}: {payload}")),
+    }
+}
+
+/// Validates a chunk-decoded JSON-lines stream: `accepted` first, token
+/// counts that add up to the `done` total, or a terminal `rejected`.
+fn parse_stream(payload: &str) -> ClientOutcome {
+    let mut lines = payload.lines();
+    match lines.next().map(json::parse) {
+        Some(Ok(doc)) if doc.get("event").and_then(JsonValue::as_str) == Some("accepted") => {}
+        other => {
+            return ClientOutcome::Broken(format!("stream must open with accepted: {other:?}"))
+        }
+    }
+    let mut summed: u64 = 0;
+    for line in lines {
+        let Ok(doc) = json::parse(line) else {
+            return ClientOutcome::Broken(format!("unparseable stream record: {line}"));
+        };
+        match doc.get("event").and_then(JsonValue::as_str) {
+            Some("tokens") => {
+                let Some(count) = doc.get("count").and_then(JsonValue::as_u64) else {
+                    return ClientOutcome::Broken(format!("tokens record without count: {line}"));
+                };
+                summed += count;
+            }
+            Some("done") => {
+                let total = doc.get("total_tokens").and_then(JsonValue::as_u64);
+                return if total == Some(summed) {
+                    ClientOutcome::Streamed { total: summed }
+                } else {
+                    ClientOutcome::Broken(format!(
+                        "done total {total:?} disagrees with summed {summed}"
+                    ))
+                };
+            }
+            Some("rejected") => return ClientOutcome::RejectedMidStream,
+            other => return ClientOutcome::Broken(format!("unknown stream event {other:?}")),
+        }
+    }
+    ClientOutcome::Broken("stream ended without a terminal record".into())
+}
+
+/// Sends one HTTP request and returns `(status, decoded body)`. Retries
+/// the connect a few times — a cold accept queue under a 200-client
+/// stampede may bounce the first SYN.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut last_err = String::new();
+    for attempt in 0..20 {
+        match TcpStream::connect_timeout(&addr.to_owned(), Duration::from_secs(2)) {
+            Ok(mut stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .map_err(|e| e.to_string())?;
+                let _ = stream.set_nodelay(true);
+                write!(
+                    stream,
+                    "{method} {path} HTTP/1.1\r\nHost: localhost\r\n\
+                     Content-Type: application/json\r\nContent-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .map_err(|e| e.to_string())?;
+                let mut raw = Vec::new();
+                stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+                return decode_response(&raw);
+            }
+            Err(e) => {
+                last_err = e.to_string();
+                thread::sleep(Duration::from_millis(25 * (attempt + 1)));
+            }
+        }
+    }
+    Err(format!("connect failed after retries: {last_err}"))
+}
+
+/// GET helper for `/metrics` and friends.
+pub fn simple_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    request(addr, "GET", path, "")
+}
+
+/// POST helper (JSON body).
+pub fn simple_post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    request(addr, "POST", path, body)
+}
+
+/// Splits status/headers/body and de-chunks when the response used
+/// chunked transfer encoding.
+fn decode_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("no header terminator in: {text}"));
+    };
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head}"))?;
+    let chunked = head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked");
+    let body = if chunked {
+        dechunk(body)?
+    } else {
+        body.to_string()
+    };
+    Ok((status, body))
+}
+
+/// Decodes a chunked body (sizes in hex, CRLF framing, 0-chunk end).
+fn dechunk(body: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut rest = body;
+    loop {
+        let Some((size_line, after)) = rest.split_once("\r\n") else {
+            return Err(format!("missing chunk size in: {body}"));
+        };
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+        if size == 0 {
+            return Ok(out);
+        }
+        if after.len() < size + 2 {
+            return Err("truncated chunk".into());
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamEvent;
+    use spatten_serve::{ChipLeave, FleetEvents, LeaveMode};
+
+    #[test]
+    fn loopback_swarm_streams_or_rejects_every_request() {
+        let report = run(
+            48,
+            ServerConfig {
+                chips: 4,
+                time_scale: 8.0,
+                workers: 8,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(
+            report.broken().len(),
+            0,
+            "malformed exchanges: {:?}",
+            report.broken()
+        );
+        assert_eq!(report.streamed() + report.rejected(), 48);
+        // The unmeetable-SLO clients (every eighth) must actually be
+        // shed by live admission, and the generous ones must stream.
+        assert!(report.rejected() >= 6, "rejected {}", report.rejected());
+        assert!(
+            report.streamed() >= 42 - 6,
+            "streamed {}",
+            report.streamed()
+        );
+        // The artifact parses and carries both halves.
+        let artifact = json::parse(&report.artifact_json()).expect("artifact JSON");
+        assert!(artifact.get("live_snapshot").is_some());
+        assert!(
+            artifact
+                .get("final_report")
+                .and_then(|r| r.get("completed"))
+                .and_then(JsonValue::as_u64)
+                .is_some(),
+            "final report embeds the fleet post-mortem"
+        );
+    }
+
+    #[test]
+    fn health_metrics_and_errors_speak_http() {
+        let server = Server::start(
+            ServerConfig {
+                chips: 2,
+                time_scale: 4.0,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = server.addr();
+        assert_eq!(simple_get(addr, "/healthz").map(|r| r.0), Ok(200));
+        let (code, body) = simple_get(addr, "/metrics").expect("metrics");
+        assert_eq!(code, 200);
+        let snap = json::parse(&body).expect("snapshot JSON");
+        assert_eq!(
+            snap.get("online_chips").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(simple_get(addr, "/nope").map(|r| r.0), Ok(404));
+        let (code, body) = simple_post(addr, "/v1/generate", "{not json").expect("post");
+        assert_eq!(code, 400);
+        assert!(json::parse(&body)
+            .expect("error JSON")
+            .get("error")
+            .is_some());
+        let report = server.shutdown();
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn elastic_leave_shows_up_as_live_capacity_loss() {
+        // A drain scheduled at virtual t=0 takes one of three chips out
+        // as soon as the engine primes; /metrics must see it offline
+        // once a request has started the timeline.
+        let server = Server::start(
+            ServerConfig {
+                chips: 3,
+                time_scale: 16.0,
+                workers: 2,
+                events: FleetEvents {
+                    leaves: vec![ChipLeave {
+                        chip: 2,
+                        at_ns: 0,
+                        mode: LeaveMode::Drain,
+                    }],
+                    joins: vec![],
+                },
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind");
+        let addr = server.addr();
+        let body = JsonObject::new()
+            .u64("prompt_tokens", 32)
+            .u64("gen_tokens", 4)
+            .build();
+        let (code, _) = simple_post(addr, "/v1/generate", &body).expect("generate");
+        assert_eq!(code, 200);
+        let (_, snap) = simple_get(addr, "/metrics").expect("metrics");
+        let snap = json::parse(&snap).expect("snapshot JSON");
+        assert_eq!(
+            snap.get("online_chips").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(snap.get("total_chips").and_then(JsonValue::as_u64), Some(3));
+        let report = server.shutdown();
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn stream_events_are_plain_data() {
+        // The stream protocol types stay Send + 'static so acceptor
+        // threads can carry them; this is a compile-time check.
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<StreamEvent>();
+        assert_send::<ClientOutcome>();
+    }
+}

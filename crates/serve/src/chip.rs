@@ -33,6 +33,7 @@
 
 use crate::batch::{BatchPolicy, ResidentView, RoundStep};
 use crate::cost::FleetCost;
+use crate::engine::TokenEvent;
 use crate::kv::{JobKvNeed, KvPager};
 use crate::preempt::VictimView;
 use crate::request::{Completion, Job, ResumeState};
@@ -120,6 +121,13 @@ pub struct Chip {
     done_scratch: Vec<usize>,
     emitters_scratch: Vec<usize>,
     weights_scratch: Vec<(ModelConfig, u64)>,
+    /// Whether rounds record per-resident [`TokenEvent`]s. Armed only
+    /// when a live [`crate::TokenSink`] is installed; off — every
+    /// offline simulation — the recording branches never run.
+    record_tokens: bool,
+    /// Token emissions of the in-flight round, drained to the sink at
+    /// the round's end.
+    token_log: Vec<TokenEvent>,
 }
 
 impl Chip {
@@ -146,7 +154,25 @@ impl Chip {
             done_scratch: Vec::new(),
             emitters_scratch: Vec::new(),
             weights_scratch: Vec::new(),
+            record_tokens: false,
+            token_log: Vec::new(),
         }
+    }
+
+    /// Arms (or disarms) per-round [`TokenEvent`] recording.
+    pub fn set_record_tokens(&mut self, on: bool) {
+        self.record_tokens = on;
+    }
+
+    /// Whether the last round recorded any token emissions.
+    pub fn has_tokens(&self) -> bool {
+        !self.token_log.is_empty()
+    }
+
+    /// Drains the recorded token emissions into `out` (capacity kept on
+    /// both sides, like [`Chip::end_round_into`]).
+    pub fn drain_tokens_into(&mut self, out: &mut Vec<TokenEvent>) {
+        out.append(&mut self.token_log);
     }
 
     /// Jobs currently resident.
@@ -620,6 +646,17 @@ impl Chip {
             }
             None => self.kv_in_use -= a.footprint,
         }
+        if self.record_tokens {
+            self.token_log.push(TokenEvent {
+                id: a.job.id,
+                class: a.job.class,
+                chip: self.id,
+                first: 0,
+                count: w.gen_steps,
+                emit_cycles: now + total,
+                done: true,
+            });
+        }
         self.finished
             .push(Self::completion(&a, self.id, now + total, w.gen_steps));
         total
@@ -657,8 +694,12 @@ impl Chip {
         let mut first_emitters = std::mem::take(&mut self.emitters_scratch);
         first_emitters.clear();
         let id = self.id;
+        // Token events recorded this round; their emit time is the
+        // round's end, patched in once the batch's cycles are known.
+        let token_mark = self.token_log.len();
         for (i, (a, directive)) in self.active.iter_mut().zip(plan).enumerate() {
             let w = &a.job.workload;
+            let steps_before = a.steps_done;
             // The serial quantum this directive consumes, drawn off the
             // job's in-service estimate (for prefill that is the chunk
             // itself — the proportional `StepCost` below rounds, the
@@ -748,11 +789,28 @@ impl Chip {
             if finished {
                 done.push(i);
             }
+            if self.record_tokens {
+                let count = a.steps_done - steps_before;
+                if count > 0 || finished {
+                    self.token_log.push(TokenEvent {
+                        id: a.job.id,
+                        class: a.job.class,
+                        chip: id,
+                        first: steps_before,
+                        count,
+                        emit_cycles: 0, // the round's end, patched below
+                        done: finished,
+                    });
+                }
+            }
         }
         assert!(advanced > 0, "batch plan advanced no job");
         dram += shared_weights.iter().map(|&(_, v)| v).sum::<u64>();
         let cycles = compute.max(dram) + overhead;
         let end = now + cycles;
+        for ev in &mut self.token_log[token_mark..] {
+            ev.emit_cycles = end;
+        }
         for &i in &first_emitters {
             self.active[i].first_token_cycles = Some(end);
         }

@@ -1,0 +1,625 @@
+//! The resumable fleet engine: the discrete-event loop of [`crate::sim`]
+//! exposed as an explicit state machine.
+//!
+//! [`simulate_fleet_with`](crate::sim::simulate_fleet_with) owns its
+//! trace: it consumes every arrival up front and runs to completion.
+//! That shape cannot serve live traffic — a front-end learns about
+//! requests one wall-clock instant at a time, and has to answer each one
+//! while the clock is still running. [`FleetEngine`] splits the loop
+//! into its primitive transitions:
+//!
+//! * [`FleetEngine::inject`] — hand the engine one arrival (a
+//!   [`TraceRequest`]), mapped to virtual cycles;
+//! * [`FleetEngine::step_until`] — advance the event clock up to a
+//!   virtual-time horizon, firing arrivals, round ends, KV handoffs and
+//!   elastic membership events in exactly the order the batch simulator
+//!   would;
+//! * [`FleetEngine::drain`] — run the clock dry and fold the run into a
+//!   [`FleetReport`].
+//!
+//! Replaying a trace through the step API ([`FleetEngine::replay`]) is
+//! **bit-for-bit identical** to the monolithic loop — the engine is not
+//! an approximation of the simulator, it *is* the simulator, paused
+//! between events. `simulate_fleet_with` itself is a thin wrapper over
+//! this type.
+//!
+//! # The token seam
+//!
+//! The [`TokenSink`] trait surfaces per-token completions as they
+//! happen: when a sink is installed ([`FleetEngine::with_sink`]) every
+//! chip records a [`TokenEvent`] for each resident that emits decode
+//! tokens (or retires) in a round, and the engine drains them to the
+//! sink at that round's end — the hook `spatten-frontd` streams chunked
+//! HTTP responses from. SLO-aware admission rejections reach the sink
+//! too ([`TokenSink::on_rejection`]), so live admission control can
+//! answer the client that was shed. With no sink installed the
+//! recording branch never runs and the engine is exactly the offline
+//! simulator, allocation for allocation.
+//!
+//! # Virtual time
+//!
+//! The engine has no clock of its own — `step_until(vtime)` processes
+//! every event with `time <= vtime` and stops. A live front-end owns
+//! the mapping from wall instants to virtual cycles (`spatten-frontd`
+//! uses `cycles = elapsed_ns × clock_ghz × time_scale`) and calls
+//! `inject` / `step_until` from its bridge loop; an offline caller just
+//! passes trace timestamps. Arrival times must be non-decreasing — the
+//! engine clamps an early-looking arrival to the time already reached,
+//! which is the identity on any sorted trace.
+//!
+//! ```
+//! use spatten_serve::{simulate_fleet, FleetConfig, Policy};
+//! use spatten_serve::{fleet_engine_policy, CostModel, SchedKnobs};
+//! use spatten_core::SpAttenConfig;
+//! use spatten_workloads::{ArrivalSpec, Trace, TraceSpec};
+//!
+//! let trace = TraceSpec::mixed(
+//!     ArrivalSpec::OpenPoisson { rate_rps: 4000.0, requests: 40 },
+//!     11,
+//! )
+//! .generate();
+//! let cfg = FleetConfig::new(2, Policy::ContinuousBatching);
+//! let offline = simulate_fleet(&cfg, &trace);
+//!
+//! // The same trace pushed through the step API, one arrival at a time.
+//! let mut engine = fleet_engine_policy(
+//!     CostModel::end_to_end(SpAttenConfig::default(), 8),
+//!     2,
+//!     Policy::ContinuousBatching,
+//!     &SchedKnobs::default(),
+//!     None,
+//!     None,
+//!     8,
+//!     cfg.accel.clock_ghz,
+//! );
+//! let Trace::Open { requests } = &trace else { unreachable!() };
+//! for req in requests {
+//!     let at = engine.inject(req);
+//!     engine.step_until(at);
+//! }
+//! assert_eq!(engine.drain(), offline);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::batch::BatchPolicy;
+use crate::chip::Chip;
+use crate::cost::FleetCost;
+use crate::disagg::PoolSpec;
+use crate::elastic::{AutoscalePolicy, Availability, ElasticSchedule};
+use crate::kv::{KvPager, KvSpec};
+use crate::metrics::FleetReport;
+use crate::preempt::PreemptionPolicy;
+use crate::request::{Job, Rejection};
+use crate::route::RoutingPolicy;
+use crate::scheduler::{AdmissionPolicy, Policy, SchedKnobs, Scheduler};
+use crate::sim::{job_from, ns_to_cycles, ElasticState, EventKind, Fleet};
+use crate::StealSpec;
+use spatten_workloads::{Trace, TraceRequest, Workload};
+
+/// One chip's token emission for one request in one round: `count`
+/// decode tokens starting at zero-based token index `first`, visible at
+/// `emit_cycles` (the round's end). A request's stream is the ordered
+/// sequence of its events; `done` marks the last one. Discriminative
+/// (zero-generation) requests emit a single `count == 0, done` event —
+/// the stream's way of saying "finished, nothing to stream".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// Stable trace id of the emitting request.
+    pub id: u64,
+    /// Index into the trace spec's class list.
+    pub class: usize,
+    /// Chip that executed the round.
+    pub chip: usize,
+    /// Zero-based index of the first token this event carries.
+    pub first: usize,
+    /// Tokens emitted in this round (a decode burst may carry several).
+    pub count: usize,
+    /// Virtual time the tokens became visible (the round's end).
+    pub emit_cycles: u64,
+    /// Whether the request finished with this event.
+    pub done: bool,
+}
+
+/// Receiver of live token emissions and admission rejections — the seam
+/// a serving front-end hangs its response streams on. Installed via
+/// [`FleetEngine::with_sink`]; called synchronously from event
+/// dispatch, so implementations should buffer, not block.
+pub trait TokenSink {
+    /// A round retired `ev.count` tokens (or finished a request).
+    fn on_tokens(&mut self, ev: &TokenEvent);
+
+    /// Admission shed a request (SLO-aware early rejection, or any
+    /// other policy that rejects). Default: ignore.
+    fn on_rejection(&mut self, _r: &Rejection) {}
+}
+
+/// A sink that drops everything — useful to exercise the recording path
+/// without consuming it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TokenSink for NullSink {
+    fn on_tokens(&mut self, _ev: &TokenEvent) {}
+}
+
+/// The discrete-event fleet simulator as a resumable state machine. See
+/// the [module docs](self) for the lifecycle; construction mirrors
+/// [`simulate_fleet_with`](crate::sim::simulate_fleet_with) minus the
+/// trace (use [`fleet_engine_policy`] for the canonical-[`Policy`]
+/// variant with boxed seams).
+pub struct FleetEngine<
+    C: FleetCost,
+    A: AdmissionPolicy,
+    B: BatchPolicy,
+    R: RoutingPolicy,
+    P: PreemptionPolicy,
+> {
+    fleet: Fleet<C, A, B, R, P>,
+    /// The elastic schedule, held back until [`FleetEngine::prime`]:
+    /// the batch loop pushes closed-loop initial arrivals *before*
+    /// elastic events, so the engine must too — a same-cycle leave must
+    /// not outrun an initial arrival's sequence number.
+    schedule: ElasticSchedule,
+    /// Injected arrivals not yet fired, in arrival order. Kept outside
+    /// the event heap exactly like the batch loop's streamed open-loop
+    /// cursor, so the merge order (arrivals beat same-time heap events)
+    /// is reproduced by construction.
+    pending: VecDeque<(u64, Job)>,
+    sim_events: u64,
+    last_now: u64,
+    primed: bool,
+}
+
+impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: PreemptionPolicy>
+    FleetEngine<C, A, B, R, P>
+{
+    /// Builds an idle engine over `chips` executors priced by `cost`,
+    /// under an arbitrary (admission, batching, routing, preemption)
+    /// policy quadruple plus the [`StealSpec`] work-stealing knob —
+    /// the same parameter set as
+    /// [`simulate_fleet_with`](crate::sim::simulate_fleet_with), minus
+    /// the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has zero chips, `max_batch` is zero, the
+    /// elastic schedule references chips beyond the roster, or the pool
+    /// spec's roles don't cover every chip.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cost: C,
+        chips: usize,
+        label: &str,
+        admission: A,
+        batch: B,
+        routing: R,
+        steal: StealSpec,
+        preempt: P,
+        kv: KvSpec,
+        pools: Option<PoolSpec>,
+        elastic: Option<ElasticSchedule>,
+        max_batch: usize,
+        clock_ghz: f64,
+    ) -> Self {
+        assert!(chips > 0, "fleet needs at least one chip");
+        assert!(max_batch > 0, "max_batch must be positive");
+        let elastic = elastic.unwrap_or_default();
+        for leave in &elastic.leaves {
+            assert!(
+                leave.chip < chips,
+                "leave targets chip {} of a {chips}-chip roster",
+                leave.chip
+            );
+        }
+        for &(chip, _) in &elastic.joins {
+            assert!(
+                chip < chips,
+                "join targets chip {chip} of a {chips}-chip roster"
+            );
+        }
+        for &chip in &elastic.reserve {
+            assert!(
+                chip < chips,
+                "reserve chip {chip} beyond the {chips}-chip roster"
+            );
+        }
+        if let Some(p) = &pools {
+            assert_eq!(
+                p.len(),
+                chips,
+                "pool spec declares {} roles for {} chips",
+                p.len(),
+                chips
+            );
+        }
+        // One pager per chip under paging, each sized to that chip's KV
+        // budget (heterogeneous fleets get heterogeneous block counts).
+        let pagers = kv.block_bytes().map(|block| {
+            (0..chips)
+                .map(|c| KvPager::new(block, cost.budget_on(c)))
+                .collect()
+        });
+        let mut scheduler = Scheduler::new(admission, routing, chips).with_steal(steal);
+        if let Some(p) = &pools {
+            scheduler = scheduler.with_roles(p.roles.clone());
+        }
+        // The weight reference (pricing joins and model swaps) is set
+        // lazily from the first injected request — the engine has no
+        // trace to take it from. `set_weight_ref` overrides.
+        let mut elastic_state = ElasticState::new(&elastic, chips, None);
+        elastic_state.autoscale = elastic.autoscale.as_ref().map(|spec| {
+            (
+                ns_to_cycles(clock_ghz, spec.window_ns).max(1),
+                Box::new(spec.build()) as Box<dyn AutoscalePolicy>,
+            )
+        });
+        // Cold chips (scheduled joins and the reserve) start out of the
+        // fleet: their admission path is armed to panic until their
+        // join's weight load completes.
+        let mut chip_vec: Vec<Chip> = (0..chips).map(Chip::new).collect();
+        for (chip, avail) in chip_vec.iter_mut().zip(&elastic_state.avail) {
+            if *avail == Availability::Offline {
+                chip.leave();
+            }
+        }
+        let fleet = Fleet {
+            label: label.to_string(),
+            max_batch,
+            clock_ghz,
+            cost,
+            scheduler,
+            batch,
+            preempt,
+            chips: chip_vec,
+            pagers,
+            pools,
+            handoffs: vec![0; chips],
+            handoff_bytes: vec![0; chips],
+            handoff_cycles: vec![0; chips],
+            elastic: elastic_state,
+            events: Default::default(),
+            jobs: Default::default(),
+            seq: 0,
+            completions: Vec::new(),
+            rejections: Vec::new(),
+            client_queues: Vec::new(),
+            think_cycles: 0,
+            loads_scratch: Vec::with_capacity(chips),
+            finished_scratch: Vec::new(),
+            sink: None,
+            token_scratch: Vec::new(),
+            autoscale_armed: false,
+        };
+        Self {
+            fleet,
+            schedule: elastic,
+            pending: VecDeque::new(),
+            sim_events: 0,
+            last_now: 0,
+            primed: false,
+        }
+    }
+
+    /// Installs a live [`TokenSink`] and arms per-token recording on
+    /// every chip. Builder-style; use before stepping.
+    pub fn with_sink(mut self, sink: Box<dyn TokenSink>) -> Self {
+        self.set_sink(sink);
+        self
+    }
+
+    /// Installs a live [`TokenSink`] and arms per-token recording on
+    /// every chip.
+    pub fn set_sink(&mut self, sink: Box<dyn TokenSink>) {
+        self.fleet.sink = Some(sink);
+        for chip in &mut self.fleet.chips {
+            chip.set_record_tokens(true);
+        }
+    }
+
+    /// Sets the reference workload that prices elastic joins and model
+    /// swaps. Normally taken from the first injected request; a live
+    /// front-end that knows its model up front calls this so a join
+    /// firing before the first request is priced correctly.
+    pub fn set_weight_ref(&mut self, workload: Workload) {
+        self.fleet.elastic.weight_ref = Some(workload);
+    }
+
+    /// Pushes the deferred elastic schedule into the event heap. Runs
+    /// once, on the first inject / load / step — *after* any closed-loop
+    /// initial arrivals, so sequence-number order matches the batch
+    /// loop exactly.
+    fn prime(&mut self) {
+        if self.primed {
+            return;
+        }
+        self.primed = true;
+        let clock = self.fleet.clock_ghz;
+        for leave in &self.schedule.leaves {
+            let at = ns_to_cycles(clock, leave.at_ns);
+            self.fleet
+                .push(at, EventKind::Leave(leave.chip as u32, leave.mode));
+        }
+        for &(chip, at_ns) in &self.schedule.joins {
+            let at = ns_to_cycles(clock, at_ns);
+            self.fleet.push(at, EventKind::Join(chip as u32));
+        }
+        if let Some((window, _)) = &self.fleet.elastic.autoscale {
+            let first = *window;
+            self.fleet.push(first, EventKind::AutoscaleTick);
+        }
+    }
+
+    /// Injects one arrival at `req.arrival_ns` mapped to virtual cycles.
+    /// Returns the arrival's virtual time. Arrivals must be injected in
+    /// non-decreasing time order; an arrival earlier than virtual time
+    /// already stepped past is clamped up to it (the live bridge's
+    /// "arrived while I was stepping" case — a no-op on sorted traces).
+    pub fn inject(&mut self, req: &TraceRequest) -> u64 {
+        let at = ns_to_cycles(self.fleet.clock_ghz, req.arrival_ns);
+        self.inject_at(req, at)
+    }
+
+    /// Injects one arrival at an explicit virtual time (see
+    /// [`FleetEngine::inject`]). Returns the (possibly clamped) time.
+    pub fn inject_at(&mut self, req: &TraceRequest, at: u64) -> u64 {
+        if self.fleet.elastic.weight_ref.is_none() {
+            self.fleet.elastic.weight_ref = Some(req.workload.clone());
+        }
+        self.prime();
+        let at = at.max(self.last_now);
+        if let Some(&(back, _)) = self.pending.back() {
+            assert!(
+                at >= back,
+                "arrival injected out of order: {at} after {back}"
+            );
+        }
+        let job = job_from(req, None, at, self.fleet.clock_ghz);
+        self.pending.push_back((at, job));
+        // A live fleet can go fully idle between requests, which lets
+        // the autoscaler's tick chain die (the batch loop only keeps it
+        // alive while work remains). Re-arm it so the new request's load
+        // is observed. Unreachable during trace replay — work always
+        // remains while arrivals are pending — so replay stays
+        // bit-identical.
+        if !self.fleet.autoscale_armed {
+            if let Some((window, _)) = &self.fleet.elastic.autoscale {
+                let tick = at + *window;
+                self.fleet.push(tick, EventKind::AutoscaleTick);
+            }
+        }
+        at
+    }
+
+    /// Loads a closed-loop client population: each client's first
+    /// request enters the heap at t=0 and every later one is issued by
+    /// the completion of its predecessor plus think time — exactly the
+    /// batch loop's closed-loop setup. Call once, before stepping.
+    pub fn load_closed(&mut self, clients: &[Vec<TraceRequest>], think_ns: u64) {
+        assert!(
+            !self.primed && self.pending.is_empty() && self.sim_events == 0,
+            "closed-loop clients must load into a fresh engine"
+        );
+        let clock = self.fleet.clock_ghz;
+        self.fleet.think_cycles = ns_to_cycles(clock, think_ns);
+        if self.fleet.elastic.weight_ref.is_none() {
+            self.fleet.elastic.weight_ref =
+                clients.iter().flatten().next().map(|r| r.workload.clone());
+        }
+        // Store queues reversed so pop() yields the next request.
+        self.fleet.client_queues = clients
+            .iter()
+            .map(|q| q.iter().rev().cloned().collect())
+            .collect();
+        for client in 0..self.fleet.client_queues.len() {
+            if let Some(first) = self.fleet.client_queues[client].pop() {
+                let job = self
+                    .fleet
+                    .jobs
+                    .insert(job_from(&first, Some(client), 0, clock));
+                self.fleet.push(0, EventKind::Arrival(job));
+            }
+        }
+        self.prime();
+    }
+
+    /// Fires the single next event (injected arrival or heap event),
+    /// but only if its time is within `limit`. Returns whether an event
+    /// fired. The merge rule is the batch loop's: an arrival beats any
+    /// heap event at the same time (streamed arrivals own the lowest
+    /// sequence numbers there; here the tie-break is structural).
+    fn step_one(&mut self, limit: Option<u64>) -> bool {
+        let arrival = self.pending.front().map(|&(t, _)| t);
+        let event = self.fleet.next_event_time();
+        let (fire_arrival, t) = match (arrival, event) {
+            (Some(a), Some(e)) => {
+                if a <= e {
+                    (true, a)
+                } else {
+                    (false, e)
+                }
+            }
+            (Some(a), None) => (true, a),
+            (None, Some(e)) => (false, e),
+            (None, None) => return false,
+        };
+        if limit.is_some_and(|l| t > l) {
+            return false;
+        }
+        self.sim_events += 1;
+        self.last_now = t;
+        if fire_arrival {
+            let (now, job) = self.pending.pop_front().expect("arrival present");
+            self.fleet.handle_arrival(job, now);
+        } else {
+            let more_arrivals = !self.pending.is_empty();
+            self.fleet.dispatch_next(more_arrivals);
+        }
+        true
+    }
+
+    /// Fires the next event regardless of its time. Returns `false`
+    /// when the engine is fully drained (no pending arrivals, empty
+    /// heap).
+    pub fn step(&mut self) -> bool {
+        self.prime();
+        self.step_one(None)
+    }
+
+    /// Advances the engine through every event with `time <= vtime`.
+    /// Returns the number of events processed.
+    pub fn step_until(&mut self, vtime: u64) -> u64 {
+        self.prime();
+        let mut n = 0;
+        while self.step_one(Some(vtime)) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs the clock dry and folds the run into a [`FleetReport`] —
+    /// the batch loop's tail, including its conservation asserts.
+    pub fn drain(mut self) -> FleetReport {
+        self.prime();
+        while self.step_one(None) {}
+        let Self {
+            fleet,
+            sim_events,
+            last_now,
+            ..
+        } = self;
+        fleet.into_report(sim_events, last_now)
+    }
+
+    /// Replays a whole trace through the step API and drains. Open-loop
+    /// arrivals stream through a one-request lookahead window (the heap
+    /// and the pending queue stay a handful of entries deep on
+    /// million-request traces, like the batch loop's cursor);
+    /// closed-loop traces load their client population and run dry.
+    /// Bit-for-bit identical to the monolithic loop on every trace.
+    pub fn replay(mut self, trace: &Trace) -> FleetReport {
+        match trace {
+            Trace::Open { requests } => {
+                assert!(
+                    requests
+                        .windows(2)
+                        .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+                    "open trace must be sorted by arrival time"
+                );
+                for req in requests {
+                    self.inject(req);
+                    // Keep exactly one arrival pending: enough lookahead
+                    // that the autoscaler's "more arrivals?" probe stays
+                    // truthful, little enough that memory stays flat.
+                    while self.pending.len() > 1 && self.step_one(None) {}
+                }
+                self.drain()
+            }
+            Trace::Closed { clients, think_ns } => {
+                self.load_closed(clients, *think_ns);
+                self.drain()
+            }
+        }
+    }
+
+    /// The virtual time of the last processed event.
+    pub fn now(&self) -> u64 {
+        self.last_now
+    }
+
+    /// The fleet clock in GHz (the virtual-time unit).
+    pub fn clock_ghz(&self) -> f64 {
+        self.fleet.clock_ghz
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim_events
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> usize {
+        self.fleet.completions.len()
+    }
+
+    /// Requests shed by admission so far.
+    pub fn rejected(&self) -> usize {
+        self.fleet.rejections.len()
+    }
+
+    /// Roster size (including offline reserve/joining chips).
+    pub fn chips(&self) -> usize {
+        self.fleet.chips.len()
+    }
+
+    /// Chips currently in service.
+    pub fn online_chips(&self) -> usize {
+        self.fleet
+            .elastic
+            .avail
+            .iter()
+            .filter(|&&a| a == Availability::Online)
+            .count()
+    }
+
+    /// Jobs queued (shared + private) but not yet resident, plus
+    /// injected arrivals that have not fired yet — the live backlog a
+    /// front-end reports.
+    pub fn backlog(&self) -> usize {
+        self.fleet.scheduler.pending() + self.pending.len()
+    }
+
+    /// Whether every injected request has fully drained: nothing
+    /// pending, nothing queued, nothing resident, nothing in flight.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.fleet.next_event_time().is_none()
+            && self.fleet.scheduler.pending() == 0
+            && self
+                .fleet
+                .chips
+                .iter()
+                .all(|c| c.active_jobs() == 0 && !c.is_in_flight())
+    }
+}
+
+/// Builds a [`FleetEngine`] under one of the canonical [`Policy`]s with
+/// boxed policy seams — the live-serving counterpart of
+/// [`simulate_fleet_policy`](crate::sim::simulate_fleet_policy). No
+/// trace is taken (so no [`SimMode::ParallelRounds`] pre-warm happens;
+/// a live engine prices its cost plane lazily, on first use).
+///
+/// [`SimMode::ParallelRounds`]: crate::scheduler::SimMode::ParallelRounds
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn fleet_engine_policy<C: FleetCost>(
+    cost: C,
+    chips: usize,
+    policy: Policy,
+    knobs: &SchedKnobs,
+    pools: Option<PoolSpec>,
+    elastic: Option<ElasticSchedule>,
+    max_batch: usize,
+    clock_ghz: f64,
+) -> FleetEngine<
+    C,
+    Box<dyn AdmissionPolicy>,
+    Box<dyn BatchPolicy>,
+    Box<dyn RoutingPolicy>,
+    Box<dyn PreemptionPolicy>,
+> {
+    FleetEngine::new(
+        cost,
+        chips,
+        policy.name(),
+        policy.admission(knobs),
+        policy.batch(knobs),
+        knobs.route.build(),
+        knobs.steal,
+        knobs.preempt.build(knobs),
+        knobs.kv,
+        pools,
+        elastic,
+        max_batch,
+        clock_ghz,
+    )
+}

@@ -67,6 +67,14 @@
 //!   ([`FleetCost`], [`AdmissionPolicy`], [`BatchPolicy`]): every policy
 //!   runs through the one event loop. Drives open-loop (Poisson, MMPP,
 //!   diurnal) and closed-loop traces from `spatten_workloads::trace`.
+//! * [`engine`] — the **resumable engine** ([`FleetEngine`]): the event
+//!   loop paused between events, with an explicit `inject` /
+//!   `step_until` / `drain` step API and a [`TokenSink`] seam that
+//!   surfaces per-token completions ([`TokenEvent`]) as rounds retire.
+//!   `simulate_fleet_with` is a thin replay wrapper over it, bit-for-bit
+//!   identical to the old monolithic loop; the `spatten-frontd` binary
+//!   drives the same engine from live HTTP traffic over a virtual-time
+//!   bridge.
 //! * [`metrics`] — throughput (req/s, tokens/s), goodput, utilization,
 //!   p50/p95/p99 latency / queue-wait / TTFT / time-between-tokens, and
 //!   per-class SLO, priority and preemption accounting, with a JSON
@@ -94,6 +102,7 @@ pub mod chip;
 pub mod cost;
 pub mod disagg;
 pub mod elastic;
+pub mod engine;
 pub mod json;
 pub mod kv;
 pub mod metrics;
@@ -114,8 +123,9 @@ pub use elastic::{
     AutoscalePolicy, AutoscaleSpec, Availability, ChipJoin, ChipLeave, ElasticChipStats,
     ElasticSchedule, ElasticSpec, FleetEvents, FleetLoadView, LeaveMode, ThresholdHysteresis,
 };
+pub use engine::{fleet_engine_policy, FleetEngine, NullSink, TokenEvent, TokenSink};
 pub use kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
-pub use metrics::{ChipStats, ClassStats, FleetReport, Percentiles};
+pub use metrics::{ChipStats, ClassStats, FleetReport, LiveSnapshot, Percentiles};
 pub use preempt::{NoPreemption, PreemptionPolicy, PriorityPreemption, VictimView};
 pub use request::{Completion, Job, Rejection, ResumeState};
 pub use route::{
@@ -128,4 +138,7 @@ pub use scheduler::{
     QueuedJob, RouteSpec, SchedKnobs, Scheduler, SimMode, SjfAdmission, SloAwareAdmission,
     StealSpec,
 };
-pub use sim::{simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig};
+pub use sim::{
+    fleet_engine, simulate_fleet, simulate_fleet_policy, simulate_fleet_with, FleetConfig,
+    PolicyFleetEngine,
+};

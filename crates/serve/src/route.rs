@@ -225,8 +225,37 @@ impl RoutingPolicy for SharedQueueRouting {
 /// far behind a chip really is, and a queued-only estimate routes new
 /// work onto exactly the chips whose residents will hold it hostage
 /// longest.
+///
+/// The opt-in [`FastestChipRouting::steal_aware`] variant additionally
+/// prices the scheduler's work stealing into the estimate: queued
+/// backlog on a chip is not hostage to that chip alone — any
+/// less-loaded peer that goes idle will pull from the most backlogged
+/// private queue ([`crate::StealSpec::CostliestFit`]). A chip with `k`
+/// such peers therefore drains its queue up to `k + 1` ways in the
+/// steady state, so its *queued* cycles are discounted by that factor
+/// (the in-service residents are not — stealing never touches a
+/// resident). Without stealing enabled the discount routes slightly
+/// optimistically; with it, it stops the router from dodging backlog
+/// the thieves were about to erase.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct FastestChipRouting;
+pub struct FastestChipRouting {
+    /// Whether queued backlog is discounted by the chip's profitable
+    /// thief count (see the type-level docs).
+    pub steal_aware: bool,
+}
+
+impl FastestChipRouting {
+    /// Plain estimated-completion routing (the default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimated-completion routing with queued backlog discounted on
+    /// chips whose peers can profitably steal from them.
+    pub fn steal_aware() -> Self {
+        Self { steal_aware: true }
+    }
+}
 
 /// The estimated completion of `job` on chip `c`: queued + in-service
 /// backlog plus the job's own serial cycles there. Shared by
@@ -275,7 +304,11 @@ fn phase_eligible(job: &Job, loads: &[ChipLoad]) -> Vec<usize> {
 
 impl RoutingPolicy for FastestChipRouting {
     fn name(&self) -> &'static str {
-        "fastest-chip"
+        if self.steal_aware {
+            "fastest-chip-steal-aware"
+        } else {
+            "fastest-chip"
+        }
     }
 
     fn route(
@@ -285,9 +318,29 @@ impl RoutingPolicy for FastestChipRouting {
         loads: &[ChipLoad],
         _now: u64,
     ) -> Option<usize> {
-        phase_eligible(job, loads)
-            .into_iter()
-            .min_by_key(|&c| (completion_estimate(job, cost, loads, c), c))
+        if !self.steal_aware {
+            return phase_eligible(job, loads)
+                .into_iter()
+                .min_by_key(|&c| (completion_estimate(job, cost, loads, c), c));
+        }
+        phase_eligible(job, loads).into_iter().min_by_key(|&c| {
+            // Peers strictly less loaded than `c` are its prospective
+            // thieves: when one of them runs dry it pulls from the most
+            // backlogged private queue, and `c`'s queue is ahead of
+            // theirs in that ranking. Leaving chips never steal.
+            let backlog = loads[c].backlog_cycles();
+            let thieves = loads
+                .iter()
+                .enumerate()
+                .filter(|&(d, l)| d != c && !l.leaving && l.backlog_cycles() < backlog)
+                .count() as u64;
+            let queued = loads[c].pending_cycles / (1 + thieves);
+            let score = loads[c]
+                .in_service_cycles
+                .saturating_add(queued)
+                .saturating_add(cost.job_serial_on(c, &job.workload));
+            (score, c)
+        })
     }
 }
 
@@ -482,7 +535,7 @@ mod tests {
             vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
             Some(8),
         );
-        let mut r = FastestChipRouting;
+        let mut r = FastestChipRouting::default();
         let mut loads = vec![idle(cost.budget_on(0)), idle(cost.budget_on(1))];
         // Idle fleet: the full chip wins outright.
         assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(0));
@@ -502,13 +555,71 @@ mod tests {
             vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
             Some(8),
         );
-        let mut r = FastestChipRouting;
+        let mut r = FastestChipRouting::default();
         let mut loads = vec![idle(cost.budget_on(0)), idle(cost.budget_on(1))];
         let eighth_serial = cost.job_serial_on(1, &job(0, None).workload);
         // Queued-only estimates would still pick the full chip; its
         // in-service backlog says otherwise.
         loads[0].in_service_cycles = eighth_serial * 2;
         assert_eq!(r.route(&job(0, None), &mut cost, &loads, 0), Some(1));
+    }
+
+    #[test]
+    fn steal_aware_discount_keeps_work_on_the_stealable_fast_chip() {
+        // Plain fastest-chip flips to the slow chip once the fast chip's
+        // queued backlog exceeds the hardware speed gap. Steal-aware
+        // routing knows an idle peer will pull from that queue, halves
+        // the queued term, and keeps the job on the fast chip until the
+        // *discounted* backlog crosses the gap.
+        let mut cost = CostModel::heterogeneous(
+            vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
+            Some(8),
+        );
+        let w = &job(0, None).workload;
+        let gap = cost.job_serial_on(1, w) - cost.job_serial_on(0, w);
+        let mut loads = vec![idle(cost.budget_on(0)), idle(cost.budget_on(1))];
+        // Backlog between 1x and 2x the gap: plain routing dodges the
+        // fast chip, the steal discount (one idle thief => /2) does not.
+        loads[0].pending_cycles = gap + gap / 2;
+        let mut plain = FastestChipRouting::new();
+        let mut aware = FastestChipRouting::steal_aware();
+        assert_eq!(plain.route(&job(0, None), &mut cost, &loads, 0), Some(1));
+        assert_eq!(aware.route(&job(0, None), &mut cost, &loads, 0), Some(0));
+        // Past 2x the gap even the discounted queue is too long.
+        loads[0].pending_cycles = gap * 3;
+        assert_eq!(aware.route(&job(1, None), &mut cost, &loads, 0), Some(1));
+        // In-service cycles are never discounted: residents can't be
+        // stolen, so the same load carried in-service flips both.
+        loads[0].pending_cycles = 0;
+        loads[0].in_service_cycles = gap + gap / 2;
+        assert_eq!(aware.route(&job(2, None), &mut cost, &loads, 0), Some(1));
+    }
+
+    #[test]
+    fn steal_aware_ignores_leaving_peers_as_thieves() {
+        // A draining chip never steals, so it must not discount its
+        // neighbours' backlog. Backlog between 2x and 3x the gap: one
+        // real thief (/2) is not enough to keep the job on the fast
+        // chip, but mistakenly counting the leaving chip (/3) would be.
+        let mut cost = CostModel::heterogeneous(
+            vec![
+                SpAttenConfig::default(),
+                SpAttenConfig::eighth(),
+                SpAttenConfig::eighth(),
+            ],
+            Some(8),
+        );
+        let w = &job(0, None).workload;
+        let gap = cost.job_serial_on(1, w) - cost.job_serial_on(0, w);
+        let mut loads = vec![
+            idle(cost.budget_on(0)),
+            idle(cost.budget_on(1)),
+            idle(cost.budget_on(2)),
+        ];
+        loads[0].pending_cycles = gap * 2 + gap / 2;
+        loads[2].leaving = true;
+        let mut aware = FastestChipRouting::steal_aware();
+        assert_eq!(aware.route(&job(0, None), &mut cost, &loads, 0), Some(1));
     }
 
     #[test]
@@ -523,7 +634,7 @@ mod tests {
         flex.pending_cycles = 1_000_000; // busy, but prefill-capable
         let loads = vec![decode, flex];
         assert_eq!(
-            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0),
+            FastestChipRouting::default().route(&job(0, None), &mut cost, &loads, 0),
             Some(1)
         );
         assert_eq!(
@@ -533,7 +644,7 @@ mod tests {
         // All-decode fleet: fall back to the plain fastest chip.
         let all_decode = vec![decode, decode];
         assert_eq!(
-            FastestChipRouting.route(&job(0, None), &mut cost, &all_decode, 0),
+            FastestChipRouting::default().route(&job(0, None), &mut cost, &all_decode, 0),
             Some(0)
         );
     }
@@ -553,7 +664,7 @@ mod tests {
         loads[0].pending_cycles = 1;
         assert_eq!(
             r.route(&job(0, None), &mut cost, &loads, 0),
-            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0)
+            FastestChipRouting::default().route(&job(0, None), &mut cost, &loads, 0)
         );
     }
 
@@ -619,7 +730,7 @@ mod tests {
         loads[0].leaving = true; // the index tie-break favorite
         loads[2].leaving = true;
         assert_eq!(
-            FastestChipRouting.route(&job(0, None), &mut cost, &loads, 0),
+            FastestChipRouting::default().route(&job(0, None), &mut cost, &loads, 0),
             Some(1)
         );
         assert_eq!(
@@ -656,7 +767,7 @@ mod tests {
             first_token_cycles: Some(0),
         });
         assert_eq!(
-            FastestChipRouting.route(&resumed, &mut cost, &[decode_gone, decode_up], 0),
+            FastestChipRouting::default().route(&resumed, &mut cost, &[decode_gone, decode_up], 0),
             Some(1)
         );
     }

@@ -189,6 +189,12 @@ pub enum RouteSpec {
     /// job's own serial cycles on the target chip
     /// ([`crate::route::FastestChipRouting`]).
     FastestChip,
+    /// Fastest-chip with queued backlog discounted on chips whose
+    /// less-loaded peers can profitably steal from them — the router's
+    /// estimate prices the [`StealSpec::CostliestFit`] drain it knows
+    /// will happen
+    /// ([`crate::route::FastestChipRouting::steal_aware`]).
+    FastestStealAware,
     /// The fastest-chip estimate penalized by recent eviction churn, so
     /// preemptable work routes around preemption hotspots
     /// ([`crate::route::ChurnAwareRouting`]).
@@ -212,6 +218,7 @@ impl RouteSpec {
         match self {
             RouteSpec::SharedQueue => "shared-queue",
             RouteSpec::FastestChip => "fastest-chip",
+            RouteSpec::FastestStealAware => "fastest-chip-steal-aware",
             RouteSpec::ChurnAware => "churn-aware",
             RouteSpec::LeastKvLoaded => "least-kv-loaded",
             RouteSpec::HashAffinity => "hash-affinity",
@@ -223,7 +230,8 @@ impl RouteSpec {
     pub fn build(&self) -> Box<dyn RoutingPolicy> {
         match self {
             RouteSpec::SharedQueue => Box::new(SharedQueueRouting),
-            RouteSpec::FastestChip => Box::new(FastestChipRouting),
+            RouteSpec::FastestChip => Box::new(FastestChipRouting::default()),
+            RouteSpec::FastestStealAware => Box::new(FastestChipRouting::steal_aware()),
             RouteSpec::ChurnAware => Box::new(ChurnAwareRouting::default()),
             RouteSpec::LeastKvLoaded => Box::new(LeastKvLoadedRouting),
             RouteSpec::HashAffinity => Box::new(HashAffinityRouting),
@@ -1479,7 +1487,7 @@ mod tests {
             vec![SpAttenConfig::default(), SpAttenConfig::eighth()],
             Some(8),
         );
-        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
+        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting::default(), 2);
         let loads = [
             ChipLoad {
                 role: PoolRole::Flex,
@@ -1543,7 +1551,7 @@ mod tests {
 
         // Active routing: same destination.
         use crate::route::FastestChipRouting;
-        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting, 2);
+        let mut s = Scheduler::new(ArrivalOrderAdmission, FastestChipRouting::default(), 2);
         let mut evicted = job(2, 64, 4);
         evicted.preemptions = 1;
         s.requeue(1, evicted, &mut c);

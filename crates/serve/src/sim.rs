@@ -26,6 +26,7 @@ use crate::elastic::{
     AutoscalePolicy, Availability, ElasticChipStats, ElasticSchedule, ElasticSpec, FleetLoadView,
     LeaveMode,
 };
+use crate::engine::{FleetEngine, TokenEvent, TokenSink};
 use crate::kv::{JobKvNeed, KvPager, KvSpec, KvStats, PagedCost};
 use crate::metrics::{ChipStats, FleetReport};
 use crate::preempt::PreemptionPolicy;
@@ -139,11 +140,16 @@ impl FleetConfig {
     }
 }
 
-fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
+pub(crate) fn ns_to_cycles(clock_ghz: f64, ns: u64) -> u64 {
     (ns as f64 * clock_ghz).round() as u64
 }
 
-fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, clock_ghz: f64) -> Job {
+pub(crate) fn job_from(
+    req: &TraceRequest,
+    client: Option<usize>,
+    arrival_cycles: u64,
+    clock_ghz: f64,
+) -> Job {
     Job {
         id: req.id,
         class: req.class,
@@ -165,20 +171,20 @@ fn job_from(req: &TraceRequest, client: Option<usize>, arrival_cycles: u64, cloc
 /// indices instead of boxed jobs, so the event queue moves small `Copy`
 /// structs and job state never moves until the event fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct JobId(u32);
+pub(crate) struct JobId(u32);
 
 /// Slab of event-owned jobs: pre-drawn open-loop arrivals, deferred
 /// closed-loop arrivals, and in-flight handoff payloads. Slots freed by
 /// fired events go on a free list and are reused, so steady-state
 /// simulation allocates no per-event job storage at all.
 #[derive(Debug, Default)]
-struct JobArena {
+pub(crate) struct JobArena {
     slots: Vec<Option<Job>>,
     free: Vec<u32>,
 }
 
 impl JobArena {
-    fn insert(&mut self, job: Job) -> JobId {
+    pub(crate) fn insert(&mut self, job: Job) -> JobId {
         match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = Some(job);
@@ -209,7 +215,7 @@ impl JobArena {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum EventKind {
+pub(crate) enum EventKind {
     Arrival(JobId),
     RoundEnd(u32),
     /// A prefill→decode KV handoff landing on its target chip: the
@@ -246,7 +252,7 @@ enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Event {
+pub(crate) struct Event {
     time: u64,
     seq: u64,
     kind: EventKind,
@@ -266,7 +272,7 @@ impl Event {
 /// open-loop preload is O(1) per event (each new event is the maximum,
 /// so sift-up exits immediately).
 #[derive(Debug, Default)]
-struct EventHeap {
+pub(crate) struct EventHeap {
     heap: Vec<Event>,
 }
 
@@ -321,16 +327,16 @@ impl EventHeap {
 /// materialized — a static schedule leaves every chip `Online` forever,
 /// every guard on the hot path reduces to its pre-elasticity behavior,
 /// and the run is bit-for-bit the fixed-fleet simulation.
-struct ElasticState {
+pub(crate) struct ElasticState {
     /// Per-chip membership state.
-    avail: Vec<Availability>,
+    pub(crate) avail: Vec<Availability>,
     /// Roster indices the autoscaler manages (ascending). Scale-ups
     /// bring up the lowest-index offline entry, scale-downs drain the
     /// highest-index online one.
     reserve: Vec<usize>,
     /// Autoscaler: observation window in cycles, plus the policy
     /// ([`AutoscalePolicy`] — the seam custom scaling logic plugs into).
-    autoscale: Option<(u64, Box<dyn AutoscalePolicy>)>,
+    pub(crate) autoscale: Option<(u64, Box<dyn AutoscalePolicy>)>,
     /// Resident model per chip when model tracking is on.
     resident_model: Vec<Option<ModelConfig>>,
     /// Whether cross-model placements are priced ([`ElasticSpec::models`]
@@ -354,11 +360,15 @@ struct ElasticState {
     /// request of the trace (every chip serves the same weight plane
     /// unless model tracking says otherwise). `None` — an empty trace —
     /// makes joins instantaneous.
-    weight_ref: Option<Workload>,
+    pub(crate) weight_ref: Option<Workload>,
 }
 
 impl ElasticState {
-    fn new(schedule: &ElasticSchedule, chips: usize, weight_ref: Option<Workload>) -> Self {
+    pub(crate) fn new(
+        schedule: &ElasticSchedule,
+        chips: usize,
+        weight_ref: Option<Workload>,
+    ) -> Self {
         let mut avail = vec![Availability::Online; chips];
         for &(chip, _) in &schedule.joins {
             avail[chip] = Availability::Offline;
@@ -397,59 +407,78 @@ impl ElasticState {
     }
 }
 
-struct Fleet<
+pub(crate) struct Fleet<
     C: FleetCost,
     A: AdmissionPolicy,
     B: BatchPolicy,
     R: RoutingPolicy,
     P: PreemptionPolicy,
 > {
-    label: String,
-    max_batch: usize,
-    clock_ghz: f64,
-    cost: C,
-    scheduler: Scheduler<A, R>,
-    batch: B,
-    preempt: P,
-    chips: Vec<Chip>,
+    pub(crate) label: String,
+    pub(crate) max_batch: usize,
+    pub(crate) clock_ghz: f64,
+    pub(crate) cost: C,
+    pub(crate) scheduler: Scheduler<A, R>,
+    pub(crate) batch: B,
+    pub(crate) preempt: P,
+    pub(crate) chips: Vec<Chip>,
     /// Per-chip paged KV allocators under [`KvSpec::Paged`]; `None`
     /// reproduces the contiguous resource model bit-for-bit.
-    pagers: Option<Vec<KvPager>>,
+    pub(crate) pagers: Option<Vec<KvPager>>,
     /// Disaggregation pool layout; `None` is co-located serving.
-    pools: Option<PoolSpec>,
+    pub(crate) pools: Option<PoolSpec>,
     /// Per-chip handoff counters. Sources count departures and payload
     /// bytes; transfer cycles accumulate at **both** endpoints (the
     /// drain leg at the source, the fill leg at the target).
-    handoffs: Vec<u64>,
-    handoff_bytes: Vec<u64>,
-    handoff_cycles: Vec<u64>,
+    pub(crate) handoffs: Vec<u64>,
+    pub(crate) handoff_bytes: Vec<u64>,
+    pub(crate) handoff_cycles: Vec<u64>,
     /// Fleet-membership state ([`crate::elastic`]); inert (all chips
     /// `Online`, no events) on a static schedule.
-    elastic: ElasticState,
-    events: EventHeap,
+    pub(crate) elastic: ElasticState,
+    pub(crate) events: EventHeap,
     /// Jobs owned by not-yet-fired events, referenced by [`JobId`].
-    jobs: JobArena,
-    seq: u64,
-    completions: Vec<Completion>,
-    rejections: Vec<Rejection>,
+    pub(crate) jobs: JobArena,
+    pub(crate) seq: u64,
+    pub(crate) completions: Vec<Completion>,
+    pub(crate) rejections: Vec<Rejection>,
     /// Closed-loop state: per-client pending queues + think time.
-    client_queues: Vec<Vec<TraceRequest>>,
-    think_cycles: u64,
+    pub(crate) client_queues: Vec<Vec<TraceRequest>>,
+    pub(crate) think_cycles: u64,
     /// Reusable routing-snapshot buffer (one slot per chip), refilled on
     /// each routed arrival instead of allocated.
-    loads_scratch: Vec<ChipLoad>,
+    pub(crate) loads_scratch: Vec<ChipLoad>,
     /// Reusable round-completion buffer, swapped with the chip's
     /// finished list at each round end.
-    finished_scratch: Vec<Completion>,
+    pub(crate) finished_scratch: Vec<Completion>,
+    /// Live token/rejection receiver ([`TokenSink`]); `None` — every
+    /// offline simulation — skips recording entirely.
+    pub(crate) sink: Option<Box<dyn TokenSink>>,
+    /// Reusable buffer for draining chip token logs to the sink.
+    pub(crate) token_scratch: Vec<TokenEvent>,
+    /// Whether an [`EventKind::AutoscaleTick`] is in the heap. The tick
+    /// chain dies when the fleet goes idle; a live engine re-arms it on
+    /// the next inject (unreachable during trace replay, where work
+    /// always remains while arrivals are pending).
+    pub(crate) autoscale_armed: bool,
 }
 
 impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: PreemptionPolicy>
     Fleet<C, A, B, R, P>
 {
-    fn push(&mut self, time: u64, kind: EventKind) {
+    pub(crate) fn push(&mut self, time: u64, kind: EventKind) {
+        if matches!(kind, EventKind::AutoscaleTick) {
+            self.autoscale_armed = true;
+        }
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Event { time, seq, kind });
+    }
+
+    /// Time of the earliest queued event, if any — the engine's merge
+    /// probe against its pending-arrival queue.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|e| e.time)
     }
 
     fn capacity(&self, chip_idx: usize) -> ChipCapacity {
@@ -883,6 +912,8 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
                 .any(|c| c.active_jobs() > 0 || c.is_in_flight());
         if work_remains {
             self.push(now + window, EventKind::AutoscaleTick);
+        } else {
+            self.autoscale_armed = false;
         }
     }
 
@@ -996,9 +1027,29 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
             reject_cycles: now,
             deadline_cycles: job.deadline_cycles,
         });
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_rejection(self.rejections.last().expect("just recorded"));
+        }
     }
 
-    fn handle_arrival(&mut self, job: Job, now: u64) {
+    /// Drains the round's recorded token events into the live sink.
+    /// Without a sink the chips never record, so this never touches them
+    /// — the offline simulator pays a single branch for the seam.
+    fn emit_tokens(&mut self, chip_idx: usize) {
+        if self.sink.is_none() || !self.chips[chip_idx].has_tokens() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.token_scratch);
+        self.chips[chip_idx].drain_tokens_into(&mut buf);
+        if let Some(sink) = self.sink.as_mut() {
+            for ev in buf.drain(..) {
+                sink.on_tokens(&ev);
+            }
+        }
+        self.token_scratch = buf;
+    }
+
+    pub(crate) fn handle_arrival(&mut self, job: Job, now: u64) {
         // The load snapshot exists for the router; the default shared
         // queue never reads it.
         if self.scheduler.routes() {
@@ -1013,114 +1064,93 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
         }
     }
 
-    /// Drains the simulation. `open` is the open-loop arrival stream,
-    /// already sorted by arrival time: instead of preloading one heap
-    /// entry (and one arena slot) per request, arrivals are merged in
-    /// from a cursor and the heap only ever holds the dynamic events —
-    /// round ends and KV handoffs, a handful per chip. Ordering is
-    /// unchanged: streamed arrival `i` owns sequence number `i` (the
-    /// caller starts `self.seq` past them), so the merge key
-    /// `(time, seq)` reproduces the old preloaded heap order exactly.
-    fn run(mut self, open: &[TraceRequest]) -> FleetReport {
-        let mut sim_events: u64 = 0;
-        let mut next_open: usize = 0;
-        let mut last_now: u64 = 0;
-        loop {
-            let arrival = open
-                .get(next_open)
-                .map(|r| (ns_to_cycles(self.clock_ghz, r.arrival_ns), next_open as u64));
-            let fire_arrival = match (arrival, self.events.peek()) {
-                (Some(a), Some(ev)) => a < ev.key(),
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            sim_events += 1;
-            if fire_arrival {
-                let (now, _) = arrival.expect("arrival key present");
-                let req = &open[next_open];
-                next_open += 1;
-                let job = job_from(req, None, now, self.clock_ghz);
-                last_now = now;
+    /// Pops and dispatches the earliest queued event. `more_arrivals` is
+    /// the engine's pending-arrival state, consulted only by
+    /// [`EventKind::AutoscaleTick`] to decide whether work remains.
+    pub(crate) fn dispatch_next(&mut self, more_arrivals: bool) {
+        let ev = self.events.pop().expect("heap non-empty");
+        let now = ev.time;
+        match ev.kind {
+            EventKind::Arrival(id) => {
+                let job = self.jobs.take(id);
                 self.handle_arrival(job, now);
-                continue;
             }
-            let ev = self.events.pop().expect("heap non-empty");
-            let now = ev.time;
-            last_now = now;
-            match ev.kind {
-                EventKind::Arrival(id) => {
-                    let job = self.jobs.take(id);
-                    self.handle_arrival(job, now);
+            EventKind::RoundEnd(chip_idx) => {
+                let chip_idx = chip_idx as usize;
+                let mut finished = std::mem::take(&mut self.finished_scratch);
+                self.chips[chip_idx].end_round_into(&mut finished);
+                for done in finished.drain(..) {
+                    self.on_completion(done);
                 }
-                EventKind::RoundEnd(chip_idx) => {
-                    let chip_idx = chip_idx as usize;
-                    let mut finished = std::mem::take(&mut self.finished_scratch);
-                    self.chips[chip_idx].end_round_into(&mut finished);
-                    for done in finished.drain(..) {
-                        self.on_completion(done);
-                    }
-                    self.finished_scratch = finished;
-                    // Disaggregation: residents whose last prefill chunk
-                    // just retired leave for the decode pool before this
-                    // chip can plan another round around them.
-                    self.migrate_graduates(chip_idx, now);
-                    // The freed capacity may unblock any chip's admission
-                    // (shared queue), so poll them all, this one first.
-                    self.kick(chip_idx, now);
-                    for other in 0..self.chips.len() {
-                        if other != chip_idx {
-                            self.kick(other, now);
-                        }
+                self.finished_scratch = finished;
+                // Live streaming: the round's recorded token emissions
+                // reach the sink now, at the round boundary they became
+                // visible on.
+                self.emit_tokens(chip_idx);
+                // Disaggregation: residents whose last prefill chunk
+                // just retired leave for the decode pool before this
+                // chip can plan another round around them.
+                self.migrate_graduates(chip_idx, now);
+                // The freed capacity may unblock any chip's admission
+                // (shared queue), so poll them all, this one first.
+                self.kick(chip_idx, now);
+                for other in 0..self.chips.len() {
+                    if other != chip_idx {
+                        self.kick(other, now);
                     }
                 }
-                EventKind::HandoffArrive { job, dst, cycles } => {
-                    // The fill leg occupies the target's HBM just like
-                    // the drain occupied the source's: the same transfer
-                    // cycles extend the target's next round, so neither
-                    // pool's utilization hides the migration.
-                    let dst = dst as usize;
-                    self.elastic.inbound_handoffs[dst] -= 1;
-                    let mut job = self.jobs.take(job);
-                    // The target was revoked while the payload was in
-                    // flight (only revocation can do this — a drain
-                    // waits for inbound handoffs): redirect to the
-                    // least-loaded online chip, which pays the fill leg
-                    // instead.
-                    let dst = if self.elastic.avail[dst] == Availability::Offline {
-                        let fallback = self.best_online_chip();
-                        job.resume
-                            .as_mut()
-                            .expect("handoff payload carries resume state")
-                            .chip = fallback;
-                        job.revoked = true;
-                        fallback
-                    } else {
-                        dst
-                    };
-                    self.chips[dst].charge_transfer_cycles(cycles);
-                    self.handoff_cycles[dst] += cycles;
-                    self.scheduler.requeue(dst, job, &mut self.cost);
-                    self.kick(dst, now);
-                }
-                EventKind::Leave(chip, mode) => {
-                    self.handle_leave(chip as usize, mode, now);
-                }
-                EventKind::Revoke(chip) => {
-                    self.handle_revoke(chip as usize, now);
-                }
-                EventKind::Join(chip) => {
-                    self.handle_join(chip as usize, now);
-                }
-                EventKind::Online(chip) => {
-                    self.handle_online(chip as usize, now);
-                }
-                EventKind::AutoscaleTick => {
-                    let more_arrivals = next_open < open.len();
-                    self.handle_autoscale(now, more_arrivals);
-                }
+            }
+            EventKind::HandoffArrive { job, dst, cycles } => {
+                // The fill leg occupies the target's HBM just like
+                // the drain occupied the source's: the same transfer
+                // cycles extend the target's next round, so neither
+                // pool's utilization hides the migration.
+                let dst = dst as usize;
+                self.elastic.inbound_handoffs[dst] -= 1;
+                let mut job = self.jobs.take(job);
+                // The target was revoked while the payload was in
+                // flight (only revocation can do this — a drain
+                // waits for inbound handoffs): redirect to the
+                // least-loaded online chip, which pays the fill leg
+                // instead.
+                let dst = if self.elastic.avail[dst] == Availability::Offline {
+                    let fallback = self.best_online_chip();
+                    job.resume
+                        .as_mut()
+                        .expect("handoff payload carries resume state")
+                        .chip = fallback;
+                    job.revoked = true;
+                    fallback
+                } else {
+                    dst
+                };
+                self.chips[dst].charge_transfer_cycles(cycles);
+                self.handoff_cycles[dst] += cycles;
+                self.scheduler.requeue(dst, job, &mut self.cost);
+                self.kick(dst, now);
+            }
+            EventKind::Leave(chip, mode) => {
+                self.handle_leave(chip as usize, mode, now);
+            }
+            EventKind::Revoke(chip) => {
+                self.handle_revoke(chip as usize, now);
+            }
+            EventKind::Join(chip) => {
+                self.handle_join(chip as usize, now);
+            }
+            EventKind::Online(chip) => {
+                self.handle_online(chip as usize, now);
+            }
+            EventKind::AutoscaleTick => {
+                self.handle_autoscale(now, more_arrivals);
             }
         }
+    }
+
+    /// Folds a fully drained fleet into its [`FleetReport`] — the batch
+    /// loop's tail, including the conservation asserts. `sim_events` and
+    /// `last_now` are the driving engine's event count and final clock.
+    pub(crate) fn into_report(mut self, sim_events: u64, last_now: u64) -> FleetReport {
         assert_eq!(
             self.scheduler.pending(),
             0,
@@ -1227,7 +1257,63 @@ impl<C: FleetCost, A: AdmissionPolicy, B: BatchPolicy, R: RoutingPolicy, P: Pree
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
 pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
-    let (cost, chips, elastic) = match &cfg.elastic {
+    let (cost, chips, elastic) = lower_fleet_config(cfg);
+    simulate_fleet_policy(
+        cost,
+        chips,
+        cfg.policy,
+        &cfg.sched,
+        cfg.pools.clone(),
+        elastic,
+        cfg.max_batch,
+        cfg.accel.clock_ghz,
+        trace,
+    )
+}
+
+/// The boxed-policy engine a [`FleetConfig`] lowers to — what
+/// [`fleet_engine`] returns and what a live front-end steps.
+pub type PolicyFleetEngine = FleetEngine<
+    CostModel,
+    Box<dyn AdmissionPolicy>,
+    Box<dyn BatchPolicy>,
+    Box<dyn RoutingPolicy>,
+    Box<dyn PreemptionPolicy>,
+>;
+
+/// Builds the resumable engine a [`simulate_fleet`] run would drive, from
+/// the same [`FleetConfig`] — identical cost-model and elasticity
+/// lowering, so a trace replayed through the step API
+/// ([`FleetEngine::inject`] + [`FleetEngine::drain`]) is bit-identical to
+/// the offline entry point. This is the constructor live front-ends and
+/// the bench gates use; `simulate_fleet` remains the one-shot wrapper.
+///
+/// # Panics
+///
+/// Panics if the fleet has zero chips or `max_batch` is zero.
+pub fn fleet_engine(cfg: &FleetConfig) -> PolicyFleetEngine {
+    let (cost, chips, elastic) = lower_fleet_config(cfg);
+    crate::engine::fleet_engine_policy(
+        cost,
+        chips,
+        cfg.policy,
+        &cfg.sched,
+        cfg.pools.clone(),
+        elastic,
+        cfg.max_batch,
+        cfg.accel.clock_ghz,
+    )
+}
+
+/// Lowers a [`FleetConfig`]'s elasticity spec to the concrete
+/// `(cost model, roster size, schedule)` triple the event loop takes:
+/// scheduled joins and the reserve extend the roster past
+/// [`FleetConfig::chips`] (the cost model turns heterogeneous to cover
+/// them), and the schedule's events resolve to roster indices. Shared by
+/// [`simulate_fleet`] and [`fleet_engine`] so the offline and resumable
+/// entry points can never disagree on pricing.
+fn lower_fleet_config(cfg: &FleetConfig) -> (CostModel, usize, Option<ElasticSchedule>) {
+    match &cfg.elastic {
         Some(spec) => {
             let extra = spec.extra_configs();
             let schedule = spec.lower(cfg.chips);
@@ -1261,18 +1347,7 @@ pub fn simulate_fleet(cfg: &FleetConfig, trace: &Trace) -> FleetReport {
             }
         }
         None => (cfg.cost_model(), cfg.chips, None),
-    };
-    simulate_fleet_policy(
-        cost,
-        chips,
-        cfg.policy,
-        &cfg.sched,
-        cfg.pools.clone(),
-        elastic,
-        cfg.max_batch,
-        cfg.accel.clock_ghz,
-        trace,
-    )
+    }
 }
 
 /// Simulates `trace` on `chips` logical executors priced by an arbitrary
@@ -1347,6 +1422,11 @@ pub fn simulate_fleet_policy<C: FleetCost>(
 /// work-stealing knob — the fully generic entry point. `label` names the
 /// policy in the report. Deterministic for fixed inputs.
 ///
+/// A thin wrapper over the resumable [`FleetEngine`]: construction plus
+/// [`FleetEngine::replay`], which streams the trace through the step API
+/// and drains. Bit-for-bit identical to the pre-engine monolithic loop
+/// on every trace.
+///
 /// # Panics
 ///
 /// Panics if the fleet has zero chips or `max_batch` is zero.
@@ -1373,142 +1453,11 @@ pub fn simulate_fleet_with<
     clock_ghz: f64,
     trace: &Trace,
 ) -> FleetReport {
-    assert!(chips > 0, "fleet needs at least one chip");
-    assert!(max_batch > 0, "max_batch must be positive");
-    let elastic = elastic.unwrap_or_default();
-    for leave in &elastic.leaves {
-        assert!(
-            leave.chip < chips,
-            "leave targets chip {} of a {chips}-chip roster",
-            leave.chip
-        );
-    }
-    for &(chip, _) in &elastic.joins {
-        assert!(
-            chip < chips,
-            "join targets chip {chip} of a {chips}-chip roster"
-        );
-    }
-    for &chip in &elastic.reserve {
-        assert!(
-            chip < chips,
-            "reserve chip {chip} beyond the {chips}-chip roster"
-        );
-    }
-    if let Some(p) = &pools {
-        assert_eq!(
-            p.len(),
-            chips,
-            "pool spec declares {} roles for {} chips",
-            p.len(),
-            chips
-        );
-    }
-    let clock = clock_ghz;
-    // One pager per chip under paging, each sized to that chip's KV
-    // budget (heterogeneous fleets get heterogeneous block counts).
-    let pagers = kv.block_bytes().map(|block| {
-        (0..chips)
-            .map(|c| KvPager::new(block, cost.budget_on(c)))
-            .collect()
-    });
-    let mut scheduler = Scheduler::new(admission, routing, chips).with_steal(steal);
-    if let Some(p) = &pools {
-        scheduler = scheduler.with_roles(p.roles.clone());
-    }
-    let weight_ref = match trace {
-        Trace::Open { requests } => requests.first().map(|r| r.workload.clone()),
-        Trace::Closed { clients, .. } => {
-            clients.iter().flatten().next().map(|r| r.workload.clone())
-        }
-    };
-    let mut elastic_state = ElasticState::new(&elastic, chips, weight_ref);
-    elastic_state.autoscale = elastic.autoscale.as_ref().map(|spec| {
-        (
-            ns_to_cycles(clock, spec.window_ns).max(1),
-            Box::new(spec.build()) as Box<dyn AutoscalePolicy>,
-        )
-    });
-    // Cold chips (scheduled joins and the reserve) start out of the
-    // fleet: their admission path is armed to panic until their join's
-    // weight load completes.
-    let mut chip_vec: Vec<Chip> = (0..chips).map(Chip::new).collect();
-    for (chip, avail) in chip_vec.iter_mut().zip(&elastic_state.avail) {
-        if *avail == Availability::Offline {
-            chip.leave();
-        }
-    }
-    let mut fleet = Fleet {
-        label: label.to_string(),
-        max_batch,
-        clock_ghz,
-        cost,
-        scheduler,
-        batch,
-        preempt,
-        chips: chip_vec,
-        pagers,
-        pools,
-        handoffs: vec![0; chips],
-        handoff_bytes: vec![0; chips],
-        handoff_cycles: vec![0; chips],
-        elastic: elastic_state,
-        events: EventHeap::default(),
-        jobs: JobArena::default(),
-        seq: 0,
-        completions: Vec::new(),
-        rejections: Vec::new(),
-        client_queues: Vec::new(),
-        think_cycles: 0,
-        loads_scratch: Vec::with_capacity(chips),
-        finished_scratch: Vec::new(),
-    };
-    let open_requests: &[TraceRequest] = match trace {
-        Trace::Open { requests } => {
-            // Open-loop arrivals are streamed straight from the sorted
-            // trace inside `run`; reserve them the sequence numbers
-            // they would have owned had they been preloaded.
-            assert!(
-                requests
-                    .windows(2)
-                    .all(|w| w[0].arrival_ns <= w[1].arrival_ns),
-                "open trace must be sorted by arrival time"
-            );
-            fleet.seq = requests.len() as u64;
-            requests
-        }
-        Trace::Closed { clients, think_ns } => {
-            fleet.think_cycles = ns_to_cycles(clock, *think_ns);
-            // Store queues reversed so pop() yields the next request.
-            fleet.client_queues = clients
-                .iter()
-                .map(|q| q.iter().rev().cloned().collect())
-                .collect();
-            for client in 0..fleet.client_queues.len() {
-                if let Some(first) = fleet.client_queues[client].pop() {
-                    let job = fleet.jobs.insert(job_from(&first, Some(client), 0, clock));
-                    fleet.push(0, EventKind::Arrival(job));
-                }
-            }
-            &[]
-        }
-    };
-    // Elastic events enter the heap *after* the arrival stream's
-    // sequence numbers, so a same-cycle arrival always fires first and
-    // an empty schedule reproduces the fixed-fleet event order exactly.
-    for leave in &elastic.leaves {
-        let at = ns_to_cycles(clock, leave.at_ns);
-        fleet.push(at, EventKind::Leave(leave.chip as u32, leave.mode));
-    }
-    for &(chip, at_ns) in &elastic.joins {
-        let at = ns_to_cycles(clock, at_ns);
-        fleet.push(at, EventKind::Join(chip as u32));
-    }
-    if let Some((window, _)) = &fleet.elastic.autoscale {
-        let first = *window;
-        fleet.push(first, EventKind::AutoscaleTick);
-    }
-    fleet.run(open_requests)
+    FleetEngine::new(
+        cost, chips, label, admission, batch, routing, steal, preempt, kv, pools, elastic,
+        max_batch, clock_ghz,
+    )
+    .replay(trace)
 }
 
 #[cfg(test)]
@@ -1767,6 +1716,7 @@ mod tests {
         for route in [
             RouteSpec::SharedQueue,
             RouteSpec::FastestChip,
+            RouteSpec::FastestStealAware,
             RouteSpec::ChurnAware,
             RouteSpec::LeastKvLoaded,
             RouteSpec::HashAffinity,
@@ -1847,6 +1797,46 @@ mod tests {
             "in-service-aware routing must not lose to the shared queue at \
              saturation: routed p99 {} vs shared {}",
             routed.latency.p99,
+            shared.latency.p99
+        );
+    }
+
+    #[test]
+    fn steal_aware_routing_holds_the_pr5_saturation_band() {
+        // The steal-aware discount must not regress the PR 5 saturation
+        // guarantee: with stealing on (the configuration the discount
+        // prices), routing stays at least competitive with the
+        // work-conserving shared queue, and with stealing off the
+        // optimism must stay benign inside the same band.
+        let trace = open_trace(250, 500.0, 67);
+        let shared = simulate_fleet(
+            &FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching),
+            &trace,
+        );
+        let mut cfg = FleetConfig::with_chips(mixed_chips(), Policy::ContinuousBatching);
+        cfg.sched.route = RouteSpec::FastestStealAware;
+        cfg.sched.steal = StealSpec::CostliestFit;
+        let stealing = simulate_fleet(&cfg, &trace);
+        assert_eq!(stealing.completed, 250);
+        eprintln!(
+            "steal-aware saturation: routed p99 {} vs shared p99 {}",
+            stealing.latency.p99, shared.latency.p99
+        );
+        assert!(
+            stealing.latency.p99 <= shared.latency.p99 * 1.05,
+            "steal-aware routing + stealing must hold the saturation band: \
+             routed p99 {} vs shared {}",
+            stealing.latency.p99,
+            shared.latency.p99
+        );
+        cfg.sched.steal = StealSpec::Off;
+        let no_steal = simulate_fleet(&cfg, &trace);
+        assert_eq!(no_steal.completed, 250);
+        assert!(
+            no_steal.latency.p99 <= shared.latency.p99 * 1.05,
+            "the discount without thieves must stay benign at saturation: \
+             routed p99 {} vs shared {}",
+            no_steal.latency.p99,
             shared.latency.p99
         );
     }
